@@ -1,0 +1,74 @@
+// Ablation for §IV-D: how the metadata distribution policy interacts with
+// embedded directories.  The paper's limitation: hash-based placement
+// scatters a directory's children across servers, so the embedded layout's
+// co-location cannot help; subtree delegation preserves it.
+#include <cstdio>
+
+#include "mds/subtree_cluster.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Out {
+  mif::u64 accesses;
+  double ms;
+  mif::u64 fanout;
+};
+
+Out run(mif::mds::DistributionPolicy policy, mif::mfs::DirectoryMode mode) {
+  mif::mds::MdsConfig cfg;
+  cfg.mfs.mode = mode;
+  cfg.mfs.cache_blocks = 2048;
+  mif::mds::SubtreeCluster cluster(4, policy, cfg);
+
+  constexpr int kDirs = 4, kFiles = 2500;
+  for (int d = 0; d < kDirs; ++d) {
+    (void)cluster.mkdir("proj" + std::to_string(d));
+    for (int f = 0; f < kFiles; ++f) {
+      (void)cluster.create("proj" + std::to_string(d) + "/f" +
+                           std::to_string(f));
+    }
+  }
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    cluster.server(s).finish();
+    cluster.server(s).fs().cache().invalidate_all();
+  }
+  const mif::u64 a0 = cluster.total_disk_accesses();
+  const double t0 = cluster.total_elapsed_ms();
+  const mif::u64 f0 = cluster.stats().fanout_requests;
+  for (int d = 0; d < kDirs; ++d) {
+    (void)cluster.readdir_stats("proj" + std::to_string(d));
+  }
+  for (std::size_t s = 0; s < cluster.size(); ++s) cluster.server(s).finish();
+  return {cluster.total_disk_accesses() - a0,
+          cluster.total_elapsed_ms() - t0,
+          cluster.stats().fanout_requests - f0};
+}
+
+}  // namespace
+
+int main() {
+  using mif::Table;
+  using mif::mds::DistributionPolicy;
+  using mif::mfs::DirectoryMode;
+  std::printf(
+      "Ablation — §IV-D: distribution policy x directory layout\n"
+      "(readdir-stat over four 2500-file directories on a 4-server MDS "
+      "cluster)\n\n");
+  Table t({"policy", "layout", "disk accesses", "sweep ms",
+           "per-dir fan-out"});
+  for (auto policy : {DistributionPolicy::kSubtree, DistributionPolicy::kHash}) {
+    for (auto mode : {DirectoryMode::kNormal, DirectoryMode::kEmbedded}) {
+      const Out o = run(policy, mode);
+      t.add_row({std::string(to_string(policy)),
+                 std::string(to_string(mode)), std::to_string(o.accesses),
+                 Table::num(o.ms, 1), Table::num(double(o.fanout) / 4.0, 1)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nUnder subtree delegation the embedded layout answers a listing from "
+      "one server's\ncontiguous region; hash placement forces every server "
+      "to sweep its shard, erasing the benefit (§IV-D).\n");
+  return 0;
+}

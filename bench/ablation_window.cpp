@@ -1,0 +1,57 @@
+// Ablation: on-demand window tuning (§III-C).  Sweeps the growth scale
+// (2 vs 4, the two values the paper allows) and max_preallocation_size
+// (the "tunable" cap) on the shared-file micro-benchmark, reporting
+// throughput, extents and wasted (released) blocks.
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "workload/shared_file.hpp"
+
+namespace {
+
+struct Out {
+  double mbps;
+  mif::u64 extents;
+  mif::u64 released;
+};
+
+Out run(mif::u64 scale, mif::u64 max_blocks) {
+  mif::core::ClusterConfig cfg;
+  cfg.num_targets = 5;
+  cfg.target.allocator = mif::alloc::AllocatorMode::kOnDemand;
+  cfg.target.tuning.scale = scale;
+  cfg.target.tuning.max_preallocation_blocks = max_blocks;
+  mif::core::ParallelFileSystem fs(cfg);
+  mif::workload::SharedFileConfig wcfg;
+  wcfg.processes = 32;
+  wcfg.blocks_per_process = 256;
+  const auto r = mif::workload::run_shared_file(fs, wcfg);
+  mif::u64 released = 0;
+  for (std::size_t t = 0; t < fs.num_targets(); ++t)
+    released += fs.target(t).allocator().stats().released_blocks;
+  return {r.phase2_throughput_mbps, r.extents, released};
+}
+
+}  // namespace
+
+int main() {
+  using mif::Table;
+  std::printf(
+      "Ablation — on-demand window sizing (scale x max cap), 32 streams\n\n");
+  Table t({"scale", "max window KiB", "read MB/s", "extents",
+           "released blocks"});
+  for (mif::u64 scale : {2u, 4u}) {
+    for (mif::u64 cap : {64u, 256u, 1024u, 2048u}) {
+      const Out o = run(scale, cap);
+      t.add_row({std::to_string(scale),
+                 std::to_string(cap * mif::kBlockSize / 1024),
+                 Table::num(o.mbps), std::to_string(o.extents),
+                 std::to_string(o.released)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nLarger caps keep long sequential runs contiguous; the scale mostly "
+      "affects how fast the window gets there.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Regenerates Fig. 6(a): shared-file phase-2 throughput as the number of
+// concurrent write streams varies (32/48/64), for the three preallocation
+// strategies.  The paper reports on-demand beating reservation by ~17 %,
+// 27 % and 48 % at 32, 48 and 64 processes, with static preallocation
+// (fallocate) as the contiguous upper bound.
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "workload/shared_file.hpp"
+
+namespace {
+
+mif::workload::SharedFileResult run(mif::alloc::AllocatorMode mode,
+                                    bool static_pre, mif::u32 processes) {
+  mif::core::ClusterConfig cfg;
+  cfg.num_targets = 5;  // "all data to be striped on five disks"
+  cfg.target.allocator = mode;
+  mif::core::ParallelFileSystem fs(cfg);
+  mif::workload::SharedFileConfig wcfg;
+  wcfg.processes = processes;
+  wcfg.threads_per_client = 4;
+  wcfg.blocks_per_process = 256;  // 1 MiB per process
+  wcfg.request_blocks = 4;        // 16 KiB writes (Fig. 6(b)'s low-mid range)
+  wcfg.read_segments = 1024;
+  wcfg.static_prealloc = static_pre;
+  return mif::workload::run_shared_file(fs, wcfg);
+}
+
+}  // namespace
+
+int main() {
+  using mif::Table;
+  std::printf(
+      "Fig 6(a) — shared-file micro-benchmark, phase-2 throughput vs stream "
+      "count\n(paper: on-demand > reservation by ~17%%/27%%/48%% at "
+      "32/48/64)\n\n");
+
+  Table t({"streams", "reservation MB/s", "on-demand MB/s", "static MB/s",
+           "on-demand vs reservation"});
+  for (mif::u32 procs : {32u, 48u, 64u}) {
+    const auto res = run(mif::alloc::AllocatorMode::kReservation, false, procs);
+    const auto ond = run(mif::alloc::AllocatorMode::kOnDemand, false, procs);
+    const auto sta = run(mif::alloc::AllocatorMode::kStatic, true, procs);
+    t.add_row({std::to_string(procs),
+               Table::num(res.phase2_throughput_mbps),
+               Table::num(ond.phase2_throughput_mbps),
+               Table::num(sta.phase2_throughput_mbps),
+               Table::pct(ond.phase2_throughput_mbps /
+                              res.phase2_throughput_mbps -
+                          1.0)});
+  }
+  t.print();
+  return 0;
+}

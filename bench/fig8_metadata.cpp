@@ -1,0 +1,85 @@
+// Regenerates Fig. 8: Metarates-style metadata workloads (create, utime,
+// delete, readdir-stat) on an MDS with one disk and synchronous writes,
+// comparing the embedded directory layout against the traditional one.
+// The paper reports (a) disk-access counts dropping under embedded mode —
+// least for delete — and (b) 23–170 % throughput gains; plus the
+// readdir-stat gain growing with directory size (kernel prefetch window).
+#include <cstdio>
+
+#include "mds/mds.hpp"
+#include "util/table.hpp"
+#include "workload/metarates.hpp"
+
+namespace {
+
+mif::mds::MdsConfig mds_cfg(mif::mfs::DirectoryMode mode) {
+  mif::mds::MdsConfig cfg;
+  cfg.mfs.mode = mode;
+  cfg.mfs.cache_blocks = 4096;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using mif::Table;
+  using mif::mfs::DirectoryMode;
+
+  std::printf(
+      "Fig 8 — Metarates metadata workloads: 10 clients, own directory, 5000 "
+      "files each\n(paper: embedded cuts disk accesses — least for delete — "
+      "and lifts throughput 23-170%%)\n\n");
+
+  mif::workload::MetaratesConfig wcfg;
+  wcfg.clients = 10;
+  wcfg.files_per_dir = 5000;
+
+  mif::mds::Mds normal(mds_cfg(DirectoryMode::kNormal));
+  mif::mds::Mds embedded(mds_cfg(DirectoryMode::kEmbedded));
+  const auto n = mif::workload::run_metarates(normal, wcfg);
+  const auto e = mif::workload::run_metarates(embedded, wcfg);
+
+  Table t({"workload", "normal ops/s", "embedded ops/s", "speedup",
+           "disk-access proportion (embedded/normal)"});
+  auto row = [&](const char* name, const mif::workload::PhaseResult& np,
+                 const mif::workload::PhaseResult& ep) {
+    t.add_row({name, Table::num(np.ops_per_sec()),
+               Table::num(ep.ops_per_sec()),
+               Table::pct(ep.ops_per_sec() / np.ops_per_sec() - 1.0),
+               Table::num(100.0 * static_cast<double>(ep.disk_accesses) /
+                              static_cast<double>(np.disk_accesses),
+                          1) +
+                   "%"});
+  };
+  row("create", n.create, e.create);
+  row("utime", n.utime, e.utime);
+  row("readdir-stat", n.readdir_stat, e.readdir_stat);
+  row("delete", n.remove, e.remove);
+  t.print();
+
+  // ---- readdir-stat proportion vs directory size --------------------------
+  std::printf(
+      "\nreaddir-stat disk-access proportion vs directory size\n(paper: the "
+      "decrease grows with directory size as the prefetch window ramps)\n\n");
+  Table t2({"files/dir", "normal accesses", "embedded accesses",
+            "proportion"});
+  for (mif::u32 files : {1000u, 2000u, 5000u, 10000u}) {
+    mif::workload::MetaratesConfig c;
+    c.clients = 4;
+    c.files_per_dir = files;
+    mif::mds::Mds nm(mds_cfg(DirectoryMode::kNormal));
+    mif::mds::Mds em(mds_cfg(DirectoryMode::kEmbedded));
+    const auto nr = mif::workload::run_metarates(nm, c);
+    const auto er = mif::workload::run_metarates(em, c);
+    t2.add_row({std::to_string(files),
+                std::to_string(nr.readdir_stat.disk_accesses),
+                std::to_string(er.readdir_stat.disk_accesses),
+                Table::num(100.0 *
+                               static_cast<double>(er.readdir_stat.disk_accesses) /
+                               static_cast<double>(nr.readdir_stat.disk_accesses),
+                           1) +
+                    "%"});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Regenerates Fig. 9: impact of file-system aging on metadata throughput.
+// The paper ages the MDS file system by create/delete churn to a target
+// utilisation, then re-runs the metadata micro-benchmark:
+//   * creation degrades badly (−43 % at 80 % capacity for embedded);
+//   * deletion is barely hurt (bitmap-clearing dominates it);
+//   * Lustre (ext4/Htree lookup) beats ext3 Redbud, but embedded
+//     directories still lead both by >26 %.
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "workload/aging.hpp"
+
+namespace {
+
+mif::mds::MdsConfig cfg_for(mif::mfs::DirectoryMode mode,
+                            mif::mfs::LookupDiscipline disc) {
+  mif::mds::MdsConfig cfg;
+  cfg.mfs.mode = mode;
+  cfg.mfs.discipline = disc;
+  cfg.mfs.geometry.capacity_blocks = 128 * 1024;  // 512 MiB metadata volume
+  cfg.mfs.journal_area_blocks = 4096;
+  // Small MDS cache relative to the aged working set: lookups hit disk,
+  // which is where the Htree-vs-linear-scan and embedded differences live.
+  cfg.mfs.cache_blocks = 512;
+  cfg.mfs.alloc_groups = 4;  // groups large enough for a full inode table
+  return cfg;
+}
+
+mif::workload::AgingResult age(mif::mfs::DirectoryMode mode,
+                               mif::mfs::LookupDiscipline disc,
+                               double target) {
+  mif::mds::Mds mds(cfg_for(mode, disc));
+  mif::workload::AgingConfig acfg;
+  acfg.target_utilisation = target;
+  acfg.files_per_round = 10000;  // large aged directories
+  acfg.measure_files = 1000;
+  acfg.measure_dirs = 4;
+  return mif::workload::run_aging(mds, acfg);
+}
+
+}  // namespace
+
+int main() {
+  using mif::Table;
+  using mif::mfs::DirectoryMode;
+  using mif::mfs::LookupDiscipline;
+
+  std::printf(
+      "Fig 9 — metadata throughput after aging the MDS file system\n"
+      "(paper: create suffers most — -43%% at 80%% for embedded; delete "
+      "barely; embedded stays >26%% ahead)\n\n");
+
+  Table t({"utilisation", "layout", "create ops/s", "delete ops/s"});
+  const struct {
+    const char* name;
+    DirectoryMode mode;
+    LookupDiscipline disc;
+  } systems[] = {
+      {"Redbud ext3 (normal)", DirectoryMode::kNormal,
+       LookupDiscipline::kLinearScan},
+      {"Lustre ext4 (htree)", DirectoryMode::kNormal,
+       LookupDiscipline::kHtree},
+      {"Redbud embedded (MiF)", DirectoryMode::kEmbedded,
+       LookupDiscipline::kLinearScan},
+  };
+  for (double target : {0.1, 0.4, 0.6, 0.8}) {
+    for (const auto& s : systems) {
+      const auto r = age(s.mode, s.disc, target);
+      t.add_row({Table::num(100.0 * r.utilisation_reached, 0) + "%", s.name,
+                 Table::num(r.create_ops_per_sec, 0),
+                 Table::num(r.delete_ops_per_sec, 0)});
+    }
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// google-benchmark micro-benchmarks of the hot library primitives: bitmap
+// run search, extent-map insert/lookup, allocator extend per strategy, disk
+// service and scheduler drain.  These guard the simulator's own performance
+// (the figure benches replay hundreds of thousands of operations).
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocator.hpp"
+#include "block/bitmap.hpp"
+#include "sim/io_scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mif;
+
+void BM_BitmapFindRun(benchmark::State& state) {
+  block::Bitmap bm(1 << 20);
+  Rng rng(1);
+  // Fragment: occupy every other 8-block chunk.
+  for (u64 i = 0; i < (1 << 20); i += 16) bm.set_range(i, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.find_run(rng.uniform(0, (1 << 20) - 1), 8));
+  }
+}
+BENCHMARK(BM_BitmapFindRun);
+
+void BM_BitmapSetClear(benchmark::State& state) {
+  block::Bitmap bm(1 << 20);
+  u64 pos = 0;
+  for (auto _ : state) {
+    bm.set_range(pos, 64);
+    bm.clear_range(pos, 64);
+    pos = (pos + 64) % ((1 << 20) - 64);
+  }
+}
+BENCHMARK(BM_BitmapSetClear);
+
+void BM_ExtentMapInsertFragmented(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    block::ExtentMap m;
+    state.ResumeTiming();
+    // Worst case: nothing merges.
+    for (u64 i = 0; i < 1024; ++i) {
+      m.insert({FileBlock{i * 2}, DiskBlock{i * 64 + 7}, 1,
+                block::kExtentNone});
+    }
+    benchmark::DoNotOptimize(m.extent_count());
+  }
+}
+BENCHMARK(BM_ExtentMapInsertFragmented);
+
+void BM_ExtentMapLookup(benchmark::State& state) {
+  block::ExtentMap m;
+  for (u64 i = 0; i < 4096; ++i)
+    m.insert({FileBlock{i * 2}, DiskBlock{i * 64}, 1, block::kExtentNone});
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.lookup(FileBlock{rng.uniform(0, 8191)}));
+  }
+}
+BENCHMARK(BM_ExtentMapLookup);
+
+void BM_AllocatorExtend(benchmark::State& state) {
+  const auto mode = static_cast<alloc::AllocatorMode>(state.range(0));
+  block::FreeSpace space(DiskBlock{0}, u64{8} * 1024 * 1024, 16);
+  auto a = alloc::make_allocator(mode, space);
+  block::ExtentMap map;
+  u64 logical = 0;
+  for (auto _ : state) {
+    if (!a->extend({InodeNo{1}, StreamId{1, 0}, FileBlock{logical}, 4}, map)
+             .ok()) {
+      // Device filled mid-run: recycle the file and keep timing.
+      state.PauseTiming();
+      a->delete_file(InodeNo{1}, map);
+      logical = 0;
+      state.ResumeTiming();
+      continue;
+    }
+    logical += 4;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AllocatorExtend)
+    ->Arg(static_cast<int>(alloc::AllocatorMode::kVanilla))
+    ->Arg(static_cast<int>(alloc::AllocatorMode::kReservation))
+    ->Arg(static_cast<int>(alloc::AllocatorMode::kOnDemand));
+
+void BM_DiskServiceSequential(benchmark::State& state) {
+  sim::Disk d;
+  u64 pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        d.service({sim::IoKind::kWrite,
+                   DiskBlock{pos % (d.geometry().capacity_blocks - 64)}, 64}));
+    pos += 64;
+  }
+}
+BENCHMARK(BM_DiskServiceSequential);
+
+void BM_SchedulerDrain128(benchmark::State& state) {
+  sim::Disk d;
+  sim::IoScheduler s(d, 1 << 20);
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 128; ++i) {
+      s.submit({sim::IoKind::kRead,
+                DiskBlock{rng.uniform(0, d.geometry().capacity_blocks - 8)},
+                4});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.drain());
+  }
+}
+BENCHMARK(BM_SchedulerDrain128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Diagnostic example: drive the allocator with different stream mixes and
+// print a fragmentation report — extents per file, window state, and what
+// the on-demand triggers did.  Useful for understanding §III's algorithm.
+#include <cstdio>
+
+#include "alloc/ondemand.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mif;
+
+  block::FreeSpace space(DiskBlock{0}, 512 * 1024, 8);
+  alloc::AllocatorTuning tuning;
+  alloc::OnDemandAllocator allocator(space, tuning);
+
+  std::printf("On-demand preallocation trigger walkthrough (Fig. 3)\n\n");
+
+  block::ExtentMap shared;
+  const u32 streams = 3;
+  const u64 per_stream = 24;
+
+  // Interleaved single-block extends, exactly like the paper's example.
+  for (u64 round = 0; round < per_stream; ++round) {
+    for (u32 p = 0; p < streams; ++p) {
+      const u64 logical = static_cast<u64>(p) * per_stream + round;
+      if (!allocator
+               .extend({InodeNo{1}, StreamId{p, 0}, FileBlock{logical}, 1},
+                       shared)
+               .ok()) {
+        std::fprintf(stderr, "extend failed\n");
+        return 1;
+      }
+    }
+  }
+
+  const auto stats = allocator.stats();
+  std::printf("after %llu interleaved writes from %u streams:\n",
+              static_cast<unsigned long long>(per_stream * streams), streams);
+  std::printf("  layout_miss hits      : %llu\n",
+              static_cast<unsigned long long>(stats.layout_misses));
+  std::printf("  pre_alloc_layout hits : %llu\n",
+              static_cast<unsigned long long>(stats.prealloc_promotions));
+  std::printf("  extents in file       : %zu\n", shared.extent_count());
+  std::printf("  blocks still reserved : %llu\n\n",
+              static_cast<unsigned long long>(stats.reserved_blocks));
+
+  Table windows({"stream", "sequential window (blocks)", "demoted?"});
+  for (u32 p = 0; p < streams; ++p) {
+    windows.add_row(
+        {"P" + std::to_string(p + 1),
+         std::to_string(
+             allocator.sequential_window_blocks(InodeNo{1}, StreamId{p, 0})),
+         allocator.prealloc_disabled(InodeNo{1}, StreamId{p, 0}) ? "yes"
+                                                                 : "no"});
+  }
+  windows.print();
+
+  // Now a random writer: watch the miss threshold demote it.
+  std::printf("\nrandom stream P9 writing far-apart offsets:\n");
+  block::ExtentMap scratch;
+  for (u64 i = 0; i < 6; ++i) {
+    (void)allocator.extend(
+        {InodeNo{2}, StreamId{9, 0}, FileBlock{i * 5000}, 1}, scratch);
+    std::printf("  write %llu: window=%llu demoted=%s\n",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(
+                    allocator.sequential_window_blocks(InodeNo{2},
+                                                       StreamId{9, 0})),
+                allocator.prealloc_disabled(InodeNo{2}, StreamId{9, 0})
+                    ? "yes"
+                    : "no");
+  }
+  std::printf(
+      "\nSequential streams ramp their windows exponentially; the random\n"
+      "stream is cut off after %u misses and stops wasting reservations.\n",
+      tuning.miss_threshold);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: mount a MiF-enabled Redbud cluster, write a shared file from
+// several streams, read it back, and print what the placement looked like.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pfs.hpp"
+
+int main() {
+  using namespace mif;
+
+  // A cluster with both MiF techniques enabled: on-demand preallocation on
+  // the storage targets, embedded directories on the metadata server.
+  core::ClusterConfig cfg;
+  cfg.num_targets = 5;
+  cfg.target.allocator = alloc::AllocatorMode::kOnDemand;
+  cfg.mds.mfs.mode = mfs::DirectoryMode::kEmbedded;
+  core::ParallelFileSystem fs(cfg);
+
+  auto client = fs.connect(ClientId{1});
+
+  // Create a directory and a shared output file.
+  if (!fs.mds().mkdir("results")) {
+    std::fprintf(stderr, "mkdir failed\n");
+    return 1;
+  }
+  auto fh = client.create("results/simulation.odb");
+  if (!fh) {
+    std::fprintf(stderr, "create failed\n");
+    return 1;
+  }
+
+  // Four "processes" concurrently extend disjoint regions of the file —
+  // the access pattern that fragments traditional parallel file systems.
+  constexpr u64 kRegionBytes = 1 << 20;  // 1 MiB per stream
+  for (u64 round = 0; round < 16; ++round) {
+    for (u32 pid = 0; pid < 4; ++pid) {
+      const u64 offset = pid * kRegionBytes + round * (kRegionBytes / 16);
+      if (!client.write(*fh, pid, offset, kRegionBytes / 16).ok()) {
+        std::fprintf(stderr, "write failed\n");
+        return 1;
+      }
+    }
+  }
+  fs.drain_data();
+  if (!client.close(*fh).ok()) return 1;
+
+  // Read everything back sequentially.
+  auto rfh = client.open("results/simulation.odb");
+  if (!rfh || !client.read(*rfh, 0, 4 * kRegionBytes).ok()) return 1;
+  fs.drain_data();
+
+  const auto stats = fs.data_stats();
+  std::printf("MiF quickstart\n");
+  std::printf("  wrote+read      : %.1f MiB\n",
+              4.0 * kRegionBytes / (1 << 20));
+  std::printf("  file extents    : %llu (lower = less fragmented)\n",
+              static_cast<unsigned long long>(fs.file_extents(fh->ino)));
+  std::printf("  disk positions  : %llu\n",
+              static_cast<unsigned long long>(stats.positionings));
+  std::printf("  simulated time  : %.2f ms\n", fs.data_elapsed_ms());
+  std::printf("  MDS cpu         : %.2f%%\n",
+              100.0 * fs.mds().cpu_utilization());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Scenario example: an LLNL-style physics simulation checkpointing into one
+// shared file from many processes (§II-A1's motivating workload), run under
+// all three preallocation strategies so the effect of on-demand
+// preallocation is visible side by side.
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "workload/shared_file.hpp"
+
+int main() {
+  using namespace mif;
+
+  workload::SharedFileConfig wcfg;
+  wcfg.processes = 32;
+  wcfg.threads_per_client = 4;
+  wcfg.blocks_per_process = 256;  // 1 MiB per process
+  wcfg.read_segments = 256;
+
+  Table table({"strategy", "extents", "positionings", "read MB/s"});
+
+  struct Mode {
+    const char* name;
+    alloc::AllocatorMode alloc;
+    bool static_pre;
+  };
+  const Mode modes[] = {
+      {"reservation (ext4-style)", alloc::AllocatorMode::kReservation, false},
+      {"on-demand (MiF)", alloc::AllocatorMode::kOnDemand, false},
+      {"fallocate (needs size)", alloc::AllocatorMode::kStatic, true},
+  };
+
+  std::printf("Shared checkpoint: %u processes extending one file\n\n",
+              wcfg.processes);
+  for (const Mode& m : modes) {
+    core::ClusterConfig cfg;
+    cfg.num_targets = 5;
+    cfg.target.allocator = m.alloc;
+    core::ParallelFileSystem fs(cfg);
+    workload::SharedFileConfig c = wcfg;
+    c.static_prealloc = m.static_pre;
+    const auto res = workload::run_shared_file(fs, c);
+    table.add_row({m.name, std::to_string(res.extents),
+                   std::to_string(res.positionings),
+                   Table::num(res.phase2_throughput_mbps)});
+  }
+  table.print();
+  std::printf(
+      "\nOn-demand preallocation keeps each stream's region contiguous\n"
+      "without knowing the file size in advance (fallocate's requirement).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Trace-driven methodology example: synthesise an LLNL-style checkpoint
+// trace, archive it as text, then replay the identical arrival sequence
+// against every allocator strategy — isolating placement policy from
+// workload, exactly how the paper's micro-benchmark methodology works.
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace mif;
+
+  // 16 ranks, 1 MiB each, 8 KiB requests, realistic pacing jitter.
+  const workload::Trace trace =
+      workload::make_checkpoint_trace(16, 1 << 20, 8 * 1024, 0.75);
+
+  // Traces round-trip through plain text (archive, diff, share).
+  std::ostringstream archive;
+  trace.save(archive);
+  auto reloaded = workload::Trace::parse(archive.str());
+  if (!reloaded || reloaded->size() != trace.size()) {
+    std::fprintf(stderr, "trace round-trip failed\n");
+    return 1;
+  }
+  std::printf("checkpoint trace: %zu ops, %.1f KiB as text\n\n",
+              trace.size(), archive.str().size() / 1024.0);
+
+  Table t({"allocator", "errors", "extents", "data ms", "write MB/s"});
+  for (auto mode :
+       {alloc::AllocatorMode::kVanilla, alloc::AllocatorMode::kReservation,
+        alloc::AllocatorMode::kOnDemand}) {
+    core::ClusterConfig cfg;
+    cfg.num_targets = 5;
+    cfg.target.allocator = mode;
+    core::ParallelFileSystem fs(cfg);
+    const workload::ReplayResult r = workload::replay(fs, *reloaded);
+    auto layout = fs.mds().open_getlayout("ckpt.odb");
+    t.add_row({std::string(alloc::to_string(mode)), std::to_string(r.errors),
+               layout ? std::to_string(layout->extent_count) : "?",
+               Table::num(r.data_elapsed_ms, 1),
+               Table::num(static_cast<double>(r.bytes_written) /
+                          (r.data_elapsed_ms * 1e-3) / 1e6)});
+  }
+  t.print();
+  std::printf(
+      "\nSame bytes, same arrival order — only the allocator changed.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "alloc/vanilla.hpp"
+
+#include <algorithm>
+
+namespace mif::alloc {
+
+VanillaAllocator::VanillaAllocator(block::FreeSpace& space)
+    : FileAllocator(space) {
+  // Without per-file reservation the goal heuristic degrades under
+  // concurrency and allocations spread across block groups; each lane
+  // cursor starts in its own region of the device.
+  const u32 groups = space.group_count();
+  for (std::size_t i = 0; i < kRaceLanes; ++i) {
+    const u32 g = static_cast<u32>(i * groups / kRaceLanes);
+    lanes_[i] = space.group(g).base().v;
+  }
+}
+
+Status VanillaAllocator::allocate_fresh(const AllocContext&, FileBlock logical,
+                                        u64 count, block::ExtentMap& map) {
+  std::lock_guard lock(mu_);
+  // Block-group ping-pong at small granularity: a request's blocks come in
+  // small chunks from alternating lanes, the way racing flusher threads
+  // split an unreserved allocation.
+  constexpr u64 kChunk = 4;
+  u64 placed = 0;
+  while (placed < count) {
+    const u64 want = std::min(kChunk, count - placed);
+    u64& cursor = lanes_[next_lane_];
+    next_lane_ = (next_lane_ + 1) % kRaceLanes;
+    auto run = space_.allocate_best(DiskBlock{cursor}, 1, want);
+    if (!run) return Errc::kNoSpace;
+    map.insert({FileBlock{logical.v + placed}, run->start, run->length,
+                block::kExtentNone});
+    cursor = run->end();
+    placed += run->length;
+    ++stats_.fresh_allocations;
+    stats_.allocated_blocks += run->length;
+  }
+  return {};
+}
+
+}  // namespace mif::alloc

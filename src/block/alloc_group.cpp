@@ -1,0 +1,78 @@
+#include "block/alloc_group.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mif::block {
+
+AllocGroup::AllocGroup(u32 index, DiskBlock base, u64 blocks)
+    : index_(index), base_(base), bitmap_(blocks) {}
+
+u64 AllocGroup::size() const { return bitmap_.size(); }
+
+u64 AllocGroup::free_blocks() const {
+  std::lock_guard lock(mu_);
+  return bitmap_.free_blocks();
+}
+
+double AllocGroup::utilisation() const {
+  std::lock_guard lock(mu_);
+  return static_cast<double>(bitmap_.used_blocks()) /
+         static_cast<double>(bitmap_.size());
+}
+
+bool AllocGroup::contains(DiskBlock b) const {
+  return b.v >= base_.v && b.v < base_.v + bitmap_.size();
+}
+
+Result<BlockRange> AllocGroup::allocate_exact(DiskBlock goal, u64 len) {
+  if (len == 0) return Errc::kInvalid;
+  std::lock_guard lock(mu_);
+  const u64 local_goal =
+      contains(goal) ? to_local(goal) : 0;
+  auto run = bitmap_.find_run(local_goal, len);
+  if (!run) return Errc::kNoSpace;
+  bitmap_.set_range(*run, len);
+  ++stats_.allocations;
+  stats_.blocks_allocated += len;
+  return to_global(*run, len);
+}
+
+Result<BlockRange> AllocGroup::allocate_best(DiskBlock goal, u64 min_len,
+                                             u64 want_len) {
+  if (want_len == 0 || min_len > want_len) return Errc::kInvalid;
+  std::lock_guard lock(mu_);
+  const u64 local_goal = contains(goal) ? to_local(goal) : 0;
+  auto run = bitmap_.find_run_best(local_goal, min_len, want_len);
+  if (!run) return Errc::kNoSpace;
+  // The bitmap speaks group-local bit indices; translate to disk addresses.
+  const u64 local = run->start.v;
+  bitmap_.set_range(local, run->length);
+  ++stats_.allocations;
+  stats_.blocks_allocated += run->length;
+  return to_global(local, run->length);
+}
+
+u64 AllocGroup::extend_in_place(DiskBlock end, u64 len) {
+  if (!contains(end) || len == 0) return 0;
+  std::lock_guard lock(mu_);
+  const u64 local = to_local(end);
+  const u64 run = bitmap_.free_run_at(
+      local, std::min(len, bitmap_.size() - local));
+  if (run == 0) return 0;
+  bitmap_.set_range(local, run);
+  ++stats_.allocations;
+  stats_.blocks_allocated += run;
+  return run;
+}
+
+Status AllocGroup::free_range(BlockRange r) {
+  if (!contains(r.start) || r.length == 0) return Errc::kInvalid;
+  std::lock_guard lock(mu_);
+  bitmap_.clear_range(to_local(r.start), r.length);
+  ++stats_.frees;
+  stats_.blocks_freed += r.length;
+  return {};
+}
+
+}  // namespace mif::block

@@ -1,0 +1,65 @@
+// Parallel Allocation Group (PAG).
+//
+// Redbud "divides shared disks into parallel allocation groups for parallel
+// management of free space" (§V-A).  A group owns a contiguous slice of one
+// disk's block space behind its own lock, so concurrent streams allocating
+// in different groups never contend.
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "block/bitmap.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace mif::block {
+
+struct GroupStats {
+  u64 allocations{0};
+  u64 frees{0};
+  u64 blocks_allocated{0};
+  u64 blocks_freed{0};
+};
+
+class AllocGroup {
+ public:
+  /// Owns disk blocks [base, base + blocks).
+  AllocGroup(u32 index, DiskBlock base, u64 blocks);
+
+  u32 index() const { return index_; }
+  DiskBlock base() const { return base_; }
+  u64 size() const;
+  u64 free_blocks() const;
+  double utilisation() const;
+
+  /// Allocate exactly `len` contiguous blocks near `goal` (absolute disk
+  /// address; clamped into this group).  Fails with kNoSpace if no run fits.
+  Result<BlockRange> allocate_exact(DiskBlock goal, u64 len);
+
+  /// Allocate the best available run of length in [min_len, want_len].
+  Result<BlockRange> allocate_best(DiskBlock goal, u64 min_len, u64 want_len);
+
+  /// Try to extend an existing allocation in place: grab [end, end+len) if
+  /// free.  Returns the number of blocks actually appended (0..len).
+  u64 extend_in_place(DiskBlock end, u64 len);
+
+  Status free_range(BlockRange r);
+
+  bool contains(DiskBlock b) const;
+  const GroupStats& stats() const { return stats_; }
+
+ private:
+  u64 to_local(DiskBlock b) const { return b.v - base_.v; }
+  BlockRange to_global(u64 local, u64 len) const {
+    return BlockRange{DiskBlock{base_.v + local}, len};
+  }
+
+  const u32 index_;
+  const DiskBlock base_;
+  mutable std::mutex mu_;
+  Bitmap bitmap_;
+  GroupStats stats_;
+};
+
+}  // namespace mif::block

@@ -1,0 +1,56 @@
+// Free-space bitmap: one bit per block, with first-fit and goal-directed run
+// search.  This is the lowest layer every allocator strategy sits on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "block/block_types.hpp"
+#include "util/types.hpp"
+
+namespace mif::block {
+
+class Bitmap {
+ public:
+  explicit Bitmap(u64 blocks);
+
+  u64 size() const { return size_; }
+  u64 free_blocks() const { return free_; }
+  u64 used_blocks() const { return size_ - free_; }
+
+  bool is_set(u64 bit) const;
+
+  /// Marks [start, start+len) used.  All bits must currently be free.
+  void set_range(u64 start, u64 len);
+
+  /// Marks [start, start+len) free.  All bits must currently be used.
+  void clear_range(u64 start, u64 len);
+
+  /// True iff every bit in [start, start+len) is free.
+  bool range_free(u64 start, u64 len) const;
+
+  /// Longest free run starting exactly at `start`, capped at `max_len`.
+  u64 free_run_at(u64 start, u64 max_len) const;
+
+  /// First free run of exactly `len` blocks at or after `goal`, wrapping
+  /// around once.  Returns the start bit, or nullopt if no such run exists.
+  std::optional<u64> find_run(u64 goal, u64 len) const;
+
+  /// Best-effort variant: the first free run at or after `goal` of length in
+  /// [min_len, want_len]; prefers the first run that reaches want_len, else
+  /// returns the longest run seen (>= min_len).  This is what allocators use
+  /// to degrade gracefully when the disk fills.
+  std::optional<BlockRange> find_run_best(u64 goal, u64 min_len,
+                                          u64 want_len) const;
+
+ private:
+  u64 next_free(u64 from) const;  // first free bit >= from, or size_
+  u64 next_used(u64 from) const;  // first used bit >= from, or size_
+
+  std::vector<u64> words_;
+  u64 size_;
+  u64 free_;
+};
+
+}  // namespace mif::block

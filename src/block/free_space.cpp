@@ -1,0 +1,109 @@
+#include "block/free_space.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mif::block {
+
+FreeSpace::FreeSpace(DiskBlock first_block, u64 blocks, u32 groups)
+    : first_block_(first_block), total_blocks_(blocks) {
+  assert(groups > 0);
+  group_size_ = blocks / groups;
+  assert(group_size_ > 0);
+  u64 base = first_block.v;
+  for (u32 g = 0; g < groups; ++g) {
+    const u64 len = g + 1 == groups ? blocks - g * group_size_ : group_size_;
+    groups_.push_back(std::make_unique<AllocGroup>(g, DiskBlock{base}, len));
+    base += len;
+  }
+}
+
+AllocGroup* FreeSpace::group_of(DiskBlock b) {
+  if (b.v < first_block_.v || b.v >= first_block_.v + total_blocks_)
+    return nullptr;
+  const u64 idx = std::min<u64>((b.v - first_block_.v) / group_size_,
+                                groups_.size() - 1);
+  // Last group may be oversized; walk back if needed (cannot happen with the
+  // floor division above, but keep the invariant explicit).
+  AllocGroup* g = groups_[idx].get();
+  return g->contains(b) ? g : nullptr;
+}
+
+u64 FreeSpace::free_blocks() const {
+  u64 n = 0;
+  for (const auto& g : groups_) n += g->free_blocks();
+  return n;
+}
+
+double FreeSpace::utilisation() const {
+  return 1.0 - static_cast<double>(free_blocks()) /
+                   static_cast<double>(total_blocks_);
+}
+
+Result<BlockRange> FreeSpace::allocate_exact(DiskBlock goal, u64 len) {
+  AllocGroup* first = group_of(goal);
+  const u32 start = first ? first->index() : 0;
+  for (u32 i = 0; i < group_count(); ++i) {
+    AllocGroup& g = *groups_[(start + i) % group_count()];
+    if (auto r = g.allocate_exact(goal, len)) return r;
+  }
+  return Errc::kNoSpace;
+}
+
+Result<BlockRange> FreeSpace::allocate_best(DiskBlock goal, u64 min_len,
+                                            u64 want_len) {
+  AllocGroup* first = group_of(goal);
+  const u32 start = first ? first->index() : 0;
+  // First pass: any group that can serve the full want_len.
+  for (u32 i = 0; i < group_count(); ++i) {
+    AllocGroup& g = *groups_[(start + i) % group_count()];
+    if (auto r = g.allocate_exact(goal, want_len)) return r;
+  }
+  // Second pass: best-effort shrink.
+  for (u32 i = 0; i < group_count(); ++i) {
+    AllocGroup& g = *groups_[(start + i) % group_count()];
+    if (auto r = g.allocate_best(goal, min_len, want_len)) return r;
+  }
+  return Errc::kNoSpace;
+}
+
+Result<std::vector<BlockRange>> FreeSpace::allocate_scattered(DiskBlock goal,
+                                                              u64 len) {
+  std::vector<BlockRange> out;
+  u64 remaining = len;
+  DiskBlock cursor = goal;
+  while (remaining > 0) {
+    auto r = allocate_best(cursor, 1, remaining);
+    if (!r) {
+      // Roll back partial allocation so a failed call has no side effects.
+      for (const BlockRange& br : out) (void)free_range(br);
+      return Errc::kNoSpace;
+    }
+    remaining -= r->length;
+    cursor = DiskBlock{r->end()};
+    out.push_back(*r);
+  }
+  return out;
+}
+
+u64 FreeSpace::extend_in_place(DiskBlock end, u64 len) {
+  AllocGroup* g = group_of(end);
+  return g ? g->extend_in_place(end, len) : 0;
+}
+
+Status FreeSpace::free_range(BlockRange r) {
+  // A range may legitimately straddle group boundaries if it was allocated
+  // before a remount with different group counts; split it defensively.
+  while (r.length > 0) {
+    AllocGroup* g = group_of(r.start);
+    if (!g) return Errc::kInvalid;
+    const u64 in_group =
+        std::min(r.length, g->base().v + g->size() - r.start.v);
+    if (Status s = g->free_range(BlockRange{r.start, in_group}); !s) return s;
+    r.start.v += in_group;
+    r.length -= in_group;
+  }
+  return {};
+}
+
+}  // namespace mif::block

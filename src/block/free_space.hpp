@@ -1,0 +1,54 @@
+// Free-space manager: the set of PAGs covering one storage target's disk.
+//
+// Goal-directed allocation tries the group containing the goal first, then
+// sweeps the others — the same policy ext-family block allocators use across
+// cylinder/block groups, which the paper's Redbud inherits.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "block/alloc_group.hpp"
+#include "util/result.hpp"
+
+namespace mif::block {
+
+class FreeSpace {
+ public:
+  /// Carves [first_block, first_block + blocks) into `groups` equal PAGs.
+  FreeSpace(DiskBlock first_block, u64 blocks, u32 groups);
+
+  u32 group_count() const { return static_cast<u32>(groups_.size()); }
+  AllocGroup& group(u32 i) { return *groups_[i]; }
+  const AllocGroup& group(u32 i) const { return *groups_[i]; }
+
+  /// Group that owns disk block `b`, or nullptr.
+  AllocGroup* group_of(DiskBlock b);
+
+  u64 total_blocks() const { return total_blocks_; }
+  u64 free_blocks() const;
+  double utilisation() const;
+
+  /// Contiguous allocation of exactly `len` blocks, goal-first.
+  Result<BlockRange> allocate_exact(DiskBlock goal, u64 len);
+
+  /// Allocate up to `want_len` (at least `min_len`) contiguous blocks near
+  /// the goal; degrades across groups as space fragments.
+  Result<BlockRange> allocate_best(DiskBlock goal, u64 min_len, u64 want_len);
+
+  /// Allocate `len` blocks as a list of runs (possibly discontiguous) —
+  /// the fallback when nothing contiguous is left.
+  Result<std::vector<BlockRange>> allocate_scattered(DiskBlock goal, u64 len);
+
+  u64 extend_in_place(DiskBlock end, u64 len);
+
+  Status free_range(BlockRange r);
+
+ private:
+  std::vector<std::unique_ptr<AllocGroup>> groups_;
+  DiskBlock first_block_;
+  u64 total_blocks_;
+  u64 group_size_;
+};
+
+}  // namespace mif::block

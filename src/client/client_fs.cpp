@@ -1,0 +1,143 @@
+#include "client/client_fs.hpp"
+
+#include "core/pfs.hpp"
+
+namespace mif::client {
+
+ClientFs::ClientFs(core::ParallelFileSystem& fs, ClientId id)
+    : fs_(&fs), id_(id) {}
+
+Result<FileHandle> ClientFs::create(std::string_view path) {
+  auto ino = fs_->mds().create(path);
+  if (!ino) return ino.error();
+  ++stats_.opens;
+  return FileHandle{*ino, std::string(path)};
+}
+
+Result<FileHandle> ClientFs::open(std::string_view path) {
+  ++stats_.opens;
+  const std::string key(path);
+  if (layout_cache_.contains(key)) {
+    // Layout already cached from an earlier open; only a cheap revalidation
+    // RPC would be needed, which we fold into the cache hit.
+    ++stats_.layout_cache_hits;
+    auto ino = fs_->mds().fs().resolve(path);
+    if (!ino) return ino.error();
+    return FileHandle{*ino, key};
+  }
+  auto r = fs_->mds().open_getlayout(path);
+  if (!r) return r.error();
+  layout_cache_[key] = r->extent_count;
+  return FileHandle{r->ino, key};
+}
+
+Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
+                       u64 len_bytes) {
+  if (!fh.valid() || len_bytes == 0) return Errc::kInvalid;
+  const u64 first = offset_bytes / kBlockSize;
+  const u64 last = (offset_bytes + len_bytes + kBlockSize - 1) / kBlockSize;
+  const StreamId stream{id_.v, pid};
+  for (const osd::StripeSlice& s :
+       osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+    if (Status st = fs_->target(s.target).write(fh.ino, stream, s.local_start,
+                                                s.count);
+        !st)
+      return st;
+  }
+  ++stats_.writes;
+  stats_.bytes_written += len_bytes;
+  // Periodic layout shipping: every so many writes the client pushes the
+  // file's grown extent list to the MDS, which pays CPU to merge and index
+  // it — the continual cost Table I correlates with fragmentation.
+  if (++writes_since_report_[fh.ino.v] >= 64) {
+    writes_since_report_[fh.ino.v] = 0;
+    (void)fs_->mds().report_extents(fh.ino, fs_->file_extents(fh.ino));
+  }
+  return {};
+}
+
+Status ClientFs::read_blocks(const FileHandle& fh, u64 first, u64 last) {
+  for (const osd::StripeSlice& s :
+       osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+    if (Status st = fs_->target(s.target).read(fh.ino, s.local_start, s.count);
+        !st)
+      return st;
+  }
+  return {};
+}
+
+Status ClientFs::fetch_range(const FileHandle& fh, u64 first, u64 last,
+                             bool consume) {
+  u64 run_start = kNoBlock;
+  for (u64 b = first; b < last; ++b) {
+    const u64 key = block_key(fh.ino, b);
+    const bool resident = buffered_.contains(key);
+    if (resident) {
+      if (consume) buffered_.erase(key);
+      if (run_start != kNoBlock) {
+        if (Status st = read_blocks(fh, run_start, b); !st) return st;
+        run_start = kNoBlock;
+      }
+    } else {
+      if (!consume && buffered_.size() < (u64{1} << 20)) buffered_.insert(key);
+      if (run_start == kNoBlock) run_start = b;
+    }
+  }
+  if (run_start != kNoBlock) return read_blocks(fh, run_start, last);
+  return {};
+}
+
+Status ClientFs::read(const FileHandle& fh, u64 offset_bytes, u64 len_bytes) {
+  if (!fh.valid() || len_bytes == 0) return Errc::kInvalid;
+  const u64 first = offset_bytes / kBlockSize;
+  const u64 last = (offset_bytes + len_bytes + kBlockSize - 1) / kBlockSize;
+  ++stats_.reads;
+  stats_.bytes_read += len_bytes;
+
+  const u64 max_window = fs_->config().client_readahead_max_blocks;
+  auto it = cursors_.find(block_key(fh.ino, first));
+  const bool sequential = it != cursors_.end() && max_window > 0;
+
+  // Hand the requested range to the application (buffered blocks served
+  // from the readahead buffer, the rest from the targets).
+  if (Status st = fetch_range(fh, first, last, /*consume=*/true); !st)
+    return st;
+
+  ReadCursor cur{last, last - first};
+  if (sequential) {
+    // Sequential continuation: double the window and prefetch ahead, as a
+    // Lustre client would for a striped file region.
+    cur = it->second;
+    cursors_.erase(it);
+    cur.window = std::min(std::max(cur.window * 2, last - first), max_window);
+    if (last <= cur.prefetched_until) ++stats_.readahead_hits;
+    // Hysteresis: top up only when the stream has consumed half the window,
+    // so prefetch goes out in window-sized batches rather than per read.
+    if (last + cur.window / 2 > cur.prefetched_until) {
+      const u64 want_until = last + cur.window;
+      const u64 from = std::max(last, cur.prefetched_until);
+      if (Status st = fetch_range(fh, from, want_until, /*consume=*/false);
+          !st)
+        return st;
+      stats_.readahead_blocks += want_until - from;
+      cur.prefetched_until = want_until;
+    }
+  } else if (max_window == 0) {
+    return {};
+  }
+  if (cursors_.size() < 4096)
+    cursors_[block_key(fh.ino, last)] = cur;
+  return {};
+}
+
+Status ClientFs::close(const FileHandle& fh) {
+  if (!fh.valid()) return Errc::kInvalid;
+  fs_->close_file(fh.ino);
+  // Ship the final layout to the MDS; it persists the mapping and pays CPU
+  // per extent — fragmented files are expensive here (Table I).
+  const u64 extents = fs_->file_extents(fh.ino);
+  layout_cache_[fh.path] = extents;
+  return fs_->mds().report_extents(fh.ino, extents);
+}
+
+}  // namespace mif::client

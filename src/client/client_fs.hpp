@@ -1,0 +1,102 @@
+// Client-side file system.
+//
+// One ClientFs per cluster node; write streams are (client id, thread pid)
+// pairs exactly as the paper's allocator identifies them (§III-A).  The
+// client congregates common operation pairs (open-getlayout) to reduce MDS
+// interaction (§V-A) and keeps a layout cache so repeated opens of the same
+// file do not re-fetch extents.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace mif::core {
+class ParallelFileSystem;
+}
+
+namespace mif::client {
+
+struct FileHandle {
+  InodeNo ino{};
+  std::string path;
+  bool valid() const { return ino.valid(); }
+};
+
+struct ClientStats {
+  u64 opens{0};
+  u64 layout_cache_hits{0};
+  u64 writes{0};
+  u64 reads{0};
+  u64 bytes_written{0};
+  u64 bytes_read{0};
+  u64 readahead_hits{0};      // reads fully served from prefetched data
+  u64 readahead_blocks{0};    // blocks fetched ahead of the application
+};
+
+class ClientFs {
+ public:
+  ClientFs(core::ParallelFileSystem& fs, ClientId id);
+
+  /// Create a file through the MDS and open it.
+  Result<FileHandle> create(std::string_view path);
+
+  /// Aggregated open-getlayout; hits the layout cache when this client
+  /// already holds the layout.
+  Result<FileHandle> open(std::string_view path);
+
+  /// Write [offset, offset+len) bytes from the given thread.  Offsets and
+  /// lengths are rounded outward to block granularity (the simulation
+  /// tracks placement, not payload).
+  Status write(const FileHandle& fh, u32 pid, u64 offset_bytes,
+               u64 len_bytes);
+
+  /// Read [offset, offset+len) bytes.  Sequential streams are detected and
+  /// prefetched Lustre-client-style: the window doubles while the stream
+  /// stays sequential (up to max_readahead_blocks), so the storage targets
+  /// see large per-region reads instead of the application's small front.
+  Status read(const FileHandle& fh, u64 offset_bytes, u64 len_bytes);
+
+  /// Close: releases allocator reservations on every target and reports the
+  /// final layout to the MDS (which pays CPU per extent, Table I).
+  Status close(const FileHandle& fh);
+
+  ClientId id() const { return id_; }
+  const ClientStats& stats() const { return stats_; }
+  core::ParallelFileSystem& fs() { return *fs_; }
+
+ private:
+  /// Issue block reads [first, last) to the striped targets.
+  Status read_blocks(const FileHandle& fh, u64 first, u64 last);
+
+  /// Fetch [first, last), skipping blocks already sitting in the client's
+  /// readahead buffer.  `consume` = the application is reading these blocks
+  /// now (buffered ones are handed over and dropped); otherwise this is a
+  /// prefetch and fetched blocks are retained.
+  Status fetch_range(const FileHandle& fh, u64 first, u64 last, bool consume);
+
+  struct ReadCursor {
+    u64 prefetched_until{0};  // exclusive block bound already fetched
+    u64 window{0};            // current readahead window (blocks)
+  };
+
+  static u64 block_key(InodeNo ino, u64 block) {
+    return ino.v * 0x9e3779b97f4a7c15ULL + block * 0xff51afd7ed558ccdULL;
+  }
+
+  core::ParallelFileSystem* fs_;
+  ClientId id_;
+  std::unordered_map<std::string, u64> layout_cache_;  // path -> extent count
+  /// Sequential-read detectors: key = (ino, next expected block).
+  std::unordered_map<u64, ReadCursor> cursors_;
+  /// Blocks prefetched but not yet consumed by the application.
+  std::unordered_set<u64> buffered_;
+  /// Writes since the last periodic layout report, per file.
+  std::unordered_map<u64, u32> writes_since_report_;
+  ClientStats stats_;
+};
+
+}  // namespace mif::client

@@ -1,0 +1,70 @@
+#include "client/collective.hpp"
+
+#include <algorithm>
+
+namespace mif::client {
+
+CollectiveWriter::CollectiveWriter(ClientFs& client, CollectiveConfig cfg)
+    : client_(client), cfg_(cfg) {}
+
+std::vector<CollectiveWriter::Range> CollectiveWriter::merge(
+    std::vector<IoRequest> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const IoRequest& a, const IoRequest& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<Range> out;
+  for (const IoRequest& r : requests) {
+    if (r.len == 0) continue;
+    if (!out.empty() && r.offset <= out.back().offset + out.back().len) {
+      const u64 end = std::max(out.back().offset + out.back().len,
+                               r.offset + r.len);
+      out.back().len = end - out.back().offset;
+    } else {
+      out.push_back(Range{r.offset, r.len});
+    }
+  }
+  return out;
+}
+
+Status CollectiveWriter::write_round(const FileHandle& fh,
+                                     std::vector<IoRequest> requests) {
+  ++stats_.rounds;
+  stats_.requests_in += requests.size();
+  u32 next_aggregator = 0;
+  for (const Range& range : merge(std::move(requests))) {
+    u64 pos = range.offset;
+    const u64 end = range.offset + range.len;
+    while (pos < end) {
+      const u64 chunk = std::min(cfg_.cb_bytes, end - pos);
+      // Each chunk is one big write from one aggregator stream; aggregators
+      // rotate so targets stay busy in parallel.
+      const u32 pid = 1'000'000 + (next_aggregator++ % cfg_.aggregators);
+      if (Status s = client_.write(fh, pid, pos, chunk); !s) return s;
+      ++stats_.requests_out;
+      stats_.bytes += chunk;
+      pos += chunk;
+    }
+  }
+  return {};
+}
+
+Status CollectiveWriter::read_round(const FileHandle& fh,
+                                    std::vector<IoRequest> requests) {
+  ++stats_.rounds;
+  stats_.requests_in += requests.size();
+  for (const Range& range : merge(std::move(requests))) {
+    u64 pos = range.offset;
+    const u64 end = range.offset + range.len;
+    while (pos < end) {
+      const u64 chunk = std::min(cfg_.cb_bytes, end - pos);
+      if (Status s = client_.read(fh, pos, chunk); !s) return s;
+      ++stats_.requests_out;
+      stats_.bytes += chunk;
+      pos += chunk;
+    }
+  }
+  return {};
+}
+
+}  // namespace mif::client

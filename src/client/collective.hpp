@@ -1,0 +1,65 @@
+// Two-phase collective I/O (ROMIO-style), used by the Fig. 7 macro
+// benchmarks.
+//
+// The paper profiles BTIO/IOR "using either non-collective I/O or collective
+// I/O" and observes that collective runs issue ~40 MB requests, which makes
+// placement near-irrelevant ("this may make the effectiveness of on-demand
+// preallocation be disappointed in this case").  This aggregator reproduces
+// the mechanism: per collective round, the processes' requests are exchanged,
+// merged into contiguous file ranges, chopped into cb_buffer-sized chunks and
+// written by a few aggregator threads as single large streams.
+#pragma once
+
+#include <vector>
+
+#include "client/client_fs.hpp"
+
+namespace mif::client {
+
+struct CollectiveConfig {
+  /// Collective-buffer size per aggregator request (the paper observed
+  /// ~40 MB requests in its collective runs).
+  u64 cb_bytes{u64{40} * 1024 * 1024};
+  /// Number of aggregator processes (ROMIO cb_nodes).
+  u32 aggregators{4};
+};
+
+struct IoRequest {
+  u32 pid{0};  // issuing thread on this client
+  u64 offset{0};
+  u64 len{0};
+};
+
+struct CollectiveStats {
+  u64 rounds{0};
+  u64 requests_in{0};
+  u64 requests_out{0};  // aggregated writes actually issued
+  u64 bytes{0};
+};
+
+class CollectiveWriter {
+ public:
+  CollectiveWriter(ClientFs& client, CollectiveConfig cfg = {});
+
+  /// One collective round: exchange, merge, and write the union of the
+  /// processes' requests through the aggregators.
+  Status write_round(const FileHandle& fh, std::vector<IoRequest> requests);
+
+  /// Same pipeline for reads.
+  Status read_round(const FileHandle& fh, std::vector<IoRequest> requests);
+
+  const CollectiveStats& stats() const { return stats_; }
+
+ private:
+  struct Range {
+    u64 offset{0};
+    u64 len{0};
+  };
+  std::vector<Range> merge(std::vector<IoRequest> requests);
+
+  ClientFs& client_;
+  CollectiveConfig cfg_;
+  CollectiveStats stats_;
+};
+
+}  // namespace mif::client

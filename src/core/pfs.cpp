@@ -1,0 +1,90 @@
+#include "core/pfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mif::core {
+
+ParallelFileSystem::ParallelFileSystem(ClusterConfig cfg) : cfg_(cfg) {
+  assert(cfg_.num_targets >= 1);
+  cfg_.stripe.width = static_cast<u32>(cfg_.num_targets);
+  mds_ = std::make_unique<mds::Mds>(cfg_.mds);
+  targets_.reserve(cfg_.num_targets);
+  for (std::size_t i = 0; i < cfg_.num_targets; ++i) {
+    targets_.push_back(std::make_unique<osd::StorageTarget>(cfg_.target));
+  }
+}
+
+client::ClientFs ParallelFileSystem::connect(ClientId id) {
+  return client::ClientFs(*this, id);
+}
+
+Status ParallelFileSystem::preallocate(InodeNo ino, u64 total_blocks) {
+  // Split the whole-file reservation the way the stripe splits the data.
+  const auto slices =
+      osd::slices_for(cfg_.stripe, FileBlock{0}, total_blocks);
+  // Per-target local sizes: the maximum local end seen per target.
+  std::vector<u64> local_end(targets_.size(), 0);
+  for (const osd::StripeSlice& s : slices) {
+    local_end[s.target] =
+        std::max(local_end[s.target], s.local_start.v + s.count);
+  }
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    if (local_end[t] == 0) continue;
+    if (Status st = targets_[t]->preallocate(ino, local_end[t]); !st)
+      return st;
+  }
+  return {};
+}
+
+void ParallelFileSystem::close_file(InodeNo ino) {
+  for (auto& t : targets_) t->close_file(ino);
+}
+
+void ParallelFileSystem::delete_file(InodeNo ino) {
+  for (auto& t : targets_) t->delete_file(ino);
+}
+
+u64 ParallelFileSystem::file_extents(InodeNo ino) const {
+  u64 n = 0;
+  for (const auto& t : targets_) n += t->extent_count(ino);
+  return n;
+}
+
+void ParallelFileSystem::drain_data() {
+  for (auto& t : targets_) t->drain();
+}
+
+double ParallelFileSystem::data_elapsed_ms() const {
+  double t = 0.0;
+  for (const auto& tgt : targets_) t = std::max(t, tgt->elapsed_ms());
+  return t;
+}
+
+sim::DiskStats ParallelFileSystem::data_stats() const {
+  sim::DiskStats total;
+  for (const auto& t : targets_) {
+    const sim::DiskStats& s = const_cast<osd::StorageTarget&>(*t).disk().stats();
+    total.requests += s.requests;
+    total.positionings += s.positionings;
+    total.skips += s.skips;
+    total.sequential_hits += s.sequential_hits;
+    total.blocks_read += s.blocks_read;
+    total.blocks_written += s.blocks_written;
+    total.seek_ms += s.seek_ms;
+    total.rotation_ms += s.rotation_ms;
+    total.skip_ms += s.skip_ms;
+    total.transfer_ms += s.transfer_ms;
+  }
+  return total;
+}
+
+void ParallelFileSystem::reset_data_stats() {
+  for (auto& t : targets_) {
+    t->drain();
+    t->disk().reset_stats();
+    t->io().reset_stats();
+  }
+}
+
+}  // namespace mif::core

@@ -1,0 +1,85 @@
+// MiF public API: the Redbud parallel file system facade.
+//
+// Wires one metadata server (MFS + journal + metadata disk) to a set of
+// storage targets (data disks + PAG free space + the configured allocator)
+// behind the stripe layout, and hands out per-node clients.  The two MiF
+// techniques are mount options:
+//
+//   mif::ClusterConfig cfg;
+//   cfg.target.allocator = mif::alloc::AllocatorMode::kOnDemand;  // §III
+//   cfg.mds.mfs.mode = mif::mfs::DirectoryMode::kEmbedded;        // §IV
+//   mif::ParallelFileSystem fs{cfg};
+//   auto client = fs.connect(ClientId{1});
+//   auto fh = client.create("/data/ckpt.odb");
+//   client.write(*fh, /*pid=*/0, /*offset=*/0, /*len=*/1 << 20);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/client_fs.hpp"
+#include "mds/mds.hpp"
+#include "osd/storage_target.hpp"
+#include "osd/striping.hpp"
+
+namespace mif::core {
+
+struct ClusterConfig {
+  std::size_t num_targets{5};  // the paper stripes over five disks (§V-C)
+  osd::StripeLayout stripe{5, 16};
+  osd::TargetConfig target{};
+  mds::MdsConfig mds{};
+  /// Client sequential-read prefetch cap in blocks (Lustre-style per-file
+  /// readahead; 2048 blocks = 8 MiB).  0 disables client readahead.
+  u64 client_readahead_max_blocks{2048};
+};
+
+class ParallelFileSystem {
+ public:
+  explicit ParallelFileSystem(ClusterConfig cfg = {});
+
+  /// A client session for cluster node `id`.
+  client::ClientFs connect(ClientId id);
+
+  // --- namespace (proxied to the MDS) -------------------------------------
+  mds::Mds& mds() { return *mds_; }
+
+  // --- data path -----------------------------------------------------------
+  std::size_t num_targets() const { return targets_.size(); }
+  osd::StorageTarget& target(std::size_t i) { return *targets_[i]; }
+  const osd::StripeLayout& stripe() const { return cfg_.stripe; }
+
+  /// fallocate the file to `total_blocks` (static preallocation baseline).
+  Status preallocate(InodeNo ino, u64 total_blocks);
+
+  /// Release allocator reservations for a file on every target.
+  void close_file(InodeNo ino);
+
+  /// Free the file's data everywhere.
+  void delete_file(InodeNo ino);
+
+  /// Total extents mapping this file across all targets — the Table I
+  /// "Seg Counts" metric.
+  u64 file_extents(InodeNo ino) const;
+
+  /// Flush every target queue.
+  void drain_data();
+
+  /// Data-path wall clock: the slowest target timeline (a striped request
+  /// completes when its last member disk does).
+  double data_elapsed_ms() const;
+
+  /// Aggregate data-disk counters.
+  sim::DiskStats data_stats() const;
+
+  void reset_data_stats();
+
+  const ClusterConfig& config() const { return cfg_; }
+
+ private:
+  ClusterConfig cfg_;
+  std::unique_ptr<mds::Mds> mds_;
+  std::vector<std::unique_ptr<osd::StorageTarget>> targets_;
+};
+
+}  // namespace mif::core

@@ -1,0 +1,101 @@
+#include "mds/mds.hpp"
+
+#include <algorithm>
+
+namespace mif::mds {
+
+Mds::Mds(MdsConfig cfg) : cfg_(cfg), fs_(cfg.mfs), net_(cfg.net) {}
+
+void Mds::charge_rpc(u64 payload_bytes) {
+  net_.rpc(payload_bytes);
+  ++stats_.rpcs;
+  stats_.cpu_ms += cfg_.cpu_us_per_rpc / 1000.0;
+}
+
+void Mds::charge_extents(u64 n) {
+  stats_.extent_ops += n;
+  stats_.cpu_ms += static_cast<double>(n) * cfg_.cpu_us_per_extent / 1000.0;
+}
+
+Result<InodeNo> Mds::mkdir(std::string_view path) {
+  charge_rpc(256);
+  return fs_.mkdir(path);
+}
+
+Result<InodeNo> Mds::create(std::string_view path) {
+  charge_rpc(256);
+  return fs_.create(path);
+}
+
+Status Mds::stat(std::string_view path) {
+  charge_rpc(256);
+  return fs_.stat(path);
+}
+
+Status Mds::utime(std::string_view path) {
+  charge_rpc(256);
+  return fs_.utime(path);
+}
+
+Status Mds::unlink(std::string_view path) {
+  charge_rpc(256);
+  return fs_.unlink(path);
+}
+
+Result<InodeNo> Mds::rename(std::string_view from, std::string_view to) {
+  charge_rpc(512);
+  return fs_.rename(from, to);
+}
+
+Result<OpenResult> Mds::open_getlayout(std::string_view path) {
+  charge_rpc(256);
+  auto ino = fs_.resolve(path);
+  if (!ino) return ino.error();
+  mfs::Inode* node = fs_.find(*ino);
+  if (!node) return Errc::kNotFound;
+  if (Status s = fs_.getlayout(*ino); !s) return s.error();
+  // The MDS serves the layout it last persisted from the storage targets.
+  const u64 extents = node->last_synced_extents;
+  charge_extents(extents);
+  // Reply payload grows with the extent list — fragmented files cost
+  // bandwidth too.
+  net_.rpc(extents * 32);
+  return OpenResult{*ino, extents};
+}
+
+Result<std::vector<mfs::DirEntry>> Mds::readdir_stats(std::string_view path) {
+  charge_rpc(256);
+  auto entries = fs_.readdir(path, /*plus=*/true);
+  if (!entries) return entries;
+  net_.rpc(entries->size() * 128);
+  return entries;
+}
+
+Result<std::vector<mfs::DirEntry>> Mds::readdir(std::string_view path) {
+  charge_rpc(256);
+  auto entries = fs_.readdir(path, /*plus=*/false);
+  if (!entries) return entries;
+  net_.rpc(entries->size() * 32);
+  return entries;
+}
+
+Status Mds::report_extents(InodeNo file, u64 extent_count) {
+  // The MDS merges the newly grown part of the layout into its index; CPU
+  // is paid per extent it has to process, i.e. the delta since the last
+  // report (plus the shipping bandwidth for it).
+  mfs::Inode* node = fs_.find(file);
+  if (!node) return Errc::kNotFound;
+  const u64 before = node->last_synced_extents;
+  const u64 delta = extent_count > before ? extent_count - before
+                                          : before - extent_count;
+  charge_rpc(std::max<u64>(64, delta * 32));
+  charge_extents(delta);
+  return fs_.sync_file_layout(file, extent_count);
+}
+
+double Mds::cpu_utilization() const {
+  const double elapsed = std::max(fs_.elapsed_ms(), 1e-9);
+  return std::min(1.0, stats_.cpu_ms / elapsed);
+}
+
+}  // namespace mif::mds

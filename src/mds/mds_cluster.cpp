@@ -1,0 +1,70 @@
+#include "mds/mds_cluster.hpp"
+
+#include <cassert>
+
+#include "mfs/name_index.hpp"
+
+namespace mif::mds {
+
+MdsCluster::MdsCluster(std::size_t servers, std::string dirname, MdsConfig cfg)
+    : dirname_(std::move(dirname)) {
+  assert(servers >= 1);
+  servers_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    servers_.push_back(std::make_unique<Mds>(cfg));
+    auto r = servers_.back()->mkdir(dirname_);
+    assert(r);
+    (void)r;
+  }
+}
+
+std::size_t MdsCluster::owner_of(std::string_view name) const {
+  return mfs::name_hash(name) % servers_.size();
+}
+
+std::string MdsCluster::subpath(std::string_view name) const {
+  std::string p = dirname_;
+  p += '/';
+  p += name;
+  return p;
+}
+
+Result<InodeNo> MdsCluster::create(std::string_view name) {
+  const u64 h = mfs::name_hash(name);
+  if (name_hashes_.contains(h)) return Errc::kExists;
+  auto r = servers_[owner_of(name)]->create(subpath(name));
+  if (r) {
+    name_hashes_.insert(h);
+    ++stats_.subordinate_rpcs;
+  }
+  return r;
+}
+
+Status MdsCluster::stat(std::string_view name) {
+  ++stats_.lookups;
+  const u64 h = mfs::name_hash(name);
+  if (!name_hashes_.contains(h)) {
+    // Primary answers the negative straight from its hash set — no
+    // subordinate interaction (§IV-C).
+    ++stats_.avoided_rpcs;
+    return Errc::kNotFound;
+  }
+  ++stats_.primary_hits;
+  ++stats_.subordinate_rpcs;
+  return servers_[owner_of(name)]->stat(subpath(name));
+}
+
+Status MdsCluster::unlink(std::string_view name) {
+  const u64 h = mfs::name_hash(name);
+  if (!name_hashes_.contains(h)) return Errc::kNotFound;
+  Status s = servers_[owner_of(name)]->unlink(subpath(name));
+  if (s.ok()) {
+    name_hashes_.erase(h);
+    ++stats_.subordinate_rpcs;
+  }
+  return s;
+}
+
+u64 MdsCluster::total_entries() const { return name_hashes_.size(); }
+
+}  // namespace mif::mds

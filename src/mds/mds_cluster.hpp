@@ -1,0 +1,65 @@
+// MDS cluster for extreme (millions-of-entries) directories — §IV-C.
+//
+// "Subfiles in the extreme large directory are assigned to and managed by
+// different servers.  The cluster using embedded directory enforces the
+// PRIMARY server (managing the parent directory content) to collect the
+// hash value of the subfiles' names.  Therefore, to lookup a specific file,
+// the primary server finds whether the hash value of the file name exists,
+// avoiding extra interactions with the subordinate servers."
+//
+// We model one giant directory striped across N servers by name hash; every
+// member runs its own full MDS stack.  The interesting counter is
+// `avoided_rpcs`: negative lookups the primary answered from its hash set
+// without touching any subordinate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mds/mds.hpp"
+
+namespace mif::mds {
+
+struct ClusterStats {
+  u64 lookups{0};
+  u64 primary_hits{0};      // positive lookups routed to a subordinate
+  u64 avoided_rpcs{0};      // negative lookups answered by the hash set
+  u64 subordinate_rpcs{0};  // requests that did reach a subordinate
+};
+
+class MdsCluster {
+ public:
+  /// `servers` metadata servers; server 0 is the primary for the single
+  /// giant directory `dirname` this model manages.
+  MdsCluster(std::size_t servers, std::string dirname, MdsConfig cfg = {});
+
+  /// Create a subfile; routed to the owning server by name hash, and the
+  /// primary records the hash.
+  Result<InodeNo> create(std::string_view name);
+
+  /// Lookup/stat a subfile by name.  Misses are answered by the primary's
+  /// hash set; hits pay one subordinate RPC.
+  Status stat(std::string_view name);
+
+  Status unlink(std::string_view name);
+
+  /// Entries across the whole cluster (scatter-gather readdir).
+  u64 total_entries() const;
+
+  Mds& server(std::size_t i) { return *servers_[i]; }
+  std::size_t size() const { return servers_.size(); }
+  const ClusterStats& stats() const { return stats_; }
+
+ private:
+  std::size_t owner_of(std::string_view name) const;
+  std::string subpath(std::string_view name) const;
+
+  std::string dirname_;
+  std::vector<std::unique_ptr<Mds>> servers_;
+  std::unordered_set<u64> name_hashes_;  // primary's collected hash set
+  ClusterStats stats_;
+};
+
+}  // namespace mif::mds

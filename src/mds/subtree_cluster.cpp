@@ -1,0 +1,138 @@
+#include "mds/subtree_cluster.hpp"
+
+#include <cassert>
+
+#include "mfs/mfs.hpp"
+#include "mfs/name_index.hpp"
+
+namespace mif::mds {
+
+std::string_view to_string(DistributionPolicy p) {
+  switch (p) {
+    case DistributionPolicy::kSubtree: return "subtree";
+    case DistributionPolicy::kHash: return "hash";
+  }
+  return "?";
+}
+
+SubtreeCluster::SubtreeCluster(std::size_t servers, DistributionPolicy policy,
+                               MdsConfig cfg)
+    : policy_(policy) {
+  assert(servers >= 1);
+  servers_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i)
+    servers_.push_back(std::make_unique<Mds>(cfg));
+}
+
+std::size_t SubtreeCluster::home_of_dir(std::string_view dir_path) const {
+  const auto parts = mfs::split_path(dir_path);
+  if (parts.empty()) return 0;  // the root itself
+  const auto it = delegation_.find(std::string(parts.front()));
+  return it == delegation_.end() ? 0 : it->second;
+}
+
+std::size_t SubtreeCluster::owner_of(std::string_view path) const {
+  switch (policy_) {
+    case DistributionPolicy::kSubtree:
+      return home_of_dir(path);
+    case DistributionPolicy::kHash:
+      return mfs::name_hash(path) % servers_.size();
+  }
+  return 0;
+}
+
+Status SubtreeCluster::mkdir(std::string_view path) {
+  ++stats_.ops;
+  const auto parts = mfs::split_path(path);
+  if (parts.empty()) return Errc::kInvalid;
+  if (policy_ == DistributionPolicy::kSubtree) {
+    // Delegate top-level directories round-robin; deeper ones stay in the
+    // subtree they belong to.
+    if (parts.size() == 1) {
+      delegation_.emplace(std::string(parts.front()),
+                          next_delegate_++ % servers_.size());
+    }
+    auto r = servers_[home_of_dir(path)]->mkdir(path);
+    if (r) ++stats_.colocated_ops;
+    return r ? Status{} : Status{r.error()};
+  }
+  // Hash policy: the directory skeleton must exist on every server, because
+  // any server may be asked to create a child under it.
+  Status out;
+  for (auto& s : servers_) {
+    auto r = s->mkdir(path);
+    if (!r && r.error() != Errc::kExists) out = r.error();
+    ++stats_.fanout_requests;
+  }
+  return out;
+}
+
+Result<InodeNo> SubtreeCluster::create(std::string_view path) {
+  ++stats_.ops;
+  const std::size_t owner = owner_of(path);
+  if (policy_ == DistributionPolicy::kSubtree ||
+      owner == home_of_dir(path)) {
+    ++stats_.colocated_ops;
+  }
+  return servers_[owner]->create(path);
+}
+
+Status SubtreeCluster::stat(std::string_view path) {
+  ++stats_.ops;
+  const std::size_t owner = owner_of(path);
+  if (policy_ == DistributionPolicy::kSubtree ||
+      owner == home_of_dir(path)) {
+    ++stats_.colocated_ops;
+  }
+  return servers_[owner]->stat(path);
+}
+
+Status SubtreeCluster::utime(std::string_view path) {
+  ++stats_.ops;
+  return servers_[owner_of(path)]->utime(path);
+}
+
+Status SubtreeCluster::unlink(std::string_view path) {
+  ++stats_.ops;
+  return servers_[owner_of(path)]->unlink(path);
+}
+
+Result<std::vector<mfs::DirEntry>> SubtreeCluster::readdir_stats(
+    std::string_view dir) {
+  ++stats_.ops;
+  if (policy_ == DistributionPolicy::kSubtree) {
+    // One server holds the directory AND every child's embedded metadata:
+    // the aggregation stays a single contiguous sweep (§IV-D).
+    ++stats_.colocated_ops;
+    ++stats_.fanout_requests;
+    return servers_[home_of_dir(dir)]->readdir_stats(dir);
+  }
+  // Hash policy: children are scattered; every server must list its share.
+  std::vector<mfs::DirEntry> all;
+  for (auto& s : servers_) {
+    ++stats_.fanout_requests;
+    auto part = s->readdir_stats(dir);
+    if (!part) {
+      if (part.error() == Errc::kNotFound) continue;
+      return part;
+    }
+    all.insert(all.end(), part->begin(), part->end());
+  }
+  return all;
+}
+
+u64 SubtreeCluster::total_disk_accesses() const {
+  u64 n = 0;
+  for (const auto& s : servers_)
+    n += const_cast<Mds&>(*s).fs().disk_accesses();
+  return n;
+}
+
+double SubtreeCluster::total_elapsed_ms() const {
+  double t = 0.0;
+  for (const auto& s : servers_)
+    t += const_cast<Mds&>(*s).fs().elapsed_ms();
+  return t;
+}
+
+}  // namespace mif::mds

@@ -1,0 +1,6 @@
+#include "mfs/inode.hpp"
+
+// Inode is a plain aggregate; implementation lives in the header.  This TU
+// exists so the format constants have a home object file and to keep the
+// build graph uniform (one .cpp per module).
+namespace mif::mfs {}

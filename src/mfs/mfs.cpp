@@ -1,0 +1,169 @@
+#include "mfs/mfs.hpp"
+
+#include <cassert>
+
+namespace mif::mfs {
+
+std::string_view to_string(DirectoryMode m) {
+  switch (m) {
+    case DirectoryMode::kNormal: return "normal";
+    case DirectoryMode::kEmbedded: return "embedded";
+  }
+  return "?";
+}
+
+std::vector<std::string_view> split_path(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) parts.push_back(path.substr(i, j - i));
+    i = j;
+  }
+  return parts;
+}
+
+Mfs::Mfs(MfsConfig cfg) : cfg_(cfg), disk_(cfg.geometry), io_(disk_) {
+  // Disk map: [journal][data area].  The layout engines carve their fixed
+  // regions (tables, bitmaps) from the head of the data area themselves.
+  const u64 data_start = cfg_.journal_area_blocks;
+  const u64 data_blocks = cfg_.geometry.capacity_blocks - data_start;
+  space_ = std::make_unique<block::FreeSpace>(DiskBlock{data_start},
+                                              data_blocks, cfg_.alloc_groups);
+  cache_ = std::make_unique<block::BufferCache>(io_, cfg_.cache_blocks);
+  journal_ = std::make_unique<block::Journal>(
+      io_, DiskBlock{0}, cfg_.journal_area_blocks, cfg_.checkpoint_interval,
+      cfg_.journal_commit_batch);
+
+  MdsContext ctx{*cache_, *journal_, *space_, cfg_.discipline, cfg_.readahead};
+  switch (cfg_.mode) {
+    case DirectoryMode::kNormal:
+      layout_ = std::make_unique<NormalDirLayout>(ctx, cfg_.normal);
+      break;
+    case DirectoryMode::kEmbedded:
+      layout_ = std::make_unique<EmbeddedDirLayout>(ctx, cfg_.embedded);
+      break;
+  }
+  auto root = layout_->make_root();
+  assert(root);
+  (void)root;
+  sync_point();
+}
+
+void Mfs::sync_point() {
+  if (cfg_.sync_ops) io_.drain();
+}
+
+Result<Mfs::Walk> Mfs::walk_to_parent(std::string_view path) {
+  auto parts = split_path(path);
+  if (parts.empty()) return Errc::kInvalid;
+  InodeNo dir = layout_->root();
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto next = layout_->lookup(dir, parts[i]);
+    if (!next) return next.error();
+    Inode* node = layout_->find(*next);
+    if (!node || !node->is_dir()) return Errc::kNotDirectory;
+    dir = *next;
+  }
+  return Walk{dir, std::string(parts.back())};
+}
+
+Result<InodeNo> Mfs::mkdir(std::string_view path) {
+  auto w = walk_to_parent(path);
+  if (!w) return w.error();
+  auto r = layout_->mkdir(w->parent, w->leaf);
+  sync_point();
+  return r;
+}
+
+Result<InodeNo> Mfs::create(std::string_view path) {
+  auto w = walk_to_parent(path);
+  if (!w) return w.error();
+  auto r = layout_->create(w->parent, w->leaf);
+  sync_point();
+  return r;
+}
+
+Result<InodeNo> Mfs::resolve(std::string_view path) {
+  auto parts = split_path(path);
+  InodeNo cur = layout_->root();
+  for (std::string_view p : parts) {
+    auto next = layout_->lookup(cur, p);
+    if (!next) return next.error();
+    cur = *next;
+  }
+  sync_point();
+  return cur;
+}
+
+Status Mfs::stat(std::string_view path) {
+  auto ino = resolve(path);
+  if (!ino) return ino.error();
+  Status s = layout_->stat(*ino);
+  sync_point();
+  return s;
+}
+
+Status Mfs::utime(std::string_view path) {
+  auto ino = resolve(path);
+  if (!ino) return ino.error();
+  Status s = layout_->utime(*ino);
+  sync_point();
+  return s;
+}
+
+Result<std::vector<DirEntry>> Mfs::readdir(std::string_view path, bool plus) {
+  auto ino = resolve(path);
+  if (!ino) return ino.error();
+  auto r = layout_->readdir(*ino, plus);
+  sync_point();
+  return r;
+}
+
+Status Mfs::unlink(std::string_view path) {
+  auto w = walk_to_parent(path);
+  if (!w) return w.error();
+  Status s = layout_->unlink(w->parent, w->leaf);
+  sync_point();
+  return s;
+}
+
+Result<InodeNo> Mfs::rename(std::string_view from, std::string_view to) {
+  auto src = walk_to_parent(from);
+  if (!src) return src.error();
+  auto dst = walk_to_parent(to);
+  if (!dst) return dst.error();
+  auto r = layout_->rename(src->parent, src->leaf, dst->parent, dst->leaf);
+  sync_point();
+  return r;
+}
+
+Status Mfs::sync_file_layout(InodeNo file, u64 extent_count) {
+  Status s = layout_->sync_layout(file, extent_count);
+  sync_point();
+  return s;
+}
+
+Status Mfs::getlayout(InodeNo file) {
+  Status s = layout_->getlayout(file);
+  sync_point();
+  return s;
+}
+
+void Mfs::finish() {
+  journal_->checkpoint();
+  cache_->flush();
+  io_.drain();
+}
+
+void Mfs::reset_io_stats() {
+  io_.drain();
+  io_.reset_stats();
+  disk_.reset_stats();
+  cache_->reset_stats();
+  journal_->reset_stats();
+}
+
+}  // namespace mif::mfs

@@ -1,0 +1,88 @@
+// Traditional directory layout (Fig. 1(b)): dirent blocks in the data area,
+// inodes in a dedicated inode-table region, layout mappings spilled to
+// overflow blocks allocated from the data area.  Performing a stat touches
+// the dirent block AND the inode-table block; a getlayout may add mapping
+// blocks — each in a different disk region, hence the positioning traffic
+// MiF attacks.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "mfs/layout.hpp"
+
+namespace mif::mfs {
+
+struct NormalLayoutConfig {
+  /// Blocks reserved for the inode table region (16 inodes each).
+  u64 inode_table_blocks{16384};  // 256 K inodes
+};
+
+class NormalDirLayout final : public DirLayout {
+ public:
+  NormalDirLayout(MdsContext ctx, NormalLayoutConfig cfg = {});
+
+  DirectoryMode mode() const override { return DirectoryMode::kNormal; }
+
+  Result<InodeNo> make_root() override;
+  Result<InodeNo> mkdir(InodeNo parent, std::string_view name) override;
+  Result<InodeNo> create(InodeNo parent, std::string_view name) override;
+  Result<InodeNo> lookup(InodeNo dir, std::string_view name) override;
+  Status stat(InodeNo ino) override;
+  Status utime(InodeNo ino) override;
+  Result<std::vector<DirEntry>> readdir(InodeNo dir, bool plus) override;
+  Status unlink(InodeNo dir, std::string_view name) override;
+  Result<InodeNo> rename(InodeNo src_dir, std::string_view src_name,
+                         InodeNo dst_dir, std::string_view dst_name) override;
+  Status sync_layout(InodeNo file, u64 extent_count) override;
+  Status getlayout(InodeNo file) override;
+  Inode* find(InodeNo ino) override;
+  InodeNo root() const override { return root_; }
+  NamespaceVerifyReport verify() const override;
+
+ private:
+  struct Slot {
+    std::string name;
+    InodeNo ino{};
+    FileType type{FileType::kFile};
+  };
+  struct DirState {
+    std::vector<DiskBlock> dirent_blocks;
+    std::vector<std::optional<Slot>> slots;  // ordinal-indexed
+    std::vector<u64> free_ordinals;
+    NameIndex index;  // name -> ordinal
+    u64 live_entries{0};
+    // ext3-style per-directory block reservation for dirent growth, so each
+    // directory's dirent blocks cluster with their own window instead of
+    // interleaving block-by-block with every other growing directory.
+    DiskBlock reserve_next{};
+    u64 reserve_left{0};
+    explicit DirState(const sim::ReadaheadConfig&) {}
+  };
+
+  Result<InodeNo> create_common(InodeNo parent, std::string_view name,
+                                FileType type);
+  DirState* dir_state(InodeNo dir);
+  DiskBlock inode_block_of(InodeNo ino) const;
+  /// Ensure the dirent block covering `ordinal` exists; returns it.
+  Result<DiskBlock> ensure_dirent_block(DirState& d, u64 ordinal);
+  /// Read the dirent block holding `ordinal` (1 block through the cache).
+  void read_dirent_block(DirState& d, u64 ordinal);
+
+  NormalLayoutConfig cfg_;
+  DiskBlock table_base_{};
+  DiskBlock ibitmap_block_{};
+  DiskBlock gdesc_block_{};
+  u64 next_ino_{1};
+  InodeNo root_{};
+  std::unordered_map<u64, Inode> inodes_;
+  std::unordered_map<u64, DirState> dirs_;
+  /// parent dir + ordinal of every inode, to locate its dirent.
+  struct Linkage {
+    InodeNo parent{};
+    u64 ordinal{0};
+  };
+  std::unordered_map<u64, Linkage> linkage_;
+};
+
+}  // namespace mif::mfs

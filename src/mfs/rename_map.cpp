@@ -1,0 +1,35 @@
+#include "mfs/rename_map.hpp"
+
+namespace mif::mfs {
+
+void RenameCorrelation::record(InodeNo old_no, InodeNo new_no) {
+  std::lock_guard lock(mu_);
+  // Collapse chains: anything that pointed at old_no must follow the move.
+  for (auto& [stale, cur] : old_to_new_) {
+    if (cur == old_no) cur = new_no;
+  }
+  old_to_new_[old_no] = new_no;
+}
+
+InodeNo RenameCorrelation::current(InodeNo n) const {
+  std::lock_guard lock(mu_);
+  auto it = old_to_new_.find(n);
+  return it == old_to_new_.end() ? n : it->second;
+}
+
+bool RenameCorrelation::is_stale(InodeNo n) const {
+  std::lock_guard lock(mu_);
+  return old_to_new_.contains(n);
+}
+
+void RenameCorrelation::expire_all() {
+  std::lock_guard lock(mu_);
+  old_to_new_.clear();
+}
+
+std::size_t RenameCorrelation::size() const {
+  std::lock_guard lock(mu_);
+  return old_to_new_.size();
+}
+
+}  // namespace mif::mfs

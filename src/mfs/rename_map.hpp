@@ -1,0 +1,44 @@
+// Rename correlation table (§IV-B).
+//
+// Moving a file between embedded directories moves its inode and therefore
+// changes its (directory-id-encoded) inode number.  External management
+// tools may still hold the old number, so "the additional structure to
+// correlate the old and new inodes is kept.  If some applications intend to
+// modify the new inode, the changes are also routed to the old one, and this
+// correlation is maintained until the management routines exit."
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace mif::mfs {
+
+class RenameCorrelation {
+ public:
+  /// Record that `old_no` is now `new_no`.  Chains collapse: if `old_no`
+  /// itself was the target of an earlier rename, the earlier source now
+  /// points at `new_no` too.
+  void record(InodeNo old_no, InodeNo new_no);
+
+  /// Translate a possibly-stale inode number to the current one.  Identity
+  /// for numbers that were never renamed.
+  InodeNo current(InodeNo n) const;
+
+  /// True if `n` is a stale (pre-rename) number still being honoured.
+  bool is_stale(InodeNo n) const;
+
+  /// Management routines exited: drop all correlations (stale numbers stop
+  /// resolving).
+  void expire_all();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<InodeNo, InodeNo> old_to_new_;
+};
+
+}  // namespace mif::mfs

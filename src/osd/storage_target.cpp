@@ -1,0 +1,139 @@
+#include "osd/storage_target.hpp"
+
+#include <algorithm>
+
+namespace mif::osd {
+
+StorageTarget::StorageTarget(TargetConfig cfg)
+    : cfg_(cfg),
+      disk_(cfg.geometry),
+      io_(disk_, cfg.scheduler_queue, cfg.writeback_queue) {
+  space_ = std::make_unique<block::FreeSpace>(
+      DiskBlock{0}, cfg_.geometry.capacity_blocks, cfg_.alloc_groups);
+  alloc_ = alloc::make_allocator(cfg_.allocator, *space_, cfg_.tuning);
+}
+
+StorageTarget::FileState& StorageTarget::file(InodeNo inode) {
+  std::lock_guard lock(files_mu_);
+  auto& slot = files_[inode.v];
+  if (!slot) slot = std::make_unique<FileState>();
+  return *slot;
+}
+
+void StorageTarget::inject_fault(u64 after_ops, u64 count) {
+  std::lock_guard lock(fault_mu_);
+  fault_after_ = after_ops;
+  fault_count_ = count;
+}
+
+bool StorageTarget::fault_fires() {
+  std::lock_guard lock(fault_mu_);
+  if (fault_count_ == 0) return false;
+  if (fault_after_ > 0) {
+    --fault_after_;
+    return false;
+  }
+  --fault_count_;
+  ++failures_seen_;
+  return true;
+}
+
+StorageTarget::VerifyReport StorageTarget::verify() const {
+  VerifyReport report;
+  std::vector<std::pair<u64, u64>> phys;
+  {
+    std::lock_guard lock(files_mu_);
+    report.files = files_.size();
+    for (const auto& [ino, state] : files_) {
+      std::lock_guard flock(state->mu);
+      for (const block::Extent& e : state->map.extents()) {
+        phys.emplace_back(e.disk_off.v, e.length);
+        ++report.extents;
+        report.mapped_blocks += e.length;
+      }
+    }
+  }
+  std::sort(phys.begin(), phys.end());
+  for (std::size_t i = 1; i < phys.size(); ++i) {
+    if (phys[i].first < phys[i - 1].first + phys[i - 1].second) {
+      report.overlap_free = false;
+      break;
+    }
+  }
+  report.reserved_blocks = alloc_->stats().reserved_blocks;
+  report.used_blocks =
+      cfg_.geometry.capacity_blocks - space_->free_blocks();
+  report.space_accounted =
+      report.used_blocks == report.mapped_blocks + report.reserved_blocks;
+  return report;
+}
+
+Status StorageTarget::write(InodeNo inode, StreamId stream, FileBlock logical,
+                            u64 count) {
+  if (fault_fires()) return Errc::kIo;
+  FileState& f = file(inode);
+  std::lock_guard lock(f.mu);
+  alloc::AllocContext ctx{inode, stream, logical, count};
+  if (Status s = alloc_->extend(ctx, f.map); !s) return s;
+  // Submit the data writes along the physical runs the placement produced —
+  // this is where fragmentation turns into positioning time.
+  std::lock_guard io_lock(io_mu_);
+  for (const block::BlockRange& r : f.map.map_range(logical, count)) {
+    io_.submit({sim::IoKind::kWrite, r.start, r.length});
+  }
+  return {};
+}
+
+Status StorageTarget::read(InodeNo inode, FileBlock logical, u64 count) {
+  if (fault_fires()) return Errc::kIo;
+  FileState& f = file(inode);
+  std::lock_guard lock(f.mu);
+  std::lock_guard io_lock(io_mu_);
+  for (const block::BlockRange& r : f.map.map_range(logical, count)) {
+    io_.submit({sim::IoKind::kRead, r.start, r.length});
+  }
+  return {};
+}
+
+Status StorageTarget::preallocate(InodeNo inode, u64 total_blocks) {
+  FileState& f = file(inode);
+  std::lock_guard lock(f.mu);
+  return alloc_->preallocate(inode, f.map, total_blocks);
+}
+
+void StorageTarget::close_file(InodeNo inode) {
+  FileState& f = file(inode);
+  std::lock_guard lock(f.mu);
+  alloc_->close_file(inode, f.map);
+}
+
+void StorageTarget::delete_file(InodeNo inode) {
+  std::unique_ptr<FileState> victim;
+  {
+    std::lock_guard lock(files_mu_);
+    auto it = files_.find(inode.v);
+    if (it == files_.end()) return;
+    victim = std::move(it->second);
+    files_.erase(it);
+  }
+  std::lock_guard lock(victim->mu);
+  alloc_->delete_file(inode, victim->map);
+}
+
+u64 StorageTarget::extent_count(InodeNo inode) const {
+  std::lock_guard lock(files_mu_);
+  auto it = files_.find(inode.v);
+  if (it == files_.end()) return 0;
+  std::lock_guard flock(it->second->mu);
+  return it->second->map.extent_count();
+}
+
+std::vector<block::Extent> StorageTarget::extents(InodeNo inode) const {
+  std::lock_guard lock(files_mu_);
+  auto it = files_.find(inode.v);
+  if (it == files_.end()) return {};
+  std::lock_guard flock(it->second->mu);
+  return it->second->map.extents();
+}
+
+}  // namespace mif::osd

@@ -1,0 +1,117 @@
+// Storage target (OST / IO server): one data disk behind a merging
+// scheduler, a PAG-partitioned free-space manager, and a pluggable file
+// allocator — the place where MiF's on-demand preallocation lives ("in some
+// parallel file systems, allocator is located in their IO servers", §I).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "alloc/allocator.hpp"
+#include "sim/disk.hpp"
+#include "sim/io_scheduler.hpp"
+
+namespace mif::osd {
+
+struct TargetConfig {
+  sim::DiskGeometry geometry{};
+  u32 alloc_groups{8};
+  alloc::AllocatorMode allocator{alloc::AllocatorMode::kReservation};
+  alloc::AllocatorTuning tuning{};
+  /// Bounded read queue (block-layer nr_requests scale).
+  std::size_t scheduler_queue{256};
+  /// Write-back depth: the OSS page cache keeps ~100 MB of dirty data per
+  /// spindle and flushes it in long per-region runs, so interleaved write
+  /// streams amortise positioning far better than readers can.
+  std::size_t writeback_queue{4096};
+};
+
+class StorageTarget {
+ public:
+  explicit StorageTarget(TargetConfig cfg = {});
+
+  /// Extend-and-write [logical, logical+count) of the target-local subfile
+  /// of `inode` on behalf of `stream`.  Allocates through the configured
+  /// strategy and submits the data writes.
+  Status write(InodeNo inode, StreamId stream, FileBlock logical, u64 count);
+
+  /// Read [logical, logical+count); unmapped holes read nothing (zeroes).
+  Status read(InodeNo inode, FileBlock logical, u64 count);
+
+  /// fallocate the local subfile to `total_blocks`.
+  Status preallocate(InodeNo inode, u64 total_blocks);
+
+  /// Release the allocator's temporary reservations for this file.
+  void close_file(InodeNo inode);
+
+  /// Free all blocks of the file.
+  void delete_file(InodeNo inode);
+
+  /// Extents currently mapping the local subfile.
+  u64 extent_count(InodeNo inode) const;
+  /// All extents (diagnostics / layout shipping).
+  std::vector<block::Extent> extents(InodeNo inode) const;
+
+  // --- fault injection ------------------------------------------------------
+  /// After `after_ops` further data operations, the next `count` operations
+  /// fail with kIo before touching allocator or disk.  Models a transient
+  /// device/path fault; callers must see the error and the target must stay
+  /// consistent.
+  void inject_fault(u64 after_ops, u64 count);
+  u64 injected_failures() const { return failures_seen_; }
+
+  // --- integrity verification ----------------------------------------------
+  struct VerifyReport {
+    u64 files{0};
+    u64 extents{0};
+    u64 mapped_blocks{0};
+    u64 reserved_blocks{0};
+    u64 used_blocks{0};
+    bool overlap_free{true};
+    bool space_accounted{true};
+    bool ok() const { return overlap_free && space_accounted; }
+  };
+  /// fsck-style pass: no physical block owned twice across all files, and
+  /// every used block is owned by a file mapping or an allocator
+  /// reservation.
+  VerifyReport verify() const;
+
+  void drain() {
+    std::lock_guard lock(io_mu_);
+    io_.drain();
+  }
+  double elapsed_ms() const { return disk_.now_ms(); }
+
+  sim::Disk& disk() { return disk_; }
+  sim::IoScheduler& io() { return io_; }
+  block::FreeSpace& space() { return *space_; }
+  alloc::FileAllocator& allocator() { return *alloc_; }
+
+ private:
+  struct FileState {
+    block::ExtentMap map;
+    mutable std::mutex mu;
+  };
+  FileState& file(InodeNo inode);
+
+  TargetConfig cfg_;
+  sim::Disk disk_;
+  /// The scheduler (and the disk behind it) is single-threaded state; all
+  /// submissions and drains serialise here.
+  std::mutex io_mu_;
+  sim::IoScheduler io_;
+  std::unique_ptr<block::FreeSpace> space_;
+  std::unique_ptr<alloc::FileAllocator> alloc_;
+  mutable std::mutex files_mu_;
+  std::unordered_map<u64, std::unique_ptr<FileState>> files_;
+
+  /// Returns true if this operation should fail (fault injection).
+  bool fault_fires();
+  mutable std::mutex fault_mu_;
+  u64 fault_after_{0};
+  u64 fault_count_{0};
+  u64 failures_seen_{0};
+};
+
+}  // namespace mif::osd

@@ -1,0 +1,38 @@
+// File striping across storage targets.
+//
+// Redbud stripes file data over shared disks ("we configured all data to be
+// striped on five disks", §V-C) in fixed stripe units, round-robin.  This
+// header maps a file-global logical block range onto per-target slices and
+// back.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mif::osd {
+
+struct StripeLayout {
+  u32 width{1};            // number of targets
+  u64 unit_blocks{16};     // 64 KiB stripe unit
+};
+
+struct StripeSlice {
+  u32 target{0};
+  FileBlock local_start{};  // logical block within the target-local subfile
+  u64 count{0};
+  FileBlock global_start{}; // where this slice begins in the file
+};
+
+/// Decompose the file-global range [start, start+count) into per-target
+/// slices, ordered by global offset.
+std::vector<StripeSlice> slices_for(const StripeLayout& layout,
+                                    FileBlock start, u64 count);
+
+/// Target-local logical block for a file-global block.
+FileBlock to_local(const StripeLayout& layout, FileBlock global);
+
+/// Owning target of a file-global block.
+u32 target_of(const StripeLayout& layout, FileBlock global);
+
+}  // namespace mif::osd

@@ -1,0 +1,61 @@
+#include "sim/disk_array.hpp"
+
+#include <algorithm>
+
+namespace mif::sim {
+
+DiskArray::DiskArray(std::size_t disks, DiskGeometry geometry,
+                     std::size_t scheduler_queue) {
+  disks_.reserve(disks);
+  schedulers_.reserve(disks);
+  for (std::size_t i = 0; i < disks; ++i) {
+    disks_.push_back(std::make_unique<Disk>(geometry));
+    schedulers_.push_back(
+        std::make_unique<IoScheduler>(*disks_.back(), scheduler_queue));
+  }
+}
+
+void DiskArray::submit(std::size_t disk_idx, const DiskRequest& req) {
+  schedulers_.at(disk_idx)->submit(req);
+}
+
+void DiskArray::drain_all() {
+  for (auto& s : schedulers_) s->drain();
+}
+
+double DiskArray::elapsed_ms() const {
+  double t = 0.0;
+  for (const auto& d : disks_) t = std::max(t, d->now_ms());
+  return t;
+}
+
+DiskStats DiskArray::total_stats() const {
+  DiskStats total;
+  for (const auto& d : disks_) {
+    const DiskStats& s = d->stats();
+    total.requests += s.requests;
+    total.positionings += s.positionings;
+    total.skips += s.skips;
+    total.sequential_hits += s.sequential_hits;
+    total.blocks_read += s.blocks_read;
+    total.blocks_written += s.blocks_written;
+    total.seek_ms += s.seek_ms;
+    total.rotation_ms += s.rotation_ms;
+    total.skip_ms += s.skip_ms;
+    total.transfer_ms += s.transfer_ms;
+  }
+  return total;
+}
+
+u64 DiskArray::total_dispatched() const {
+  u64 n = 0;
+  for (const auto& s : schedulers_) n += s->stats().dispatched;
+  return n;
+}
+
+void DiskArray::reset_stats() {
+  for (auto& d : disks_) d->reset_stats();
+  for (auto& s : schedulers_) s->reset_stats();
+}
+
+}  // namespace mif::sim

@@ -1,0 +1,46 @@
+// JBOD array: a set of independent spindles, each behind its own merging
+// scheduler — the paper's "fabric disks sitting in an individual JBOD array"
+// (§V-B).  Striped file data spreads across members; the elapsed time of a
+// parallel phase is the slowest member's busy time, which is how a striped
+// read completes in a real PFS client.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/disk.hpp"
+#include "sim/io_scheduler.hpp"
+
+namespace mif::sim {
+
+class DiskArray {
+ public:
+  DiskArray(std::size_t disks, DiskGeometry geometry = {},
+            std::size_t scheduler_queue = 128);
+
+  std::size_t size() const { return disks_.size(); }
+  Disk& disk(std::size_t i) { return *disks_[i]; }
+  const Disk& disk(std::size_t i) const { return *disks_[i]; }
+  IoScheduler& scheduler(std::size_t i) { return *schedulers_[i]; }
+
+  void submit(std::size_t disk_idx, const DiskRequest& req);
+
+  /// Drain every member queue.
+  void drain_all();
+
+  /// Wall-clock of the phase so far: the furthest-ahead member timeline.
+  double elapsed_ms() const;
+
+  /// Aggregate counters over all members.
+  DiskStats total_stats() const;
+  u64 total_dispatched() const;
+
+  void reset_stats();
+
+ private:
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::vector<std::unique_ptr<IoScheduler>> schedulers_;
+};
+
+}  // namespace mif::sim

@@ -1,0 +1,60 @@
+#include "sim/io_scheduler.hpp"
+
+#include <algorithm>
+
+namespace mif::sim {
+
+IoScheduler::IoScheduler(Disk& disk, std::size_t max_queue,
+                         std::size_t max_write_queue)
+    : disk_(disk),
+      max_queue_(max_queue),
+      max_write_queue_(max_write_queue ? max_write_queue : max_queue) {
+  queue_.reserve(max_queue_);
+}
+
+void IoScheduler::submit(const DiskRequest& req) {
+  ++stats_.queued;
+  queue_.push_back(req);
+  if (req.kind == IoKind::kRead) {
+    ++queued_reads_;
+  } else {
+    ++queued_writes_;
+  }
+  if (queued_reads_ >= max_queue_ || queued_writes_ >= max_write_queue_)
+    drain();
+}
+
+double IoScheduler::drain() {
+  if (queue_.empty()) return 0.0;
+  // One-way elevator: ascending block order.  Reads and writes keep their
+  // own merge chains but share the sweep, as in CFQ's sync service tree.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const DiskRequest& a, const DiskRequest& b) {
+                     return a.start.v < b.start.v;
+                   });
+
+  double elapsed = 0.0;
+  std::size_t i = 0;
+  while (i < queue_.size()) {
+    DiskRequest merged = queue_[i];
+    std::size_t j = i + 1;
+    while (j < queue_.size() && queue_[j].kind == merged.kind &&
+           queue_[j].start.v <= merged.start.v + merged.count) {
+      // Back-to-back or overlapping: coalesce.
+      const u64 end = std::max(merged.start.v + merged.count,
+                               queue_[j].start.v + queue_[j].count);
+      merged.count = end - merged.start.v;
+      ++stats_.merged;
+      ++j;
+    }
+    elapsed += disk_.service(merged);
+    ++stats_.dispatched;
+    i = j;
+  }
+  queue_.clear();
+  queued_reads_ = 0;
+  queued_writes_ = 0;
+  return elapsed;
+}
+
+}  // namespace mif::sim

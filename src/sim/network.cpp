@@ -1,0 +1,17 @@
+#include "sim/network.hpp"
+
+namespace mif::sim {
+
+Network::Network(NetworkConfig cfg) : cfg_(cfg) {}
+
+double Network::rpc(u64 payload_bytes) {
+  const double xfer =
+      static_cast<double>(payload_bytes) / (cfg_.bandwidth_mbps * 1e6) * 1e3;
+  const double t = cfg_.rtt_ms + xfer;
+  ++stats_.rpcs;
+  stats_.bytes += payload_bytes;
+  stats_.time_ms += t;
+  return t;
+}
+
+}  // namespace mif::sim

@@ -1,0 +1,38 @@
+// Client <-> server network cost model (GbE through the paper's Catalyst 3750
+// switches).  Metadata results in the paper are disk-bound, but RPC counts
+// still matter for the aggregation argument (§II-A2): readdirplus and
+// open-getlayout exist to cut request counts, so we charge a per-RPC latency
+// plus a bandwidth term and count RPCs.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace mif::sim {
+
+struct NetworkConfig {
+  double rtt_ms{0.12};          // GbE switch round trip
+  double bandwidth_mbps{117.0}; // achievable GbE payload rate
+};
+
+struct NetworkStats {
+  u64 rpcs{0};
+  u64 bytes{0};
+  double time_ms{0.0};
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig cfg = {});
+
+  /// Cost of one request/response exchange carrying `payload_bytes`.
+  double rpc(u64 payload_bytes);
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  NetworkConfig cfg_;
+  NetworkStats stats_;
+};
+
+}  // namespace mif::sim

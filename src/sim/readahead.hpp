@@ -1,0 +1,44 @@
+// Kernel-style sequential readahead window.
+//
+// Fig. 8's readdir-stat result depends on this explicitly: "the size of the
+// prefetching window is gradually enlarged when it correctly predicts the
+// blocks to be used", which lets the embedded directory merge individual
+// readdir-stat operations into a few large disk reads.  We reproduce the
+// classic Linux ondemand-readahead shape: start small, double on every
+// sequential hit, collapse on a miss.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace mif::sim {
+
+struct ReadaheadConfig {
+  u64 initial_blocks{4};   // 16 KiB
+  u64 max_blocks{128};     // 512 KiB — the kernel default max_readahead
+};
+
+class Readahead {
+ public:
+  explicit Readahead(ReadaheadConfig cfg = {});
+
+  /// Ask the window how many blocks to read for an access of `want` blocks
+  /// at logical position `pos`.  Contract: the caller reads logical range
+  /// [pos, pos + returned) through its buffer cache (which absorbs the
+  /// already-resident prefix), or nothing when 0 is returned because an
+  /// earlier prefetch fully covers the access.
+  u64 advise(u64 pos, u64 want);
+
+  u64 window() const { return window_; }
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+
+ private:
+  ReadaheadConfig cfg_;
+  u64 next_expected_{kNoBlock};
+  u64 prefetched_until_{0};  // exclusive logical bound already fetched
+  u64 window_;
+  u64 hits_{0};
+  u64 misses_{0};
+};
+
+}  // namespace mif::sim

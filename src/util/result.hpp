@@ -1,0 +1,97 @@
+// Lightweight Result<T> used across the library instead of exceptions on the
+// I/O hot path (allocation failures, lookup misses and quota errors are
+// ordinary control flow in a file system, not exceptional conditions).
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mif {
+
+enum class Errc {
+  kOk = 0,
+  kNoSpace,        // allocator exhausted the requested group / device
+  kNotFound,       // path, inode or directory id does not exist
+  kExists,         // create over an existing name
+  kNotDirectory,   // path component is a regular file
+  kIsDirectory,    // file operation on a directory
+  kNotEmpty,       // rmdir on a non-empty directory
+  kInvalid,        // malformed argument (zero-length write, bad offset...)
+  kStale,          // handle or layout generation no longer valid
+  kBusy,           // resource locked by another stream/server
+  kQuota,          // per-directory or per-fs structural limit reached
+  kIo,             // simulated device error (fault injection)
+};
+
+std::string_view to_string(Errc e);
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT implicit by design
+  Result(Errc err) : state_(err) { assert(err != Errc::kOk); }  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  Errc error() const { return ok() ? Errc::kOk : std::get<Errc>(state_); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value or a fallback, for callers that have a safe default.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Errc> state_;
+};
+
+/// Specialisation-free void result.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Errc err) : err_(err) {}  // NOLINT implicit by design
+  bool ok() const { return err_ == Errc::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return err_; }
+
+ private:
+  Errc err_{Errc::kOk};
+};
+
+inline std::string_view to_string(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "ok";
+    case Errc::kNoSpace: return "no space";
+    case Errc::kNotFound: return "not found";
+    case Errc::kExists: return "exists";
+    case Errc::kNotDirectory: return "not a directory";
+    case Errc::kIsDirectory: return "is a directory";
+    case Errc::kNotEmpty: return "directory not empty";
+    case Errc::kInvalid: return "invalid argument";
+    case Errc::kStale: return "stale handle";
+    case Errc::kBusy: return "busy";
+    case Errc::kQuota: return "quota/structural limit";
+    case Errc::kIo: return "i/o error";
+  }
+  return "unknown";
+}
+
+}  // namespace mif

@@ -1,0 +1,66 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace mif {
+
+namespace {
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64 to expand the seed into the full state.
+u64 splitmix(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  for (auto& s : s_) s = splitmix(seed);
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::uniform(u64 lo, u64 hi) {
+  const u64 span = hi - lo + 1;
+  if (span == 0) return next();  // full 64-bit range
+  // Rejection-free modulo is fine here: span << 2^64 for all our workloads.
+  return lo + next() % span;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+u64 Rng::pareto(u64 lo, u64 hi, double alpha) {
+  const double u = uniform01();
+  const double l = static_cast<double>(lo);
+  const double h = static_cast<double>(hi);
+  const double la = std::pow(l, alpha);
+  const double ha = std::pow(h, alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  const u64 r = static_cast<u64>(x);
+  return r < lo ? lo : (r > hi ? hi : r);
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform01();
+  if (u >= 1.0) u = 0.999999999;
+  return -mean * std::log(1.0 - u);
+}
+
+}  // namespace mif

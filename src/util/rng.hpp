@@ -1,0 +1,41 @@
+// Deterministic PRNG (xoshiro256**) for workload generators.
+//
+// Benchmarks must be reproducible run-to-run, so every workload takes an
+// explicit seed and derives its own generator; we never touch global RNG
+// state or wall-clock entropy.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace mif {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  u64 next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  u64 uniform(u64 lo, u64 hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Sample from a bounded Pareto-ish distribution: heavy-tailed file sizes
+  /// as observed in source trees (many small files, few large ones).
+  u64 pareto(u64 lo, u64 hi, double alpha);
+
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace mif

@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace mif {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ = (n * mean_ + m * other.mean_) / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0) {}
+
+void Histogram::add(u64 value) {
+  const std::size_t b =
+      value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  counts_[std::min(b, counts_.size() - 1)]++;
+  ++total_;
+}
+
+u64 Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  const u64 target = static_cast<u64>(q * static_cast<double>(total_));
+  u64 seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return u64{1} << (i + 1);
+  }
+  return u64{1} << counts_.size();
+}
+
+std::string Histogram::to_string(std::string_view label) const {
+  std::ostringstream os;
+  os << label << " (n=" << total_ << ")\n";
+  u64 peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return os.str();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    os << "  [2^" << i << ", 2^" << i + 1 << "): ";
+    const auto bar = static_cast<std::size_t>(
+        40.0 * static_cast<double>(counts_[i]) / static_cast<double>(peak));
+    for (std::size_t j = 0; j < bar; ++j) os << '#';
+    os << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace mif

@@ -1,0 +1,62 @@
+// Streaming statistics and histograms used by the benchmark harness and by
+// per-subsystem counters (disk positioning times, extent counts, latencies).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mif {
+
+/// Welford streaming mean/variance plus min/max.  O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Fixed-bucket log2 histogram for sizes/latencies; cheap and allocation-free
+/// after construction.
+class Histogram {
+ public:
+  /// Buckets are [2^i, 2^(i+1)) for i in [0, buckets).
+  explicit Histogram(std::size_t buckets = 40);
+
+  void add(u64 value);
+  u64 count() const { return total_; }
+  u64 bucket(std::size_t i) const { return i < counts_.size() ? counts_[i] : 0; }
+  std::size_t buckets() const { return counts_.size(); }
+
+  /// Approximate quantile (bucket upper bound containing quantile q in [0,1]).
+  u64 quantile(double q) const;
+
+  std::string to_string(std::string_view label) const;
+
+ private:
+  std::vector<u64> counts_;
+  u64 total_{0};
+};
+
+/// Exact percentile over a recorded sample vector (used where sample counts
+/// are small enough to keep, e.g. per-operation latencies in metadata tests).
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace mif

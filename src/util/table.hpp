@@ -1,0 +1,29 @@
+// ASCII table renderer for the benchmark harness.  Every bench binary prints
+// the same rows/series as the paper's tables and figures; this keeps that
+// output aligned and diff-able.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mif {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  static std::string pct(double fraction, int precision = 1);
+
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mif

@@ -1,0 +1,45 @@
+// File-system aging driver (§V-D2, Fig. 9).
+//
+// "We used an aging method similar to that described in the NetApp network
+// file system report: our program created and deleted a large number of
+// files.  After reaching the desired file system utilization for the first
+// time, our program executed a number of metadata accesses with the same
+// distribution."  Aging here applies to the MDS's metadata file system:
+// create/delete churn consumes and fragments its free space until the
+// target utilisation, then the create/delete micro-benchmark measures what
+// is left of the throughput.
+#pragma once
+
+#include "mds/mds.hpp"
+#include "util/rng.hpp"
+
+namespace mif::workload {
+
+struct AgingConfig {
+  double target_utilisation{0.8};
+  /// Files per churn directory; sized so churn converges in sane time.
+  u32 files_per_round{2000};
+  /// Fraction of each round's files deleted again (leaves survivors that
+  /// pin space and fragment the free list).
+  double delete_fraction{0.5};
+  /// Simulated extents per surviving file (forces mapping-block spill).
+  u64 extents_per_file{64};
+  /// Measurement phase: files created/deleted per directory.
+  u32 measure_files{2000};
+  u32 measure_dirs{4};
+  u64 seed{17};
+  u32 max_rounds{400};
+};
+
+struct AgingResult {
+  double utilisation_reached{0.0};
+  u32 rounds{0};
+  double create_ops_per_sec{0.0};
+  double delete_ops_per_sec{0.0};
+  u64 create_disk_accesses{0};
+  u64 delete_disk_accesses{0};
+};
+
+AgingResult run_aging(mds::Mds& mds, const AgingConfig& cfg);
+
+}  // namespace mif::workload

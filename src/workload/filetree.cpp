@@ -1,0 +1,142 @@
+#include "workload/filetree.hpp"
+
+#include <cassert>
+
+namespace mif::workload {
+
+FileTreeWorkload::FileTreeWorkload(core::ParallelFileSystem& fs,
+                                   FileTreeConfig cfg)
+    : fs_(fs), cfg_(cfg), rng_(cfg.seed) {
+  // Plan the tree up front (deterministic given the seed); nothing touches
+  // the file system until untar().
+  dirs_.reserve(cfg_.directories);
+  for (u32 d = 0; d < cfg_.directories; ++d) {
+    if (d == 0 || rng_.chance(0.7)) {
+      dirs_.push_back("src" + std::to_string(d));
+    } else {
+      // Nest under an existing directory.
+      const std::size_t parent = rng_.uniform(0, dirs_.size() - 1);
+      dirs_.push_back(dirs_[parent] + "/sub" + std::to_string(d));
+    }
+  }
+  files_.reserve(cfg_.files);
+  for (u32 f = 0; f < cfg_.files; ++f) {
+    TreeFile tf;
+    const std::size_t d = rng_.uniform(0, dirs_.size() - 1);
+    tf.is_source = rng_.chance(cfg_.source_fraction);
+    tf.path = dirs_[d] + (tf.is_source ? "/s" : "/h") + std::to_string(f) +
+              (tf.is_source ? ".c" : ".h");
+    tf.size = rng_.pareto(cfg_.min_file_bytes, cfg_.max_file_bytes,
+                          cfg_.size_alpha);
+    files_.push_back(std::move(tf));
+  }
+}
+
+AppRunResult FileTreeWorkload::timed(u64 ops, double cpu_ms,
+                                     const std::function<void()>& body) {
+  // Each application starts with a cold metadata cache — untar, make and
+  // clean are separate program runs with other activity in between.
+  fs_.mds().finish();
+  fs_.mds().fs().cache().invalidate_all();
+  const double meta0 = fs_.mds().fs().elapsed_ms();
+  const double data0 = fs_.data_elapsed_ms();
+  body();
+  fs_.drain_data();
+  fs_.mds().finish();
+  AppRunResult r;
+  r.ops = ops;
+  r.cpu_ms = cpu_ms;
+  r.metadata_ms = fs_.mds().fs().elapsed_ms() - meta0;
+  r.data_ms = fs_.data_elapsed_ms() - data0;
+  r.elapsed_ms = r.metadata_ms + r.data_ms + r.cpu_ms;
+  return r;
+}
+
+AppRunResult FileTreeWorkload::untar() {
+  auto client = fs_.connect(ClientId{1});
+  return timed(dirs_.size() + files_.size(), 0.0, [&] {
+    for (const std::string& d : dirs_) {
+      auto r = fs_.mds().mkdir(d);
+      assert(r);
+      (void)r;
+    }
+    for (TreeFile& f : files_) {
+      auto fh = client.create(f.path);
+      assert(fh);
+      f.ino = fh->ino;
+      const Status w = client.write(*fh, 0, 0, f.size);
+      assert(w.ok());
+      (void)w;
+      const Status c = client.close(*fh);
+      assert(c.ok());
+      (void)c;
+    }
+  });
+}
+
+AppRunResult FileTreeWorkload::make() {
+  auto client = fs_.connect(ClientId{1});
+  u64 compiled = 0;
+  for (const TreeFile& f : files_)
+    if (f.is_source) ++compiled;
+  const double cpu = static_cast<double>(compiled) * cfg_.compile_cpu_ms;
+  return timed(compiled, cpu, [&] {
+    objects_.clear();
+    for (const TreeFile& f : files_) {
+      if (!f.is_source) continue;
+      auto src = client.open(f.path);
+      assert(src);
+      const Status rs = client.read(*src, 0, f.size);
+      assert(rs.ok());
+      (void)rs;
+      TreeFile obj;
+      obj.path = f.path + ".o";
+      obj.size = f.size * 2;  // objects are larger than sources
+      auto fh = client.create(obj.path);
+      assert(fh);
+      obj.ino = fh->ino;
+      const Status w = client.write(*fh, 0, 0, obj.size);
+      assert(w.ok());
+      (void)w;
+      const Status c = client.close(*fh);
+      assert(c.ok());
+      (void)c;
+      objects_.push_back(std::move(obj));
+    }
+  });
+}
+
+AppRunResult FileTreeWorkload::make_clean() {
+  return timed(objects_.size(), 0.0, [&] {
+    for (const TreeFile& obj : objects_) {
+      const Status st = fs_.mds().stat(obj.path);
+      assert(st.ok());
+      (void)st;
+      const Status s = fs_.mds().unlink(obj.path);
+      assert(s.ok());
+      (void)s;
+      fs_.delete_file(obj.ino);
+    }
+    objects_.clear();
+  });
+}
+
+AppRunResult FileTreeWorkload::tar_scan() {
+  auto client = fs_.connect(ClientId{1});
+  return timed(files_.size(), 0.0, [&] {
+    for (const std::string& d : dirs_) {
+      auto entries = fs_.mds().readdir_stats(d);
+      assert(entries);
+      (void)entries;
+    }
+    for (const TreeFile& f : files_) {
+      auto fh = client.open(f.path);
+      assert(fh);
+      const Status s = client.read(*fh, 0, f.size);
+      assert(s.ok());
+      (void)s;
+    }
+  });
+}
+
+}  // namespace mif::workload

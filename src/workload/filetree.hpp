@@ -1,0 +1,81 @@
+// Source-tree application models (§V-D3, Fig. 10): untar / make /
+// make-clean over a Linux-kernel-shaped file tree ("the three applications
+// all use files of linux kernel code (v2.6.30)").
+//
+// The tree generator reproduces the structural properties that matter to a
+// metadata server: many directories, heavy-tailed small-file sizes, sources
+// outnumbering everything else.  `make` is deliberately CPU-dominated (the
+// paper sees only ~4 % improvement there and is "actually quite glad at
+// it").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pfs.hpp"
+#include "util/rng.hpp"
+
+namespace mif::workload {
+
+struct FileTreeConfig {
+  u32 directories{300};
+  u32 files{12000};
+  u64 min_file_bytes{512};
+  u64 max_file_bytes{512 * 1024};
+  double size_alpha{1.1};  // Pareto tail: most files are a few KiB
+  /// Fraction of files that are compilable sources (become .o files).
+  double source_fraction{0.45};
+  /// CPU milliseconds to compile one source (makes `make` CPU-bound).
+  double compile_cpu_ms{15.0};
+  u64 seed{26300};
+};
+
+struct AppRunResult {
+  double elapsed_ms{0.0};
+  double metadata_ms{0.0};
+  double data_ms{0.0};
+  double cpu_ms{0.0};
+  u64 ops{0};
+};
+
+/// A generated tree bound to one cluster; run the application phases in
+/// order (untar → make → make_clean → tar_scan).
+class FileTreeWorkload {
+ public:
+  FileTreeWorkload(core::ParallelFileSystem& fs, FileTreeConfig cfg = {});
+
+  /// Unpack: create every directory and file, writing file contents.
+  AppRunResult untar();
+
+  /// Build: read every source, compile (CPU), create+write the .o files.
+  AppRunResult make();
+
+  /// Clean: stat and unlink every derived object file.
+  AppRunResult make_clean();
+
+  /// Archive: readdir-stat every directory and read every file back.
+  AppRunResult tar_scan();
+
+  u64 file_count() const { return files_.size(); }
+
+ private:
+  struct TreeFile {
+    std::string path;
+    InodeNo ino{};
+    u64 size{0};
+    bool is_source{false};
+  };
+
+  AppRunResult timed(u64 ops, double cpu_ms,
+                     const std::function<void()>& body);
+
+  core::ParallelFileSystem& fs_;
+  FileTreeConfig cfg_;
+  Rng rng_;
+  std::vector<std::string> dirs_;
+  std::vector<TreeFile> files_;
+  std::vector<TreeFile> objects_;
+};
+
+}  // namespace mif::workload

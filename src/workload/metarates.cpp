@@ -1,0 +1,98 @@
+#include "workload/metarates.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace mif::workload {
+
+namespace {
+
+std::string dir_name(u32 c) { return "client" + std::to_string(c); }
+
+std::string file_path(u32 c, u32 f) {
+  return dir_name(c) + "/f" + std::to_string(f);
+}
+
+class PhaseScope {
+ public:
+  PhaseScope(mds::Mds& mds, PhaseResult& out, bool cold)
+      : mds_(mds), out_(out) {
+    mds_.finish();
+    if (cold) mds_.fs().cache().invalidate_all();
+    start_ms_ = mds_.fs().elapsed_ms();
+    start_access_ = mds_.fs().disk_accesses();
+  }
+  ~PhaseScope() {
+    mds_.finish();
+    out_.elapsed_ms = mds_.fs().elapsed_ms() - start_ms_;
+    out_.disk_accesses = mds_.fs().disk_accesses() - start_access_;
+  }
+
+ private:
+  mds::Mds& mds_;
+  PhaseResult& out_;
+  double start_ms_{0.0};
+  u64 start_access_{0};
+};
+
+}  // namespace
+
+MetaratesResult run_metarates(mds::Mds& mds, const MetaratesConfig& cfg) {
+  MetaratesResult res;
+
+  // Directories are part of the setup, not the timed create phase.
+  for (u32 c = 0; c < cfg.clients; ++c) {
+    auto r = mds.mkdir(dir_name(c));
+    assert(r);
+    (void)r;
+  }
+
+  {
+    PhaseScope scope(mds, res.create, cfg.cold_phases);
+    for (u32 f = 0; f < cfg.files_per_dir; ++f) {
+      for (u32 c = 0; c < cfg.clients; ++c) {
+        auto r = mds.create(file_path(c, f));
+        assert(r);
+        (void)r;
+        ++res.create.ops;
+      }
+    }
+  }
+
+  {
+    PhaseScope scope(mds, res.utime, cfg.cold_phases);
+    for (u32 f = 0; f < cfg.files_per_dir; ++f) {
+      for (u32 c = 0; c < cfg.clients; ++c) {
+        const Status s = mds.utime(file_path(c, f));
+        assert(s.ok());
+        (void)s;
+        ++res.utime.ops;
+      }
+    }
+  }
+
+  {
+    PhaseScope scope(mds, res.readdir_stat, cfg.cold_phases);
+    for (u32 c = 0; c < cfg.clients; ++c) {
+      auto entries = mds.readdir_stats(dir_name(c));
+      assert(entries);
+      res.readdir_stat.ops += entries->size();
+    }
+  }
+
+  {
+    PhaseScope scope(mds, res.remove, cfg.cold_phases);
+    for (u32 f = 0; f < cfg.files_per_dir; ++f) {
+      for (u32 c = 0; c < cfg.clients; ++c) {
+        const Status s = mds.unlink(file_path(c, f));
+        assert(s.ok());
+        (void)s;
+        ++res.remove.ops;
+      }
+    }
+  }
+
+  return res;
+}
+
+}  // namespace mif::workload

@@ -1,0 +1,42 @@
+// Metarates-like metadata benchmark (§V-D1, Fig. 8).
+//
+// "We used the Metarates application, an MPI application that coordinates
+// file system accesses from multiple clients … each client worked in its own
+// directory; each single directory contained 5000 subfiles."  Four phases —
+// create, utime, readdir-stat, delete — each interleaved across clients so
+// the MDS sees concurrent streams (which is what scatters normal-mode inode
+// tables across directories).
+#pragma once
+
+#include "mds/mds.hpp"
+
+namespace mif::workload {
+
+struct MetaratesConfig {
+  u32 clients{10};
+  u32 files_per_dir{5000};
+  /// Drop the MDS cache before each phase (cold-cache measurement, matching
+  /// the paper's disk-access-count methodology).
+  bool cold_phases{true};
+};
+
+struct PhaseResult {
+  u64 ops{0};
+  double elapsed_ms{0.0};
+  u64 disk_accesses{0};
+  double ops_per_sec() const {
+    return elapsed_ms > 0 ? static_cast<double>(ops) / (elapsed_ms * 1e-3)
+                          : 0.0;
+  }
+};
+
+struct MetaratesResult {
+  PhaseResult create;
+  PhaseResult utime;
+  PhaseResult readdir_stat;
+  PhaseResult remove;
+};
+
+MetaratesResult run_metarates(mds::Mds& mds, const MetaratesConfig& cfg);
+
+}  // namespace mif::workload

@@ -1,0 +1,39 @@
+// PostMark-like small-file benchmark (§V-D3, Fig. 10).
+//
+// Katcher's PostMark: build an initial pool of small files, then run
+// transactions, each pairing a create-or-delete with a read-or-append,
+// over uniformly random targets.  The paper configures 100 K files / 500 K
+// transactions with transaction size = file size; the bench scales that
+// down proportionally (documented in EXPERIMENTS.md) — the comparison is
+// between directory layouts on identical configurations.
+#pragma once
+
+#include "core/pfs.hpp"
+#include "util/rng.hpp"
+
+namespace mif::workload {
+
+struct PostmarkConfig {
+  u32 base_files{10000};
+  u32 transactions{50000};
+  u32 subdirectories{100};
+  u64 min_file_bytes{512};
+  u64 max_file_bytes{16 * 1024};
+  u64 seed{20110946};
+};
+
+struct PostmarkResult {
+  double elapsed_ms{0.0};       // metadata + data time
+  double metadata_ms{0.0};
+  double data_ms{0.0};
+  u64 created{0};
+  u64 deleted{0};
+  u64 read{0};
+  u64 appended{0};
+  double transactions_per_sec{0.0};
+};
+
+PostmarkResult run_postmark(core::ParallelFileSystem& fs,
+                            const PostmarkConfig& cfg);
+
+}  // namespace mif::workload

@@ -1,0 +1,92 @@
+#include "workload/shared_file.hpp"
+
+#include <cassert>
+
+namespace mif::workload {
+
+SharedFileResult run_shared_file(core::ParallelFileSystem& fs,
+                                 const SharedFileConfig& cfg) {
+  SharedFileResult res;
+  auto client = fs.connect(ClientId{1});
+  auto fh = client.create("/shared.odb");
+  assert(fh);
+
+  const u64 total_blocks =
+      static_cast<u64>(cfg.processes) * cfg.blocks_per_process;
+  res.file_blocks = total_blocks;
+
+  if (cfg.static_prealloc) {
+    const Status s = fs.preallocate(fh->ino, total_blocks);
+    assert(s.ok());
+    (void)s;
+  }
+
+  // ---- phase 1: concurrent interleaved extends --------------------------
+  // Requests arrive in rounds: at Tn every live process issues its n-th
+  // request (the exact arrival pattern of Fig. 1(a)/Fig. 3).  Process p is
+  // thread (p % threads) of client (p / threads).
+  const u64 rounds =
+      (cfg.blocks_per_process + cfg.request_blocks - 1) / cfg.request_blocks;
+  // Per-node client sessions, as in the real cluster.
+  std::vector<client::ClientFs> clients;
+  const u32 nodes =
+      (cfg.processes + cfg.threads_per_client - 1) / cfg.threads_per_client;
+  clients.reserve(nodes);
+  for (u32 n = 0; n < nodes; ++n)
+    clients.push_back(fs.connect(ClientId{2 + n}));
+
+  for (u64 r = 0; r < rounds; ++r) {
+    for (u32 p = 0; p < cfg.processes; ++p) {
+      const u64 region_start = static_cast<u64>(p) * cfg.blocks_per_process;
+      const u64 off = r * cfg.request_blocks;
+      if (off >= cfg.blocks_per_process) continue;
+      const u64 len = std::min(cfg.request_blocks,
+                               cfg.blocks_per_process - off);
+      client::ClientFs& c = clients[p / cfg.threads_per_client];
+      const Status s = c.write(*fh, p % cfg.threads_per_client,
+                               blocks_to_bytes(region_start + off),
+                               blocks_to_bytes(len));
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  fs.drain_data();
+  res.phase1_ms = fs.data_elapsed_ms();
+
+  // End of the producing job: close releases temporary reservations and
+  // ships the final layout to the MDS.
+  const Status closed = client.close(*fh);
+  assert(closed.ok());
+  (void)closed;
+  res.extents = fs.file_extents(fh->ino);
+
+  // ---- phase 2: 1024 concurrent segment readers ---------------------------
+  // "The shared file was split into 1024 segments and each one was
+  // sequentially read by a thread in cluster": every reader streams its own
+  // segment; the per-target elevator queues mix the concurrent segment
+  // streams exactly as the block layer under a real cluster would.
+  fs.reset_data_stats();
+  const double t0 = fs.data_elapsed_ms();
+  const u64 seg_blocks = std::max<u64>(1, total_blocks / cfg.read_segments);
+  auto rfh = client.open("/shared.odb");
+  assert(rfh);
+  const u64 segments = (total_blocks + seg_blocks - 1) / seg_blocks;
+  for (u64 seg = 0; seg < segments; ++seg) {
+    const u64 start = seg * seg_blocks;
+    const u64 len = std::min(seg_blocks, total_blocks - start);
+    const Status s =
+        client.read(*rfh, blocks_to_bytes(start), blocks_to_bytes(len));
+    assert(s.ok());
+    (void)s;
+  }
+  fs.drain_data();
+  res.phase2_ms = fs.data_elapsed_ms() - t0;
+  res.positionings = fs.data_stats().positionings;
+  const double bytes = static_cast<double>(blocks_to_bytes(total_blocks));
+  res.phase2_throughput_mbps = bytes / (res.phase2_ms * 1e-3) / 1e6;
+  res.mds_cpu =
+      fs.mds().stats().cpu_ms / std::max(res.phase1_ms + res.phase2_ms, 1e-9);
+  return res;
+}
+
+}  // namespace mif::workload

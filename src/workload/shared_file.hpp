@@ -1,0 +1,44 @@
+// Shared-file micro-benchmark (§V-C1, Fig. 6).
+//
+// Reconstructed from the paper's description, which in turn follows the
+// LLNL trace analysis of [16]:
+//   phase 1 — N processes (4 threads per client node) concurrently extend
+//             one shared file, each writing its own contiguous logical
+//             region in fixed-size requests, requests interleaving in
+//             arrival order across processes (Fig. 1(a)'s pathology);
+//   phase 2 — the file is split into 1024 segments, each read sequentially
+//             (the "further analysis" pass whose throughput Fig. 6 plots).
+#pragma once
+
+#include "core/pfs.hpp"
+
+namespace mif::workload {
+
+struct SharedFileConfig {
+  u32 processes{32};
+  u32 threads_per_client{4};
+  u64 request_blocks{1};       // phase-1 write request size (blocks)
+  u64 blocks_per_process{256}; // each process extends this much (1 MiB)
+  u32 read_segments{1024};
+  /// Use the fallocate baseline: persistently preallocate the whole file
+  /// before phase 1 (requires foreknowledge of the final size).
+  bool static_prealloc{false};
+};
+
+struct SharedFileResult {
+  double phase1_ms{0.0};
+  double phase2_ms{0.0};
+  double phase2_throughput_mbps{0.0};
+  u64 file_blocks{0};
+  u64 extents{0};        // Table I metric
+  u64 positionings{0};   // phase-2 head movements
+  double mds_cpu{0.0};   // MDS CPU utilisation over the run
+};
+
+/// Runs both phases on an already-mounted cluster.  The caller chooses the
+/// preallocation strategy via the cluster's allocator mode (plus
+/// `static_prealloc` for the fallocate baseline).
+SharedFileResult run_shared_file(core::ParallelFileSystem& fs,
+                                 const SharedFileConfig& cfg);
+
+}  // namespace mif::workload

@@ -1,0 +1,220 @@
+#include "workload/trace.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace mif::workload {
+
+std::string_view to_string(TraceOpKind k) {
+  switch (k) {
+    case TraceOpKind::kCreate: return "create";
+    case TraceOpKind::kOpen: return "open";
+    case TraceOpKind::kWrite: return "write";
+    case TraceOpKind::kRead: return "read";
+    case TraceOpKind::kClose: return "close";
+    case TraceOpKind::kUnlink: return "unlink";
+    case TraceOpKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+namespace {
+Result<TraceOpKind> kind_from(std::string_view s) {
+  if (s == "create") return TraceOpKind::kCreate;
+  if (s == "open") return TraceOpKind::kOpen;
+  if (s == "write") return TraceOpKind::kWrite;
+  if (s == "read") return TraceOpKind::kRead;
+  if (s == "close") return TraceOpKind::kClose;
+  if (s == "unlink") return TraceOpKind::kUnlink;
+  if (s == "barrier") return TraceOpKind::kBarrier;
+  return Errc::kInvalid;
+}
+}  // namespace
+
+void Trace::save(std::ostream& out) const {
+  for (const TraceOp& op : ops_) {
+    out << workload::to_string(op.kind) << ' ' << op.pid << ' '
+        << (op.path.empty() ? "-" : op.path) << ' ' << op.offset << ' '
+        << op.length << '\n';
+  }
+}
+
+Result<Trace> Trace::load(std::istream& in) {
+  Trace t;
+  std::string kind_s, path;
+  u32 pid;
+  u64 offset, length;
+  while (in >> kind_s >> pid >> path >> offset >> length) {
+    auto kind = kind_from(kind_s);
+    if (!kind) return kind.error();
+    TraceOp op;
+    op.kind = *kind;
+    op.pid = pid;
+    op.path = path == "-" ? std::string{} : path;
+    op.offset = offset;
+    op.length = length;
+    t.append(std::move(op));
+  }
+  if (!in.eof() && in.fail()) return Errc::kInvalid;
+  return t;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  save(os);
+  return os.str();
+}
+
+Result<Trace> Trace::parse(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return load(is);
+}
+
+ReplayResult replay(core::ParallelFileSystem& fs, const Trace& trace) {
+  ReplayResult res;
+  auto client = fs.connect(ClientId{1});
+  std::unordered_map<std::string, client::FileHandle> open_files;
+
+  const double data0 = fs.data_elapsed_ms();
+  const double meta0 = fs.mds().fs().elapsed_ms();
+
+  auto handle_for = [&](const std::string& path) -> client::FileHandle* {
+    auto it = open_files.find(path);
+    if (it != open_files.end()) return &it->second;
+    auto fh = client.open(path);
+    if (!fh) return nullptr;
+    return &open_files.emplace(path, *fh).first->second;
+  };
+
+  for (const TraceOp& op : trace.ops()) {
+    ++res.ops_executed;
+    switch (op.kind) {
+      case TraceOpKind::kCreate: {
+        auto fh = client.create(op.path);
+        if (!fh) {
+          ++res.errors;
+        } else {
+          open_files[op.path] = *fh;
+        }
+        break;
+      }
+      case TraceOpKind::kOpen: {
+        if (!handle_for(op.path)) ++res.errors;
+        break;
+      }
+      case TraceOpKind::kWrite: {
+        client::FileHandle* fh = handle_for(op.path);
+        if (!fh || !client.write(*fh, op.pid, op.offset, op.length).ok()) {
+          ++res.errors;
+        } else {
+          res.bytes_written += op.length;
+        }
+        break;
+      }
+      case TraceOpKind::kRead: {
+        client::FileHandle* fh = handle_for(op.path);
+        if (!fh || !client.read(*fh, op.offset, op.length).ok()) {
+          ++res.errors;
+        } else {
+          res.bytes_read += op.length;
+        }
+        break;
+      }
+      case TraceOpKind::kClose: {
+        auto it = open_files.find(op.path);
+        if (it == open_files.end()) {
+          ++res.errors;
+        } else {
+          if (!client.close(it->second).ok()) ++res.errors;
+          open_files.erase(it);
+        }
+        break;
+      }
+      case TraceOpKind::kUnlink: {
+        auto it = open_files.find(op.path);
+        InodeNo ino{};
+        if (it != open_files.end()) {
+          ino = it->second.ino;
+          open_files.erase(it);
+        }
+        if (!fs.mds().unlink(op.path).ok()) {
+          ++res.errors;
+        } else if (ino.valid()) {
+          fs.delete_file(ino);
+        }
+        break;
+      }
+      case TraceOpKind::kBarrier:
+        fs.drain_data();
+        break;
+    }
+  }
+  fs.drain_data();
+  fs.mds().finish();
+  res.data_elapsed_ms = fs.data_elapsed_ms() - data0;
+  res.metadata_elapsed_ms = fs.mds().fs().elapsed_ms() - meta0;
+  return res;
+}
+
+Trace make_checkpoint_trace(u32 processes, u64 region_bytes, u64 request_bytes,
+                            double pacing, u64 seed) {
+  Trace t;
+  Rng rng(seed);
+  const std::string file = "ckpt.odb";
+  t.append({TraceOpKind::kCreate, 0, file, 0, 0});
+
+  const u64 rounds = (region_bytes + request_bytes - 1) / request_bytes;
+  std::vector<u64> next(processes, 0);
+  u64 remaining = static_cast<u64>(processes) * rounds;
+  while (remaining > 0) {
+    for (u32 p = 0; p < processes; ++p) {
+      if (next[p] >= rounds) continue;
+      if (pacing < 1.0 && !rng.chance(pacing)) continue;
+      const u64 off = static_cast<u64>(p) * region_bytes +
+                      next[p] * request_bytes;
+      const u64 len =
+          std::min(request_bytes, region_bytes - next[p] * request_bytes);
+      t.append({TraceOpKind::kWrite, p, file, off, len});
+      ++next[p];
+      --remaining;
+    }
+  }
+  t.append({TraceOpKind::kBarrier, 0, {}, 0, 0});
+  t.append({TraceOpKind::kClose, 0, file, 0, 0});
+  return t;
+}
+
+Trace make_smallfile_trace(u32 files, u32 transactions, u64 max_bytes,
+                           u64 seed) {
+  Trace t;
+  Rng rng(seed);
+  std::vector<std::string> live;
+  u64 serial = 0;
+  auto create_one = [&] {
+    std::string path = "sf" + std::to_string(serial++);
+    const u64 size = rng.uniform(512, max_bytes);
+    t.append({TraceOpKind::kCreate, 0, path, 0, 0});
+    t.append({TraceOpKind::kWrite, 0, path, 0, size});
+    t.append({TraceOpKind::kClose, 0, path, 0, 0});
+    live.push_back(std::move(path));
+  };
+  for (u32 i = 0; i < files; ++i) create_one();
+  for (u32 x = 0; x < transactions; ++x) {
+    if (live.empty() || rng.chance(0.5)) {
+      create_one();
+    } else {
+      const std::size_t i = rng.uniform(0, live.size() - 1);
+      if (rng.chance(0.5)) {
+        t.append({TraceOpKind::kRead, 0, live[i], 0, max_bytes / 2});
+      } else {
+        t.append({TraceOpKind::kUnlink, 0, live[i], 0, 0});
+        live[i] = live.back();
+        live.pop_back();
+      }
+    }
+  }
+  t.append({TraceOpKind::kBarrier, 0, {}, 0, 0});
+  return t;
+}
+
+}  // namespace mif::workload

@@ -1,0 +1,87 @@
+// I/O trace recording and replay.
+//
+// The paper's micro-benchmark is "based on the trace analysis of scientific
+// computing environment" [16] — traces of which files each process touched,
+// where, and in what order.  This module gives the reproduction the same
+// methodology: a compact text trace format, generators that synthesise
+// traces with the published workloads' structure (concurrent disjoint-region
+// extends of shared files), and a replayer that drives a mounted cluster
+// from any trace.  Traces round-trip through text so captured runs can be
+// archived, diffed and replayed deterministically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pfs.hpp"
+#include "util/rng.hpp"
+
+namespace mif::workload {
+
+enum class TraceOpKind : u8 {
+  kCreate,
+  kOpen,
+  kWrite,
+  kRead,
+  kClose,
+  kUnlink,
+  kBarrier,  // all outstanding data I/O drains (MPI barrier / phase end)
+};
+std::string_view to_string(TraceOpKind k);
+
+struct TraceOp {
+  TraceOpKind kind{TraceOpKind::kBarrier};
+  u32 pid{0};        // issuing process
+  std::string path;  // target file (empty for barrier)
+  u64 offset{0};
+  u64 length{0};
+  bool operator==(const TraceOp&) const = default;
+};
+
+class Trace {
+ public:
+  void append(TraceOp op) { ops_.push_back(std::move(op)); }
+  const std::vector<TraceOp>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// One line per op: `<kind> <pid> <path> <offset> <length>`.
+  void save(std::ostream& out) const;
+  static Result<Trace> load(std::istream& in);
+
+  std::string to_string() const;
+  static Result<Trace> parse(std::string_view text);
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+/// Statistics from a replay run.
+struct ReplayResult {
+  u64 ops_executed{0};
+  u64 errors{0};
+  double data_elapsed_ms{0.0};
+  double metadata_elapsed_ms{0.0};
+  u64 bytes_written{0};
+  u64 bytes_read{0};
+};
+
+/// Replays a trace against a mounted cluster.  Each pid maps onto a stream
+/// of the single replay client; paths are created on first use if the trace
+/// says so.  Unknown files on read/write are reported as errors, not
+/// aborts, so truncated traces degrade gracefully.
+ReplayResult replay(core::ParallelFileSystem& fs, const Trace& trace);
+
+/// Synthesises the checkpoint-style trace of [16]: `processes` ranks
+/// appending disjoint regions of one shared file in `rounds` interleaved
+/// request waves, with optional pacing jitter.
+Trace make_checkpoint_trace(u32 processes, u64 region_bytes,
+                            u64 request_bytes, double pacing = 1.0,
+                            u64 seed = 16);
+
+/// Synthesises a small-file create/read/delete churn trace (PostMark-ish).
+Trace make_smallfile_trace(u32 files, u32 transactions, u64 max_bytes,
+                           u64 seed = 17);
+
+}  // namespace mif::workload

@@ -1,0 +1,149 @@
+// Unit tests for parallel allocation groups and the free-space manager.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "block/free_space.hpp"
+
+namespace mif::block {
+namespace {
+
+TEST(AllocGroup, AllocatesWithinItsRange) {
+  AllocGroup g(0, DiskBlock{1000}, 500);
+  auto r = g.allocate_exact(DiskBlock{1200}, 10);
+  ASSERT_TRUE(r);
+  EXPECT_GE(r->start.v, 1000u);
+  EXPECT_LT(r->end(), 1500u);
+  EXPECT_EQ(g.free_blocks(), 490u);
+}
+
+TEST(AllocGroup, GoalDirectedPlacement) {
+  AllocGroup g(0, DiskBlock{0}, 1000);
+  auto r = g.allocate_exact(DiskBlock{500}, 10);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->start.v, 500u);
+}
+
+TEST(AllocGroup, ExtendInPlaceGrowsRun) {
+  AllocGroup g(0, DiskBlock{0}, 100);
+  auto r = g.allocate_exact(DiskBlock{0}, 10);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(g.extend_in_place(DiskBlock{r->end()}, 5), 5u);
+  EXPECT_EQ(g.free_blocks(), 85u);
+}
+
+TEST(AllocGroup, ExtendInPlaceStopsAtObstacle) {
+  AllocGroup g(0, DiskBlock{0}, 100);
+  ASSERT_TRUE(g.allocate_exact(DiskBlock{0}, 10));
+  ASSERT_TRUE(g.allocate_exact(DiskBlock{13}, 2));
+  EXPECT_EQ(g.extend_in_place(DiskBlock{10}, 10), 3u);  // [10,13) only
+}
+
+TEST(AllocGroup, FreeRangeReturnsSpace) {
+  AllocGroup g(0, DiskBlock{0}, 100);
+  auto r = g.allocate_exact(DiskBlock{0}, 40);
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(g.free_range(*r).ok());
+  EXPECT_EQ(g.free_blocks(), 100u);
+  EXPECT_EQ(g.stats().frees, 1u);
+}
+
+TEST(AllocGroup, ExhaustionFailsWithNoSpace) {
+  AllocGroup g(0, DiskBlock{0}, 16);
+  ASSERT_TRUE(g.allocate_exact(DiskBlock{0}, 16));
+  auto r = g.allocate_exact(DiskBlock{0}, 1);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.error(), Errc::kNoSpace);
+}
+
+TEST(FreeSpace, PartitionsIntoGroups) {
+  FreeSpace fs(DiskBlock{100}, 1000, 4);
+  EXPECT_EQ(fs.group_count(), 4u);
+  EXPECT_EQ(fs.total_blocks(), 1000u);
+  EXPECT_EQ(fs.free_blocks(), 1000u);
+  EXPECT_EQ(fs.group_of(DiskBlock{100})->index(), 0u);
+  EXPECT_EQ(fs.group_of(DiskBlock{1099})->index(), 3u);
+  EXPECT_EQ(fs.group_of(DiskBlock{99}), nullptr);
+  EXPECT_EQ(fs.group_of(DiskBlock{1100}), nullptr);
+}
+
+TEST(FreeSpace, SpillsToOtherGroupsWhenGoalGroupFull) {
+  FreeSpace fs(DiskBlock{0}, 400, 4);
+  ASSERT_TRUE(fs.allocate_exact(DiskBlock{0}, 100));  // group 0 full
+  auto r = fs.allocate_exact(DiskBlock{50}, 10);
+  ASSERT_TRUE(r);
+  EXPECT_GE(r->start.v, 100u);
+}
+
+TEST(FreeSpace, ScatteredAllocationGathersFragments) {
+  FreeSpace fs(DiskBlock{0}, 100, 1);
+  // Fill the device, then open three disjoint 8-block holes: the largest
+  // contiguous run is now 8 < 20.
+  ASSERT_TRUE(fs.allocate_exact(DiskBlock{0}, 100));
+  ASSERT_TRUE(fs.free_range({DiskBlock{0}, 8}).ok());
+  ASSERT_TRUE(fs.free_range({DiskBlock{20}, 8}).ok());
+  ASSERT_TRUE(fs.free_range({DiskBlock{40}, 8}).ok());
+  auto runs = fs.allocate_scattered(DiskBlock{0}, 20);
+  ASSERT_TRUE(runs);
+  u64 total = 0;
+  for (const auto& r : *runs) total += r.length;
+  EXPECT_EQ(total, 20u);
+  EXPECT_EQ(runs->size(), 3u);
+}
+
+TEST(FreeSpace, ScatteredFailureRollsBack) {
+  FreeSpace fs(DiskBlock{0}, 64, 1);
+  ASSERT_TRUE(fs.allocate_exact(DiskBlock{0}, 60));
+  const u64 free_before = fs.free_blocks();
+  auto r = fs.allocate_scattered(DiskBlock{0}, 10);  // only 4 left
+  EXPECT_FALSE(r);
+  EXPECT_EQ(fs.free_blocks(), free_before);
+}
+
+TEST(FreeSpace, FreeRangeAcrossGroupBoundary) {
+  FreeSpace fs(DiskBlock{0}, 200, 2);
+  auto a = fs.allocate_exact(DiskBlock{90}, 10);  // tail of group 0
+  auto b = fs.allocate_exact(DiskBlock{100}, 10); // head of group 1
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  ASSERT_EQ(a->start.v, 90u);
+  ASSERT_EQ(b->start.v, 100u);
+  // One free spanning both allocations.
+  EXPECT_TRUE(fs.free_range({DiskBlock{90}, 20}).ok());
+  EXPECT_EQ(fs.free_blocks(), 200u);
+}
+
+TEST(FreeSpace, UtilisationTracksAllocation) {
+  FreeSpace fs(DiskBlock{0}, 100, 2);
+  EXPECT_DOUBLE_EQ(fs.utilisation(), 0.0);
+  ASSERT_TRUE(fs.allocate_exact(DiskBlock{0}, 50));
+  EXPECT_DOUBLE_EQ(fs.utilisation(), 0.5);
+}
+
+TEST(FreeSpace, ConcurrentAllocationsDoNotOverlap) {
+  FreeSpace fs(DiskBlock{0}, 64 * 1024, 8);
+  std::vector<std::vector<BlockRange>> per_thread(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fs, &per_thread, t] {
+      for (int i = 0; i < 400; ++i) {
+        auto r = fs.allocate_best(DiskBlock{static_cast<u64>(t) * 8192}, 1, 8);
+        if (r) per_thread[t].push_back(*r);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Overlap check via a reference bitmap.
+  std::vector<bool> seen(64 * 1024, false);
+  for (const auto& v : per_thread) {
+    for (const auto& r : v) {
+      for (u64 b = r.start.v; b < r.end(); ++b) {
+        EXPECT_FALSE(seen[b]) << "double allocation at " << b;
+        seen[b] = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mif::block

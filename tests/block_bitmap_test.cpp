@@ -1,0 +1,121 @@
+// Unit + property tests for the free-space bitmap.
+#include <gtest/gtest.h>
+
+#include "block/bitmap.hpp"
+#include "util/rng.hpp"
+
+namespace mif::block {
+namespace {
+
+TEST(Bitmap, StartsAllFree) {
+  Bitmap b(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(b.free_blocks(), 1000u);
+  EXPECT_FALSE(b.is_set(0));
+  EXPECT_FALSE(b.is_set(999));
+}
+
+TEST(Bitmap, SetAndClearRangeRoundTrip) {
+  Bitmap b(256);
+  b.set_range(10, 50);
+  EXPECT_EQ(b.free_blocks(), 206u);
+  EXPECT_TRUE(b.is_set(10));
+  EXPECT_TRUE(b.is_set(59));
+  EXPECT_FALSE(b.is_set(9));
+  EXPECT_FALSE(b.is_set(60));
+  b.clear_range(10, 50);
+  EXPECT_EQ(b.free_blocks(), 256u);
+}
+
+TEST(Bitmap, RangeFreeDetectsCollisions) {
+  Bitmap b(128);
+  b.set_range(64, 1);
+  EXPECT_TRUE(b.range_free(0, 64));
+  EXPECT_FALSE(b.range_free(60, 8));
+  EXPECT_TRUE(b.range_free(65, 63));
+  EXPECT_FALSE(b.range_free(120, 100));  // beyond the end
+}
+
+TEST(Bitmap, FreeRunAtMeasuresRuns) {
+  Bitmap b(128);
+  b.set_range(10, 5);
+  EXPECT_EQ(b.free_run_at(0, 128), 10u);
+  EXPECT_EQ(b.free_run_at(15, 128), 113u);
+  EXPECT_EQ(b.free_run_at(0, 4), 4u);  // capped
+  EXPECT_EQ(b.free_run_at(10, 128), 0u);
+}
+
+TEST(Bitmap, FindRunHonoursGoal) {
+  Bitmap b(1024);
+  auto r = b.find_run(500, 10);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 500u);
+}
+
+TEST(Bitmap, FindRunWrapsAround) {
+  Bitmap b(128);
+  b.set_range(64, 64);  // only [0, 64) free
+  auto r = b.find_run(100, 10);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 0u);
+}
+
+TEST(Bitmap, FindRunFailsWhenFragmented) {
+  Bitmap b(100);
+  // Free space in runs of at most 4: every 5th block used.
+  for (u64 i = 4; i < 100; i += 5) b.set_range(i, 1);
+  EXPECT_FALSE(b.find_run(0, 5).has_value());
+  EXPECT_TRUE(b.find_run(0, 4).has_value());
+}
+
+TEST(Bitmap, FindRunBestPrefersFullWant) {
+  Bitmap b(200);
+  b.set_range(10, 1);  // short run [0,10), long run [11,200)
+  auto r = b.find_run_best(0, 1, 50);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->start.v, 11u);
+  EXPECT_EQ(r->length, 50u);
+}
+
+TEST(Bitmap, FindRunBestDegradesToLongestRun) {
+  Bitmap b(100);
+  for (u64 i = 8; i < 100; i += 9) b.set_range(i, 1);  // runs of 8
+  auto r = b.find_run_best(0, 2, 64);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->length, 8u);
+}
+
+TEST(Bitmap, FindRunBestRespectsMin) {
+  Bitmap b(16);
+  for (u64 i = 1; i < 16; i += 2) b.set_range(i, 1);  // runs of 1
+  EXPECT_FALSE(b.find_run_best(0, 2, 8).has_value());
+}
+
+// Property: a randomized allocate/free exercise never corrupts the free
+// count and find_run never returns an occupied range.
+TEST(BitmapProperty, RandomAllocFreeKeepsInvariants) {
+  mif::Rng rng(11);
+  Bitmap b(4096);
+  std::vector<std::pair<u64, u64>> live;
+  for (int iter = 0; iter < 2000; ++iter) {
+    if (live.empty() || rng.chance(0.6)) {
+      const u64 len = rng.uniform(1, 64);
+      auto r = b.find_run(rng.uniform(0, 4095), len);
+      if (!r) continue;
+      ASSERT_TRUE(b.range_free(*r, len));
+      b.set_range(*r, len);
+      live.emplace_back(*r, len);
+    } else {
+      const std::size_t i = rng.uniform(0, live.size() - 1);
+      b.clear_range(live[i].first, live[i].second);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  u64 used = 0;
+  for (const auto& [start, len] : live) used += len;
+  EXPECT_EQ(b.free_blocks(), 4096u - used);
+}
+
+}  // namespace
+}  // namespace mif::block

@@ -1,0 +1,161 @@
+// Unit tests for the buffer cache and the write-ahead journal.
+#include <gtest/gtest.h>
+
+#include "block/buffer_cache.hpp"
+#include "block/journal.hpp"
+
+namespace mif::block {
+namespace {
+
+struct CacheFixture : ::testing::Test {
+  sim::Disk disk;
+  sim::IoScheduler io{disk, 1024};
+};
+
+TEST_F(CacheFixture, MissThenHit) {
+  BufferCache c(io, 64);
+  c.read(DiskBlock{10}, 4);
+  io.drain();
+  EXPECT_EQ(c.stats().misses, 4u);
+  EXPECT_EQ(disk.stats().blocks_read, 4u);
+  c.read(DiskBlock{10}, 4);
+  io.drain();
+  EXPECT_EQ(c.stats().hits, 4u);
+  EXPECT_EQ(disk.stats().blocks_read, 4u);  // no new traffic
+}
+
+TEST_F(CacheFixture, PartialResidencyReadsOnlyHoles) {
+  BufferCache c(io, 64);
+  c.read(DiskBlock{0}, 2);
+  io.drain();
+  disk.reset_stats();
+  c.read(DiskBlock{0}, 6);  // [0,2) cached, [2,6) missing
+  io.drain();
+  EXPECT_EQ(disk.stats().blocks_read, 4u);
+}
+
+TEST_F(CacheFixture, WriteBackOnFlushMergesRuns) {
+  BufferCache c(io, 64);
+  c.write(DiskBlock{5}, 1);
+  c.write(DiskBlock{6}, 1);
+  c.write(DiskBlock{7}, 1);
+  EXPECT_EQ(disk.stats().blocks_written, 0u);  // write-back, not through
+  c.flush();
+  io.drain();
+  EXPECT_EQ(disk.stats().blocks_written, 3u);
+  EXPECT_EQ(disk.stats().requests, 1u);  // one merged writeback
+}
+
+TEST_F(CacheFixture, EvictionWritesDirtyVictims) {
+  BufferCache c(io, 4);
+  c.write(DiskBlock{0}, 4);
+  c.read(DiskBlock{100}, 2);  // evicts two dirty blocks
+  io.drain();
+  EXPECT_GE(c.stats().writebacks, 1u);
+  EXPECT_GE(c.stats().evictions, 2u);
+}
+
+TEST_F(CacheFixture, LruKeepsHotBlocks) {
+  BufferCache c(io, 4);
+  c.read(DiskBlock{0}, 4);
+  c.read(DiskBlock{0}, 1);  // touch block 0 → hottest
+  c.read(DiskBlock{50}, 1); // evicts block 1 (coldest)
+  io.drain();
+  disk.reset_stats();
+  c.read(DiskBlock{0}, 1);
+  io.drain();
+  EXPECT_EQ(disk.stats().blocks_read, 0u);  // still resident
+}
+
+TEST_F(CacheFixture, InstallMakesResidentWithoutIo) {
+  BufferCache c(io, 64);
+  c.install(DiskBlock{20}, 4);
+  io.drain();
+  EXPECT_EQ(disk.stats().requests, 0u);
+  c.read(DiskBlock{20}, 4);
+  io.drain();
+  EXPECT_EQ(disk.stats().blocks_read, 0u);
+  EXPECT_EQ(c.stats().hits, 4u);
+}
+
+TEST_F(CacheFixture, ZeroCapacityBypassesCaching) {
+  BufferCache c(io, 0);
+  c.read(DiskBlock{0}, 2);
+  io.drain();  // drain between reads so the scheduler cannot merge them
+  c.read(DiskBlock{0}, 2);
+  io.drain();
+  EXPECT_EQ(disk.stats().blocks_read, 4u);  // nothing retained
+  c.write(DiskBlock{10}, 1);
+  io.drain();
+  EXPECT_EQ(disk.stats().blocks_written, 1u);  // write-through
+}
+
+TEST_F(CacheFixture, InvalidateAllFlushesAndDrops) {
+  BufferCache c(io, 64);
+  c.write(DiskBlock{0}, 3);
+  c.invalidate_all();
+  EXPECT_EQ(c.resident_blocks(), 0u);
+  EXPECT_EQ(disk.stats().blocks_written, 3u);
+}
+
+TEST_F(CacheFixture, WriteSyncGoesStraightToDisk) {
+  BufferCache c(io, 64);
+  c.write_sync(DiskBlock{7}, 2);
+  io.drain();
+  EXPECT_EQ(disk.stats().blocks_written, 2u);
+}
+
+struct JournalFixture : ::testing::Test {
+  sim::Disk disk;
+  sim::IoScheduler io{disk, 1024};
+};
+
+TEST_F(JournalFixture, LogWritesSequentiallyIntoArea) {
+  Journal j(io, DiskBlock{0}, 1024, /*checkpoint_interval=*/1000);
+  j.log({{DiskBlock{5000}, 1}});
+  j.log({{DiskBlock{9000}, 1}});
+  io.drain();
+  EXPECT_EQ(j.stats().transactions, 2u);
+  EXPECT_EQ(j.stats().journal_blocks, 4u);  // 2 × (1 record + 1 commit)
+  // Before a checkpoint, nothing is written to home locations.
+  EXPECT_EQ(j.stats().checkpoint_blocks, 0u);
+  // Journal writes land inside [0, 1024).
+  EXPECT_LE(disk.head().v, 1024u);
+}
+
+TEST_F(JournalFixture, CheckpointWritesHomeLocationsMerged) {
+  Journal j(io, DiskBlock{0}, 1024, 1000);
+  j.log({{DiskBlock{5000}, 1}});
+  j.log({{DiskBlock{5001}, 1}});  // adjacent home blocks
+  j.log({{DiskBlock{5000}, 1}});  // duplicate
+  j.checkpoint();
+  io.drain();
+  EXPECT_EQ(j.stats().checkpoints, 1u);
+  EXPECT_EQ(j.stats().checkpoint_blocks, 2u);  // merged + deduped
+}
+
+TEST_F(JournalFixture, AutoCheckpointAtInterval) {
+  Journal j(io, DiskBlock{0}, 1024, 3);
+  j.log({{DiskBlock{5000}, 1}});
+  j.log({{DiskBlock{6000}, 1}});
+  EXPECT_EQ(j.stats().checkpoints, 0u);
+  j.log({{DiskBlock{7000}, 1}});
+  EXPECT_EQ(j.stats().checkpoints, 1u);
+}
+
+TEST_F(JournalFixture, WrapForcesCheckpoint) {
+  Journal j(io, DiskBlock{0}, 16, 1000);  // tiny journal area
+  for (int i = 0; i < 10; ++i) j.log({{DiskBlock{u64(4000 + i)}, 1}});
+  EXPECT_GE(j.stats().checkpoints, 1u);
+}
+
+TEST_F(JournalFixture, EmptyCheckpointIsNoop) {
+  Journal j(io, DiskBlock{0}, 64, 4);
+  j.checkpoint();
+  io.drain();
+  EXPECT_EQ(j.stats().checkpoints, 0u);
+  EXPECT_EQ(disk.stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace mif::block

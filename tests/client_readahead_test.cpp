@@ -1,0 +1,139 @@
+// Tests for the client-side readahead and buffering added to ClientFs: the
+// Lustre-style mechanism that turns an application's small sequential reads
+// into large per-region fetches.
+#include <gtest/gtest.h>
+
+#include "core/pfs.hpp"
+
+namespace mif::client {
+namespace {
+
+core::ClusterConfig cfg_with_ra(u64 max_blocks) {
+  core::ClusterConfig cfg;
+  cfg.num_targets = 2;
+  cfg.stripe.unit_blocks = 64;
+  cfg.target.allocator = alloc::AllocatorMode::kStatic;
+  cfg.client_readahead_max_blocks = max_blocks;
+  return cfg;
+}
+
+struct ReadaheadFixture : ::testing::Test {
+  core::ParallelFileSystem fs{cfg_with_ra(256)};
+  ClientFs client{fs.connect(ClientId{1})};
+  FileHandle fh;
+
+  void SetUp() override {
+    auto h = client.create("/data");
+    ASSERT_TRUE(h);
+    fh = *h;
+    ASSERT_TRUE(fs.preallocate(fh.ino, 4096).ok());  // 16 MiB, contiguous
+    ASSERT_TRUE(client.write(fh, 0, 0, 4096 * kBlockSize).ok());
+    fs.drain_data();
+    fs.reset_data_stats();
+  }
+};
+
+TEST_F(ReadaheadFixture, FirstReadFetchesExactlyWhatWasAsked) {
+  ASSERT_TRUE(client.read(fh, 0, 8 * kBlockSize).ok());
+  fs.drain_data();
+  EXPECT_EQ(fs.data_stats().blocks_read, 8u);
+}
+
+TEST_F(ReadaheadFixture, SequentialReadsPrefetchAhead) {
+  ASSERT_TRUE(client.read(fh, 0, 8 * kBlockSize).ok());
+  ASSERT_TRUE(client.read(fh, 8 * kBlockSize, 8 * kBlockSize).ok());
+  fs.drain_data();
+  // The second (sequential) read pulled a window beyond the 16 asked-for
+  // blocks.
+  EXPECT_GT(fs.data_stats().blocks_read, 16u);
+  EXPECT_GT(client.stats().readahead_blocks, 0u);
+}
+
+TEST_F(ReadaheadFixture, PrefetchedDataIsNotReFetched) {
+  // Walk the file sequentially; total disk traffic must stay ~file size,
+  // not file size × window overshoot.
+  for (u64 off = 0; off < 2048; off += 8) {
+    ASSERT_TRUE(client.read(fh, off * kBlockSize, 8 * kBlockSize).ok());
+  }
+  fs.drain_data();
+  const u64 read = fs.data_stats().blocks_read;
+  EXPECT_GE(read, 2048u);
+  EXPECT_LE(read, 2048u + 512u);  // at most one overshoot window beyond
+  EXPECT_GT(client.stats().readahead_hits, 0u);
+}
+
+TEST_F(ReadaheadFixture, RandomReadsDoNotPrefetch) {
+  ASSERT_TRUE(client.read(fh, 0, 4 * kBlockSize).ok());
+  ASSERT_TRUE(client.read(fh, 1000 * kBlockSize, 4 * kBlockSize).ok());
+  ASSERT_TRUE(client.read(fh, 500 * kBlockSize, 4 * kBlockSize).ok());
+  fs.drain_data();
+  EXPECT_EQ(fs.data_stats().blocks_read, 12u);
+  EXPECT_EQ(client.stats().readahead_blocks, 0u);
+}
+
+TEST_F(ReadaheadFixture, WindowIsCapped) {
+  for (u64 off = 0; off < 4000; off += 8) {
+    ASSERT_TRUE(client.read(fh, off * kBlockSize, 8 * kBlockSize).ok());
+  }
+  fs.drain_data();
+  // Even after a long run, traffic never exceeded file + one max window.
+  EXPECT_LE(fs.data_stats().blocks_read, 4096u + 256u);
+}
+
+TEST_F(ReadaheadFixture, TwoInterleavedStreamsTrackIndependently) {
+  // Stream A at the file head, stream B in the middle, interleaved: both
+  // must be detected as sequential.
+  for (u64 step = 0; step < 64; ++step) {
+    ASSERT_TRUE(client.read(fh, step * 8 * kBlockSize, 8 * kBlockSize).ok());
+    ASSERT_TRUE(
+        client.read(fh, (2048 + step * 8) * kBlockSize, 8 * kBlockSize).ok());
+  }
+  fs.drain_data();
+  EXPECT_GT(client.stats().readahead_hits, 32u);
+}
+
+TEST(ReadaheadDisabled, ZeroMaxMeansRawReads) {
+  core::ParallelFileSystem fs(cfg_with_ra(0));
+  auto client = fs.connect(ClientId{1});
+  auto fh = client.create("/raw");
+  ASSERT_TRUE(fh);
+  ASSERT_TRUE(client.write(*fh, 0, 0, 256 * kBlockSize).ok());
+  fs.drain_data();
+  fs.reset_data_stats();
+  for (u64 off = 0; off < 256; off += 8) {
+    ASSERT_TRUE(client.read(*fh, off * kBlockSize, 8 * kBlockSize).ok());
+  }
+  fs.drain_data();
+  EXPECT_EQ(fs.data_stats().blocks_read, 256u);
+  EXPECT_EQ(client.stats().readahead_blocks, 0u);
+}
+
+TEST(ReadaheadPlacementInteraction, ReadaheadShrinksRequestStream) {
+  // With readahead on, the storage targets see far fewer, larger requests
+  // for the same sequential scan.
+  auto queued_reads = [](u64 ra_blocks) {
+    core::ParallelFileSystem fs(cfg_with_ra(ra_blocks));
+    auto client = fs.connect(ClientId{1});
+    auto fh = client.create("/scan");
+    EXPECT_TRUE(fh.ok());
+    EXPECT_TRUE(client.write(*fh, 0, 0, 2048 * kBlockSize).ok());
+    fs.drain_data();
+    u64 before = 0;
+    for (std::size_t t = 0; t < fs.num_targets(); ++t)
+      before += fs.target(t).io().stats().queued;
+    for (u64 off = 0; off < 2048; off += 4) {
+      EXPECT_TRUE(client.read(*fh, off * kBlockSize, 4 * kBlockSize).ok());
+    }
+    fs.drain_data();
+    u64 after = 0;
+    for (std::size_t t = 0; t < fs.num_targets(); ++t)
+      after += fs.target(t).io().stats().queued;
+    return after - before;
+  };
+  const u64 with_ra = queued_reads(256);
+  const u64 without_ra = queued_reads(0);
+  EXPECT_LT(with_ra, without_ra / 4);
+}
+
+}  // namespace
+}  // namespace mif::client

@@ -1,0 +1,186 @@
+// Fault-injection and integrity-verification tests: transient I/O errors
+// must surface as kIo without corrupting allocator or namespace state, and
+// the fsck-style verifiers must pass after every scenario (and actually
+// detect planted inconsistencies).
+#include <gtest/gtest.h>
+
+#include "core/pfs.hpp"
+#include "mfs/mfs.hpp"
+#include "workload/postmark.hpp"
+
+namespace mif {
+namespace {
+
+osd::TargetConfig target_cfg(alloc::AllocatorMode mode) {
+  osd::TargetConfig cfg;
+  cfg.allocator = mode;
+  return cfg;
+}
+
+TEST(FaultInjection, WriteFailsWithIoThenRecovers) {
+  osd::StorageTarget t(target_cfg(alloc::AllocatorMode::kOnDemand));
+  t.inject_fault(/*after_ops=*/2, /*count=*/1);
+  EXPECT_TRUE(t.write(InodeNo{1}, StreamId{1, 0}, FileBlock{0}, 4).ok());
+  EXPECT_TRUE(t.write(InodeNo{1}, StreamId{1, 0}, FileBlock{4}, 4).ok());
+  EXPECT_EQ(t.write(InodeNo{1}, StreamId{1, 0}, FileBlock{8}, 4).error(),
+            Errc::kIo);
+  // The fault window is exhausted: the retry succeeds.
+  EXPECT_TRUE(t.write(InodeNo{1}, StreamId{1, 0}, FileBlock{8}, 4).ok());
+  EXPECT_EQ(t.injected_failures(), 1u);
+}
+
+TEST(FaultInjection, ReadFailsWithIo) {
+  osd::StorageTarget t(target_cfg(alloc::AllocatorMode::kReservation));
+  ASSERT_TRUE(t.write(InodeNo{1}, StreamId{1, 0}, FileBlock{0}, 8).ok());
+  t.inject_fault(0, 2);
+  EXPECT_EQ(t.read(InodeNo{1}, FileBlock{0}, 8).error(), Errc::kIo);
+  EXPECT_EQ(t.read(InodeNo{1}, FileBlock{0}, 8).error(), Errc::kIo);
+  EXPECT_TRUE(t.read(InodeNo{1}, FileBlock{0}, 8).ok());
+}
+
+TEST(FaultInjection, FailedWriteLeavesTargetConsistent) {
+  osd::StorageTarget t(target_cfg(alloc::AllocatorMode::kOnDemand));
+  for (u64 b = 0; b < 64; b += 4) {
+    ASSERT_TRUE(t.write(InodeNo{1}, StreamId{1, 0}, FileBlock{b}, 4).ok());
+  }
+  t.inject_fault(0, 3);
+  EXPECT_FALSE(t.write(InodeNo{1}, StreamId{1, 0}, FileBlock{64}, 4).ok());
+  EXPECT_FALSE(t.write(InodeNo{2}, StreamId{2, 0}, FileBlock{0}, 4).ok());
+  EXPECT_FALSE(t.read(InodeNo{1}, FileBlock{0}, 8).ok());
+  const auto report = t.verify();
+  EXPECT_TRUE(report.ok()) << "overlap_free=" << report.overlap_free
+                           << " space_accounted=" << report.space_accounted;
+  // Failed ops allocated nothing.
+  EXPECT_EQ(report.mapped_blocks, 64u);
+}
+
+TEST(FaultInjection, ErrorPropagatesThroughClient) {
+  core::ClusterConfig cfg;
+  cfg.num_targets = 3;
+  core::ParallelFileSystem fs(cfg);
+  auto client = fs.connect(ClientId{1});
+  auto fh = client.create("/f");
+  ASSERT_TRUE(fh);
+  fs.target(0).inject_fault(0, 1);
+  // The write stripes across targets; the faulted member fails the call.
+  EXPECT_EQ(client.write(*fh, 0, 0, 5 * 16 * kBlockSize).error(), Errc::kIo);
+  // Retry after the transient fault succeeds end to end.
+  EXPECT_TRUE(client.write(*fh, 0, 0, 5 * 16 * kBlockSize).ok());
+}
+
+class TargetVerify : public ::testing::TestWithParam<alloc::AllocatorMode> {};
+
+TEST_P(TargetVerify, CleanAfterChurn) {
+  osd::StorageTarget t(target_cfg(GetParam()));
+  // Write, close, delete across many files and streams.
+  for (int round = 0; round < 5; ++round) {
+    for (u64 ino = 1; ino <= 20; ++ino) {
+      for (u64 b = 0; b < 32; b += 4) {
+        ASSERT_TRUE(t.write(InodeNo{ino}, StreamId{static_cast<u32>(ino), 0},
+                            FileBlock{b}, 4)
+                        .ok());
+      }
+    }
+    for (u64 ino = 1; ino <= 20; ++ino) {
+      t.close_file(InodeNo{ino});
+      if (ino % 3 == 0) t.delete_file(InodeNo{ino});
+    }
+    const auto report = t.verify();
+    ASSERT_TRUE(report.ok()) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, TargetVerify,
+    ::testing::Values(alloc::AllocatorMode::kVanilla,
+                      alloc::AllocatorMode::kReservation,
+                      alloc::AllocatorMode::kOnDemand),
+    [](const auto& info) {
+      std::string s{alloc::to_string(info.param)};
+      for (auto& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+class NamespaceVerify : public ::testing::TestWithParam<mfs::DirectoryMode> {
+ protected:
+  mfs::MfsConfig cfg() {
+    mfs::MfsConfig c;
+    c.mode = GetParam();
+    return c;
+  }
+};
+
+TEST_P(NamespaceVerify, CleanAfterMixedNamespaceChurn) {
+  mfs::Mfs fs(cfg());
+  for (int d = 0; d < 6; ++d) {
+    ASSERT_TRUE(fs.mkdir("d" + std::to_string(d)));
+    for (int f = 0; f < 50; ++f) {
+      ASSERT_TRUE(
+          fs.create("d" + std::to_string(d) + "/f" + std::to_string(f)));
+    }
+  }
+  // Churn: renames across directories, deletes, re-creates.
+  for (int f = 0; f < 25; ++f) {
+    ASSERT_TRUE(fs.rename("d0/f" + std::to_string(f),
+                          "d1/moved" + std::to_string(f)));
+  }
+  for (int f = 0; f < 50; ++f) {
+    ASSERT_TRUE(fs.unlink("d2/f" + std::to_string(f)).ok());
+  }
+  for (int f = 0; f < 30; ++f) {
+    ASSERT_TRUE(fs.create("d2/new" + std::to_string(f)));
+  }
+  const auto report = fs.layout().verify();
+  EXPECT_TRUE(report.ok()) << "links=" << report.links_consistent
+                           << " blocks=" << report.blocks_unique;
+  EXPECT_GT(report.inodes, 0u);
+  EXPECT_EQ(report.directories, GetParam() == mfs::DirectoryMode::kEmbedded
+                                    ? 7u   // root + 6
+                                    : 7u);
+}
+
+TEST_P(NamespaceVerify, CleanAfterDeepTreeAndRmdirs) {
+  mfs::Mfs fs(cfg());
+  std::string path;
+  for (int depth = 0; depth < 10; ++depth) {
+    path += (depth ? "/lvl" : "lvl") + std::to_string(depth);
+    ASSERT_TRUE(fs.mkdir(path));
+    ASSERT_TRUE(fs.create(path + "/leaf"));
+  }
+  // Remove the deepest levels bottom-up.
+  for (int depth = 9; depth >= 5; --depth) {
+    ASSERT_TRUE(fs.unlink(path + "/leaf").ok());
+    ASSERT_TRUE(fs.unlink(path).ok());
+    const auto cut = path.rfind('/');
+    path.resize(cut == std::string::npos ? 0 : cut);
+  }
+  EXPECT_TRUE(fs.layout().verify().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, NamespaceVerify,
+                         ::testing::Values(mfs::DirectoryMode::kNormal,
+                                           mfs::DirectoryMode::kEmbedded),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(EndToEndVerify, PostmarkLeavesEverythingConsistent) {
+  core::ClusterConfig cfg;
+  cfg.num_targets = 4;
+  cfg.target.allocator = alloc::AllocatorMode::kOnDemand;
+  cfg.mds.mfs.mode = mfs::DirectoryMode::kEmbedded;
+  core::ParallelFileSystem fs(cfg);
+  workload::PostmarkConfig pcfg;
+  pcfg.base_files = 300;
+  pcfg.transactions = 800;
+  pcfg.subdirectories = 12;
+  (void)workload::run_postmark(fs, pcfg);
+  EXPECT_TRUE(fs.mds().fs().layout().verify().ok());
+  for (std::size_t t = 0; t < fs.num_targets(); ++t) {
+    EXPECT_TRUE(fs.target(t).verify().ok()) << "target " << t;
+  }
+}
+
+}  // namespace
+}  // namespace mif

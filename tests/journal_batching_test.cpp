@@ -1,0 +1,88 @@
+// Tests for the journal's compound-commit batching and checkpoint laziness —
+// the jbd-style behaviour the Fig. 8 reproduction depends on.
+#include <gtest/gtest.h>
+
+#include "block/journal.hpp"
+
+namespace mif::block {
+namespace {
+
+struct BatchFixture : ::testing::Test {
+  sim::Disk disk;
+  sim::IoScheduler io{disk, 4096, 4096};
+};
+
+TEST_F(BatchFixture, CommitsOnlyAtBatchBoundary) {
+  Journal j(io, DiskBlock{0}, 1024, /*checkpoint=*/1000, /*batch=*/8);
+  for (int i = 0; i < 7; ++i) j.log({{DiskBlock{u64(5000 + i)}, 1}});
+  io.drain();
+  EXPECT_EQ(disk.stats().requests, 0u);  // nothing written yet
+  j.log({{DiskBlock{5007}, 1}});         // 8th → compound commit
+  io.drain();
+  EXPECT_EQ(disk.stats().requests, 1u);
+  // One journal write carried all 8 records + 1 commit block.
+  EXPECT_EQ(disk.stats().blocks_written, 9u);
+}
+
+TEST_F(BatchFixture, ExplicitCommitFlushesPartialBatch) {
+  Journal j(io, DiskBlock{0}, 1024, 1000, 16);
+  j.log({{DiskBlock{5000}, 1}});
+  j.log({{DiskBlock{6000}, 1}});
+  j.commit();
+  io.drain();
+  EXPECT_EQ(disk.stats().blocks_written, 3u);  // 2 records + commit
+}
+
+TEST_F(BatchFixture, CheckpointForcesCommitFirst) {
+  Journal j(io, DiskBlock{0}, 1024, 1000, 16);
+  j.log({{DiskBlock{5000}, 2}});
+  j.checkpoint();
+  io.drain();
+  // Both the journal write AND the home-location write happened.
+  EXPECT_EQ(j.stats().checkpoints, 1u);
+  EXPECT_EQ(j.stats().checkpoint_blocks, 2u);
+  EXPECT_GE(disk.stats().requests, 2u);
+}
+
+TEST_F(BatchFixture, BatchedCommitsAreSequentialInJournalArea) {
+  Journal j(io, DiskBlock{0}, 4096, 1000, 4);
+  for (int i = 0; i < 32; ++i) {
+    j.log({{DiskBlock{u64(100000 + i * 50)}, 1}});
+    // Drain per compound commit so each one is observable at the disk.
+    if (i % 4 == 3) io.drain();
+  }
+  // 8 commits of 5 blocks each, back to back: no positioning between them.
+  EXPECT_EQ(disk.stats().requests, 8u);
+  EXPECT_EQ(disk.stats().positionings, 0u);
+  EXPECT_EQ(disk.stats().sequential_hits, 8u);
+}
+
+TEST_F(BatchFixture, LazyCheckpointAccumulatesHomeBlocks) {
+  Journal j(io, DiskBlock{0}, 65536, /*checkpoint=*/64, /*batch=*/4);
+  for (int i = 0; i < 63; ++i) j.log({{DiskBlock{u64(9000 + i)}, 1}});
+  EXPECT_EQ(j.stats().checkpoints, 0u);
+  j.log({{DiskBlock{9063}, 1}});
+  EXPECT_EQ(j.stats().checkpoints, 1u);
+  io.drain();
+  // All 64 adjacent home blocks merged into one checkpoint sweep request.
+  EXPECT_EQ(j.stats().checkpoint_blocks, 64u);
+}
+
+TEST_F(BatchFixture, TransactionsCountedPerLogNotPerCommit) {
+  Journal j(io, DiskBlock{0}, 1024, 1000, 16);
+  for (int i = 0; i < 10; ++i) j.log({{DiskBlock{u64(5000 + i)}, 1}});
+  EXPECT_EQ(j.stats().transactions, 10u);
+}
+
+TEST_F(BatchFixture, BatchOfOneIsSynchronous) {
+  Journal j(io, DiskBlock{0}, 1024, 1000, 1);
+  j.log({{DiskBlock{5000}, 1}});
+  io.drain();
+  EXPECT_EQ(disk.stats().requests, 1u);
+  j.log({{DiskBlock{5001}, 1}});
+  io.drain();
+  EXPECT_EQ(disk.stats().requests, 2u);
+}
+
+}  // namespace
+}  // namespace mif::block

@@ -1,0 +1,84 @@
+// Unit tests for the hash-partitioned MDS cluster (§IV-C giant directories).
+#include <gtest/gtest.h>
+
+#include "mds/mds_cluster.hpp"
+
+namespace mif::mds {
+namespace {
+
+MdsConfig small_cfg() {
+  MdsConfig cfg;
+  cfg.mfs.mode = mfs::DirectoryMode::kEmbedded;
+  cfg.mfs.cache_blocks = 1024;
+  return cfg;
+}
+
+TEST(MdsCluster, CreateRoutesByNameHash) {
+  MdsCluster cluster(4, "giant", small_cfg());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(cluster.create("proc." + std::to_string(i)));
+  }
+  EXPECT_EQ(cluster.total_entries(), 200u);
+  // Every member should own a non-trivial share (hash balance).
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    auto entries = cluster.server(s).readdir("giant");
+    ASSERT_TRUE(entries);
+    EXPECT_GT(entries->size(), 20u);
+    EXPECT_LT(entries->size(), 100u);
+  }
+}
+
+TEST(MdsCluster, DuplicateCreateRefusedAtPrimary) {
+  MdsCluster cluster(2, "giant", small_cfg());
+  ASSERT_TRUE(cluster.create("x"));
+  EXPECT_EQ(cluster.create("x").error(), Errc::kExists);
+}
+
+TEST(MdsCluster, NegativeLookupsAvoidSubordinates) {
+  MdsCluster cluster(4, "giant", small_cfg());
+  for (int i = 0; i < 50; ++i)
+    ASSERT_TRUE(cluster.create("f" + std::to_string(i)));
+  const u64 sub0 = cluster.stats().subordinate_rpcs;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(cluster.stat("missing" + std::to_string(i)).error(),
+              Errc::kNotFound);
+  }
+  // The primary's collected hash set answered all the misses itself.
+  EXPECT_EQ(cluster.stats().avoided_rpcs, 100u);
+  EXPECT_EQ(cluster.stats().subordinate_rpcs, sub0);
+}
+
+TEST(MdsCluster, PositiveLookupsReachOwningServer) {
+  MdsCluster cluster(3, "giant", small_cfg());
+  ASSERT_TRUE(cluster.create("hello"));
+  EXPECT_TRUE(cluster.stat("hello").ok());
+  EXPECT_EQ(cluster.stats().primary_hits, 1u);
+}
+
+TEST(MdsCluster, UnlinkMaintainsHashSet) {
+  MdsCluster cluster(2, "giant", small_cfg());
+  ASSERT_TRUE(cluster.create("a"));
+  ASSERT_TRUE(cluster.unlink("a").ok());
+  EXPECT_EQ(cluster.total_entries(), 0u);
+  EXPECT_EQ(cluster.stat("a").error(), Errc::kNotFound);
+  EXPECT_EQ(cluster.unlink("a").error(), Errc::kNotFound);
+  // The name can be recreated after deletion.
+  EXPECT_TRUE(cluster.create("a"));
+}
+
+TEST(MdsCluster, ScalesAcrossManyEntries) {
+  MdsCluster cluster(8, "giant", small_cfg());
+  for (int i = 0; i < 2000; ++i)
+    ASSERT_TRUE(cluster.create("state." + std::to_string(i)));
+  EXPECT_EQ(cluster.total_entries(), 2000u);
+  u64 sum = 0;
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    auto entries = cluster.server(s).readdir("giant");
+    ASSERT_TRUE(entries);
+    sum += entries->size();
+  }
+  EXPECT_EQ(sum, 2000u);
+}
+
+}  // namespace
+}  // namespace mif::mds

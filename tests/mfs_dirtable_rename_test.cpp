@@ -1,0 +1,152 @@
+// Unit tests for the global directory table, the rename correlation, and
+// embedded-mode rename semantics (§IV-B).
+#include <gtest/gtest.h>
+
+#include "mfs/dir_table.hpp"
+#include "mfs/mfs.hpp"
+#include "mfs/rename_map.hpp"
+
+namespace mif::mfs {
+namespace {
+
+TEST(DirectoryTable, RegisterAndResolve) {
+  DirectoryTable t;
+  const DirId a = t.register_directory(InodeNo{100});
+  const DirId b = t.register_directory(InodeNo{200});
+  EXPECT_NE(a.v, b.v);
+  EXPECT_EQ(t.directory_inode(a)->v, 100u);
+  EXPECT_EQ(t.directory_inode(b)->v, 200u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(DirectoryTable, IdsNeverReused) {
+  DirectoryTable t;
+  const DirId a = t.register_directory(InodeNo{1});
+  ASSERT_TRUE(t.unregister(a).ok());
+  const DirId b = t.register_directory(InodeNo{2});
+  EXPECT_NE(a.v, b.v);
+  EXPECT_EQ(t.directory_inode(a).error(), Errc::kNotFound);
+}
+
+TEST(DirectoryTable, UpdateRepointsExistingId) {
+  DirectoryTable t;
+  const DirId a = t.register_directory(InodeNo{1});
+  ASSERT_TRUE(t.update(a, InodeNo{99}).ok());
+  EXPECT_EQ(t.directory_inode(a)->v, 99u);
+  EXPECT_EQ(t.update(DirId{4242}, InodeNo{1}).error(), Errc::kNotFound);
+}
+
+TEST(RenameCorrelation, RoutesStaleNumbers) {
+  RenameCorrelation c;
+  c.record(InodeNo{10}, InodeNo{20});
+  EXPECT_EQ(c.current(InodeNo{10}).v, 20u);
+  EXPECT_EQ(c.current(InodeNo{20}).v, 20u);  // identity for live numbers
+  EXPECT_TRUE(c.is_stale(InodeNo{10}));
+  EXPECT_FALSE(c.is_stale(InodeNo{20}));
+}
+
+TEST(RenameCorrelation, ChainsCollapse) {
+  RenameCorrelation c;
+  c.record(InodeNo{1}, InodeNo{2});
+  c.record(InodeNo{2}, InodeNo{3});
+  // The original number follows the file through both moves.
+  EXPECT_EQ(c.current(InodeNo{1}).v, 3u);
+  EXPECT_EQ(c.current(InodeNo{2}).v, 3u);
+}
+
+TEST(RenameCorrelation, ExpireDropsEverything) {
+  RenameCorrelation c;
+  c.record(InodeNo{1}, InodeNo{2});
+  c.expire_all();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.current(InodeNo{1}).v, 1u);  // stale number stops resolving
+}
+
+struct EmbeddedRenameFixture : ::testing::Test {
+  MfsConfig cfg() {
+    MfsConfig c;
+    c.mode = DirectoryMode::kEmbedded;
+    return c;
+  }
+  Mfs fs{cfg()};
+  EmbeddedDirLayout& l() {
+    return static_cast<EmbeddedDirLayout&>(fs.layout());
+  }
+  InodeNo root() { return fs.layout().root(); }
+};
+
+TEST_F(EmbeddedRenameFixture, RenameChangesInodeNumber) {
+  auto d1 = l().mkdir(root(), "d1");
+  auto d2 = l().mkdir(root(), "d2");
+  ASSERT_TRUE(d1);
+  ASSERT_TRUE(d2);
+  auto f = l().create(*d1, "f");
+  ASSERT_TRUE(f);
+  auto moved = l().rename(*d1, "f", *d2, "g");
+  ASSERT_TRUE(moved);
+  EXPECT_NE(moved->v, f->v);
+  // The new number encodes the destination directory.
+  EXPECT_EQ(EmbeddedInodeNo::dir_of(*moved).v, l().find(*d2)->dir_id.v);
+}
+
+TEST_F(EmbeddedRenameFixture, StaleNumberStillFindsInode) {
+  auto d1 = l().mkdir(root(), "d1");
+  auto d2 = l().mkdir(root(), "d2");
+  auto f = l().create(*d1, "f");
+  ASSERT_TRUE(f);
+  auto moved = l().rename(*d1, "f", *d2, "g");
+  ASSERT_TRUE(moved);
+  // "If some applications intend to modify the new inode, the changes are
+  // also routed" — the old ID remains valid until management exits.
+  Inode* via_old = l().find(*f);
+  Inode* via_new = l().find(*moved);
+  ASSERT_NE(via_old, nullptr);
+  EXPECT_EQ(via_old, via_new);
+  ASSERT_TRUE(l().utime(*f).ok());
+  EXPECT_EQ(via_new->mtime, 1u);
+  // Management routines exit: correlation expires, old number dies.
+  l().correlation().expire_all();
+  EXPECT_EQ(l().find(*f), nullptr);
+  EXPECT_NE(l().find(*moved), nullptr);
+}
+
+TEST_F(EmbeddedRenameFixture, DirectoryRenameKeepsChildrenReachable) {
+  auto d1 = l().mkdir(root(), "d1");
+  auto sub = l().mkdir(*d1, "sub");
+  ASSERT_TRUE(sub);
+  auto f = l().create(*sub, "f");
+  ASSERT_TRUE(f);
+  auto d2 = l().mkdir(root(), "d2");
+  ASSERT_TRUE(d2);
+  auto moved_sub = l().rename(*d1, "sub", *d2, "sub2");
+  ASSERT_TRUE(moved_sub);
+  EXPECT_NE(moved_sub->v, sub->v);
+  // Children embed the directory's stable DirId, so they keep their numbers
+  // and stay reachable through the moved directory.
+  auto again = l().lookup(*moved_sub, "f");
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->v, f->v);
+  // The global table follows the directory to its new number.
+  const DirId id = l().find(*moved_sub)->dir_id;
+  EXPECT_EQ(l().dir_table().directory_inode(id)->v, moved_sub->v);
+}
+
+TEST_F(EmbeddedRenameFixture, RenameToExistingNameRefused) {
+  auto f1 = l().create(root(), "a");
+  auto f2 = l().create(root(), "b");
+  ASSERT_TRUE(f1);
+  ASSERT_TRUE(f2);
+  EXPECT_EQ(l().rename(root(), "a", root(), "b").error(), Errc::kExists);
+}
+
+TEST_F(EmbeddedRenameFixture, RenameWithinSameDirectory) {
+  auto f = l().create(root(), "a");
+  ASSERT_TRUE(f);
+  auto moved = l().rename(root(), "a", root(), "z");
+  ASSERT_TRUE(moved);
+  EXPECT_FALSE(l().lookup(root(), "a").ok());
+  EXPECT_TRUE(l().lookup(root(), "z").ok());
+}
+
+}  // namespace
+}  // namespace mif::mfs

@@ -1,0 +1,164 @@
+// Unit tests for the traditional (normal) directory layout: namespace
+// semantics plus the block-traffic shape of Fig. 1(b) — dirents and inodes
+// in separate regions.
+#include <gtest/gtest.h>
+
+#include "mfs/mfs.hpp"
+
+namespace mif::mfs {
+namespace {
+
+MfsConfig normal_cfg() {
+  MfsConfig cfg;
+  cfg.mode = DirectoryMode::kNormal;
+  cfg.cache_blocks = 4096;
+  return cfg;
+}
+
+struct NormalFixture : ::testing::Test {
+  Mfs fs{normal_cfg()};
+  DirLayout& l() { return fs.layout(); }
+  InodeNo root() { return fs.layout().root(); }
+};
+
+TEST_F(NormalFixture, CreateAndLookup) {
+  auto ino = l().create(root(), "a.txt");
+  ASSERT_TRUE(ino);
+  auto found = l().lookup(root(), "a.txt");
+  ASSERT_TRUE(found);
+  EXPECT_EQ(found->v, ino->v);
+  EXPECT_FALSE(l().lookup(root(), "missing").ok());
+}
+
+TEST_F(NormalFixture, DuplicateCreateRejected) {
+  ASSERT_TRUE(l().create(root(), "a"));
+  EXPECT_EQ(l().create(root(), "a").error(), Errc::kExists);
+}
+
+TEST_F(NormalFixture, MkdirCreatesTraversableDirectory) {
+  auto d = l().mkdir(root(), "sub");
+  ASSERT_TRUE(d);
+  auto f = l().create(*d, "inner");
+  ASSERT_TRUE(f);
+  auto got = l().lookup(*d, "inner");
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->v, f->v);
+  EXPECT_TRUE(l().find(*d)->is_dir());
+  EXPECT_FALSE(l().find(*f)->is_dir());
+}
+
+TEST_F(NormalFixture, ReaddirListsAllEntries) {
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(l().create(root(), "f" + std::to_string(i)));
+  }
+  auto entries = l().readdir(root(), false);
+  ASSERT_TRUE(entries);
+  EXPECT_EQ(entries->size(), 200u);
+}
+
+TEST_F(NormalFixture, UnlinkRemovesAndFreesOrdinal) {
+  auto a = l().create(root(), "a");
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(l().unlink(root(), "a").ok());
+  EXPECT_FALSE(l().lookup(root(), "a").ok());
+  EXPECT_EQ(l().find(*a), nullptr);
+  // Ordinal reuse keeps the directory compact.
+  auto b = l().create(root(), "b");
+  ASSERT_TRUE(b);
+  auto entries = l().readdir(root(), false);
+  ASSERT_TRUE(entries);
+  EXPECT_EQ(entries->size(), 1u);
+}
+
+TEST_F(NormalFixture, UnlinkNonEmptyDirectoryRefused) {
+  auto d = l().mkdir(root(), "d");
+  ASSERT_TRUE(d);
+  ASSERT_TRUE(l().create(*d, "x"));
+  EXPECT_EQ(l().unlink(root(), "d").error(), Errc::kNotEmpty);
+  ASSERT_TRUE(l().unlink(*d, "x").ok());
+  EXPECT_TRUE(l().unlink(root(), "d").ok());
+}
+
+TEST_F(NormalFixture, RenameKeepsInodeNumber) {
+  auto d1 = l().mkdir(root(), "d1");
+  auto d2 = l().mkdir(root(), "d2");
+  ASSERT_TRUE(d1);
+  ASSERT_TRUE(d2);
+  auto f = l().create(*d1, "file");
+  ASSERT_TRUE(f);
+  auto moved = l().rename(*d1, "file", *d2, "renamed");
+  ASSERT_TRUE(moved);
+  // Traditional layout: the file ID is stable across rename.
+  EXPECT_EQ(moved->v, f->v);
+  EXPECT_FALSE(l().lookup(*d1, "file").ok());
+  ASSERT_TRUE(l().lookup(*d2, "renamed"));
+}
+
+TEST_F(NormalFixture, StatTouchesInodeTableBlock) {
+  auto ino = l().create(root(), "s");
+  ASSERT_TRUE(ino);
+  fs.finish();
+  fs.cache().invalidate_all();
+  const u64 before = fs.disk_accesses();
+  ASSERT_TRUE(l().stat(*ino).ok());
+  fs.io().drain();
+  EXPECT_GE(fs.disk_accesses(), before + 1);
+}
+
+TEST_F(NormalFixture, SyncLayoutSpillsMappingBlocks) {
+  auto ino = l().create(root(), "big");
+  ASSERT_TRUE(ino);
+  // Few extents: stuffed inline, no overflow blocks.
+  ASSERT_TRUE(l().sync_layout(*ino, Format::kInlineExtents).ok());
+  EXPECT_TRUE(l().find(*ino)->mapping_blocks.empty());
+  // Fragmented file: spills.
+  ASSERT_TRUE(l().sync_layout(*ino, Format::kInlineExtents + 1).ok());
+  EXPECT_EQ(l().find(*ino)->mapping_blocks.size(), 1u);
+  ASSERT_TRUE(
+      l().sync_layout(*ino, Format::kInlineExtents +
+                                Format::kExtentsPerMappingBlock + 1)
+          .ok());
+  EXPECT_EQ(l().find(*ino)->mapping_blocks.size(), 2u);
+}
+
+TEST_F(NormalFixture, ReaddirPlusReadsInodeRegionToo) {
+  for (int i = 0; i < 300; ++i)
+    ASSERT_TRUE(l().create(root(), "f" + std::to_string(i)));
+  fs.finish();
+  fs.cache().invalidate_all();
+  fs.reset_io_stats();
+  ASSERT_TRUE(l().readdir(root(), false));
+  fs.io().drain();
+  const u64 plain = fs.disk_accesses();
+  fs.cache().invalidate_all();
+  fs.reset_io_stats();
+  ASSERT_TRUE(l().readdir(root(), true));
+  fs.io().drain();
+  const u64 plus = fs.disk_accesses();
+  // readdirplus must additionally visit the inode table region.
+  EXPECT_GT(plus, plain);
+}
+
+TEST_F(NormalFixture, OpStatsCount) {
+  ASSERT_TRUE(l().create(root(), "x"));
+  ASSERT_TRUE(l().lookup(root(), "x"));
+  ASSERT_TRUE(l().readdir(root(), false));
+  ASSERT_TRUE(l().unlink(root(), "x").ok());
+  const LayoutOpStats& s = l().op_stats();
+  EXPECT_EQ(s.creates, 1u);
+  EXPECT_EQ(s.lookups, 1u);
+  EXPECT_EQ(s.readdirs, 1u);
+  EXPECT_EQ(s.unlinks, 1u);
+}
+
+TEST_F(NormalFixture, UtimeJournalsInodeBlock) {
+  auto ino = l().create(root(), "t");
+  ASSERT_TRUE(ino);
+  const u64 tx = fs.journal().stats().transactions;
+  ASSERT_TRUE(l().utime(*ino).ok());
+  EXPECT_EQ(fs.journal().stats().transactions, tx + 1);
+  EXPECT_EQ(l().find(*ino)->mtime, 1u);
+}
+
+}  // namespace
+}  // namespace mif::mfs

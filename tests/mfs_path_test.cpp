@@ -1,0 +1,134 @@
+// Tests for the path-based MFS facade, parameterised over BOTH directory
+// layouts: the namespace semantics must be identical regardless of the
+// on-disk organisation.
+#include <gtest/gtest.h>
+
+#include "mfs/mfs.hpp"
+
+namespace mif::mfs {
+namespace {
+
+class MfsPathTest : public ::testing::TestWithParam<DirectoryMode> {
+ protected:
+  MfsPathTest() {
+    MfsConfig cfg;
+    cfg.mode = GetParam();
+    fs_ = std::make_unique<Mfs>(cfg);
+  }
+  std::unique_ptr<Mfs> fs_;
+};
+
+TEST_P(MfsPathTest, SplitPathHandlesSlashes) {
+  auto p = split_path("/a//b/c/");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], "a");
+  EXPECT_EQ(p[1], "b");
+  EXPECT_EQ(p[2], "c");
+  EXPECT_TRUE(split_path("///").empty());
+  EXPECT_TRUE(split_path("").empty());
+}
+
+TEST_P(MfsPathTest, CreateResolveRoundTrip) {
+  ASSERT_TRUE(fs_->mkdir("dir"));
+  auto ino = fs_->create("dir/file.txt");
+  ASSERT_TRUE(ino);
+  auto found = fs_->resolve("dir/file.txt");
+  ASSERT_TRUE(found);
+  EXPECT_EQ(found->v, ino->v);
+}
+
+TEST_P(MfsPathTest, NestedMkdir) {
+  ASSERT_TRUE(fs_->mkdir("a"));
+  ASSERT_TRUE(fs_->mkdir("a/b"));
+  ASSERT_TRUE(fs_->mkdir("a/b/c"));
+  ASSERT_TRUE(fs_->create("a/b/c/deep"));
+  EXPECT_TRUE(fs_->resolve("a/b/c/deep").ok());
+}
+
+TEST_P(MfsPathTest, MissingParentFails) {
+  EXPECT_EQ(fs_->create("nope/file").error(), Errc::kNotFound);
+}
+
+TEST_P(MfsPathTest, FileAsDirectoryComponentFails) {
+  ASSERT_TRUE(fs_->create("plain"));
+  EXPECT_EQ(fs_->create("plain/child").error(), Errc::kNotDirectory);
+}
+
+TEST_P(MfsPathTest, StatAndUtime) {
+  ASSERT_TRUE(fs_->create("f"));
+  EXPECT_TRUE(fs_->stat("f").ok());
+  EXPECT_TRUE(fs_->utime("f").ok());
+  EXPECT_EQ(fs_->stat("missing").error(), Errc::kNotFound);
+}
+
+TEST_P(MfsPathTest, ReaddirBothFlavours) {
+  ASSERT_TRUE(fs_->mkdir("d"));
+  for (int i = 0; i < 25; ++i)
+    ASSERT_TRUE(fs_->create("d/f" + std::to_string(i)));
+  auto plain = fs_->readdir("d", false);
+  auto plus = fs_->readdir("d", true);
+  ASSERT_TRUE(plain);
+  ASSERT_TRUE(plus);
+  EXPECT_EQ(plain->size(), 25u);
+  EXPECT_EQ(plus->size(), 25u);
+}
+
+TEST_P(MfsPathTest, UnlinkByPath) {
+  ASSERT_TRUE(fs_->mkdir("d"));
+  ASSERT_TRUE(fs_->create("d/f"));
+  EXPECT_TRUE(fs_->unlink("d/f").ok());
+  EXPECT_EQ(fs_->resolve("d/f").error(), Errc::kNotFound);
+  EXPECT_TRUE(fs_->unlink("d").ok());
+}
+
+TEST_P(MfsPathTest, RenameAcrossDirectories) {
+  ASSERT_TRUE(fs_->mkdir("src"));
+  ASSERT_TRUE(fs_->mkdir("dst"));
+  ASSERT_TRUE(fs_->create("src/f"));
+  auto moved = fs_->rename("src/f", "dst/g");
+  ASSERT_TRUE(moved);
+  EXPECT_TRUE(fs_->resolve("dst/g").ok());
+  EXPECT_EQ(fs_->resolve("src/f").error(), Errc::kNotFound);
+}
+
+TEST_P(MfsPathTest, ManyFilesAcrossManyDirectories) {
+  for (int d = 0; d < 10; ++d) {
+    ASSERT_TRUE(fs_->mkdir("dir" + std::to_string(d)));
+    for (int f = 0; f < 100; ++f) {
+      ASSERT_TRUE(fs_->create("dir" + std::to_string(d) + "/f" +
+                              std::to_string(f)));
+    }
+  }
+  for (int d = 0; d < 10; ++d) {
+    auto entries = fs_->readdir("dir" + std::to_string(d), true);
+    ASSERT_TRUE(entries);
+    EXPECT_EQ(entries->size(), 100u);
+  }
+}
+
+TEST_P(MfsPathTest, SyncLayoutAndGetlayoutByHandle) {
+  auto ino = fs_->create("f");
+  ASSERT_TRUE(ino);
+  EXPECT_TRUE(fs_->sync_file_layout(*ino, 40).ok());
+  EXPECT_TRUE(fs_->getlayout(*ino).ok());
+  EXPECT_EQ(fs_->sync_file_layout(InodeNo{0xdeadbeef}, 1).error(),
+            Errc::kNotFound);
+}
+
+TEST_P(MfsPathTest, ElapsedTimeAdvancesWithWork) {
+  const double t0 = fs_->elapsed_ms();
+  for (int i = 0; i < 50; ++i)
+    ASSERT_TRUE(fs_->create("g" + std::to_string(i)));
+  fs_->finish();
+  EXPECT_GT(fs_->elapsed_ms(), t0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, MfsPathTest,
+                         ::testing::Values(DirectoryMode::kNormal,
+                                           DirectoryMode::kEmbedded),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace mif::mfs

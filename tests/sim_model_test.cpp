@@ -1,0 +1,184 @@
+// Deeper property tests of the simulation substrate: the cost model's
+// monotonicity and invariants under parameter sweeps (TEST_P), the
+// track-skip crossover, and split read/write queue behaviour.
+#include <gtest/gtest.h>
+
+#include "sim/disk.hpp"
+#include "sim/io_scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace mif::sim {
+namespace {
+
+TEST(DiskSkipModel, ShortForwardGapsAreSkips) {
+  Disk d;
+  d.service({IoKind::kRead, DiskBlock{0}, 8});
+  // A 16-block forward gap costs far less than a seek + rotation.
+  d.service({IoKind::kRead, DiskBlock{24}, 8});
+  EXPECT_EQ(d.stats().skips, 1u);
+  EXPECT_EQ(d.stats().positionings, 0u);
+  EXPECT_LT(d.stats().skip_ms, d.geometry().rotational_ms);
+}
+
+TEST(DiskSkipModel, LongForwardGapsReposition) {
+  Disk d;
+  d.service({IoKind::kRead, DiskBlock{0}, 8});
+  d.service({IoKind::kRead, DiskBlock{100000}, 8});
+  EXPECT_EQ(d.stats().skips, 0u);
+  EXPECT_EQ(d.stats().positionings, 1u);
+}
+
+TEST(DiskSkipModel, BackwardJumpsAlwaysReposition) {
+  Disk d;
+  d.service({IoKind::kRead, DiskBlock{1000}, 8});
+  d.service({IoKind::kRead, DiskBlock{990}, 8});  // tiny BACKWARD gap
+  EXPECT_EQ(d.stats().skips, 0u);
+  EXPECT_EQ(d.stats().positionings, 2u);  // initial + backward
+}
+
+TEST(DiskSkipModel, DisabledFallsBackToRepositioning) {
+  DiskGeometry g;
+  g.track_skip = false;
+  Disk d(g);
+  d.service({IoKind::kRead, DiskBlock{0}, 8});
+  d.service({IoKind::kRead, DiskBlock{24}, 8});
+  EXPECT_EQ(d.stats().skips, 0u);
+  EXPECT_EQ(d.stats().positionings, 1u);
+}
+
+TEST(DiskSkipModel, CrossoverMatchesCostFunctions) {
+  // At the crossover gap, skip time equals reposition time; below it the
+  // model must choose the skip, above it the seek.
+  Disk d;
+  const double block_ms =
+      static_cast<double>(kBlockSize) / (d.geometry().seq_read_mbps * 1e6) *
+      1e3;
+  // Find a gap whose streaming cost clearly exceeds seek+rotation.
+  const u64 big_gap =
+      static_cast<u64>((d.geometry().seek_max_ms + d.geometry().rotational_ms) /
+                       block_ms) *
+      4;
+  d.service({IoKind::kRead, DiskBlock{0}, 1});
+  d.service({IoKind::kRead, DiskBlock{1 + big_gap}, 1});
+  EXPECT_EQ(d.stats().positionings, 1u);
+}
+
+struct GeometryCase {
+  double rpm_factor;   // scales rotational latency
+  double rate_mbps;
+  u64 request_blocks;
+};
+
+class DiskGeometrySweep : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(DiskGeometrySweep, FragmentationAlwaysCostsMore) {
+  const GeometryCase c = GetParam();
+  DiskGeometry g;
+  g.rotational_ms *= c.rpm_factor;
+  g.seq_read_mbps = c.rate_mbps;
+
+  // Contiguous pass.
+  Disk contiguous(g);
+  double t_contig = 0.0;
+  for (u64 i = 0; i < 64; ++i) {
+    t_contig += contiguous.service(
+        {IoKind::kRead, DiskBlock{i * c.request_blocks}, c.request_blocks});
+  }
+  // Strided pass (forced discontiguity, spread over the whole device).
+  Disk strided(g);
+  const u64 stride = (g.capacity_blocks - c.request_blocks) / 64;
+  double t_strided = 0.0;
+  for (u64 i = 0; i < 64; ++i) {
+    t_strided += strided.service(
+        {IoKind::kRead, DiskBlock{i * stride}, c.request_blocks});
+  }
+  EXPECT_GT(t_strided, t_contig)
+      << "rpm x" << c.rpm_factor << " rate " << c.rate_mbps;
+  // Same bytes transferred in both passes.
+  EXPECT_EQ(strided.stats().blocks_read, contiguous.stats().blocks_read);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DiskGeometrySweep,
+    ::testing::Values(GeometryCase{1.0, 170.2, 8},
+                      GeometryCase{0.5, 170.2, 8},   // 15k rpm
+                      GeometryCase{2.0, 80.0, 8},    // slow consumer disk
+                      GeometryCase{1.0, 500.0, 8},   // fast media
+                      GeometryCase{1.0, 170.2, 64},  // large requests
+                      GeometryCase{1.0, 170.2, 1}),  // single blocks
+    [](const auto& info) { return "g" + std::to_string(info.index); });
+
+TEST(SplitQueues, WritesBatchDeeperThanReads) {
+  Disk d;
+  IoScheduler s(d, /*max_queue=*/4, /*max_write_queue=*/64);
+  // 4 reads trigger a drain...
+  for (u64 i = 0; i < 4; ++i)
+    s.submit({IoKind::kRead, DiskBlock{i * 100}, 1});
+  EXPECT_EQ(s.stats().dispatched, 4u);
+  // ...while 32 writes sit and wait.
+  for (u64 i = 0; i < 32; ++i)
+    s.submit({IoKind::kWrite, DiskBlock{i * 100}, 1});
+  EXPECT_EQ(s.stats().dispatched, 4u);
+  s.drain();
+  EXPECT_EQ(s.stats().dispatched, 36u);
+}
+
+TEST(SplitQueues, WriteThresholdTriggersFullDrain) {
+  Disk d;
+  IoScheduler s(d, 1000, 8);
+  for (u64 i = 0; i < 7; ++i)
+    s.submit({IoKind::kWrite, DiskBlock{i * 10}, 1});
+  s.submit({IoKind::kRead, DiskBlock{9999}, 1});  // riding along
+  EXPECT_EQ(s.stats().dispatched, 0u);
+  s.submit({IoKind::kWrite, DiskBlock{70}, 1});  // 8th write → drain all
+  EXPECT_GT(s.stats().dispatched, 0u);
+  EXPECT_EQ(d.stats().blocks_read, 1u);
+}
+
+TEST(SplitQueues, ZeroWriteQueueDefaultsToReadBound) {
+  Disk d;
+  IoScheduler s(d, 4, 0);
+  for (u64 i = 0; i < 4; ++i)
+    s.submit({IoKind::kWrite, DiskBlock{i * 10}, 1});
+  EXPECT_EQ(s.stats().dispatched, 4u);  // writes bounded by max_queue
+}
+
+// Property: the scheduler never loses or duplicates blocks, whatever the
+// submission mix.
+TEST(SchedulerProperty, BlocksConservedUnderRandomMix) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    Disk d;
+    IoScheduler s(d, 32, 128);
+    u64 submitted_read = 0, submitted_write = 0;
+    for (int i = 0; i < 500; ++i) {
+      const bool rd = rng.chance(0.5);
+      const u64 len = rng.uniform(1, 16);
+      // Non-overlapping ranges so merges conserve exact totals.
+      const u64 start = static_cast<u64>(i) * 32 + (rd ? 0 : 16);
+      s.submit({rd ? IoKind::kRead : IoKind::kWrite, DiskBlock{start}, len});
+      (rd ? submitted_read : submitted_write) += len;
+    }
+    s.drain();
+    EXPECT_EQ(d.stats().blocks_read, submitted_read);
+    EXPECT_EQ(d.stats().blocks_written, submitted_write);
+  }
+}
+
+TEST(SchedulerProperty, MergingNeverSlowerThanFifo) {
+  Rng rng(78);
+  Disk fifo, merged;
+  IoScheduler s(merged, 4096, 4096);
+  double t_fifo = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const DiskRequest req{IoKind::kRead,
+                          DiskBlock{rng.uniform(0, 1 << 20)}, 4};
+    t_fifo += fifo.service(req);
+    s.submit(req);
+  }
+  const double t_merged = s.drain();
+  EXPECT_LE(t_merged, t_fifo);
+}
+
+}  // namespace
+}  // namespace mif::sim

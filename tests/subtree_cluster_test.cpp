@@ -1,0 +1,130 @@
+// Tests for the §IV-D distribution-policy cluster: embedded directories keep
+// their value under subtree partitioning and lose it under hash
+// distribution.
+#include <gtest/gtest.h>
+
+#include "mds/subtree_cluster.hpp"
+
+namespace mif::mds {
+namespace {
+
+MdsConfig embedded_cfg() {
+  MdsConfig cfg;
+  cfg.mfs.mode = mfs::DirectoryMode::kEmbedded;
+  cfg.mfs.cache_blocks = 1024;
+  return cfg;
+}
+
+TEST(SubtreeCluster, SubtreeKeepsDirectoriesWhole) {
+  SubtreeCluster cluster(4, DistributionPolicy::kSubtree, embedded_cfg());
+  ASSERT_TRUE(cluster.mkdir("proj").ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(cluster.create("proj/f" + std::to_string(i)));
+  }
+  auto entries = cluster.readdir_stats("proj");
+  ASSERT_TRUE(entries);
+  EXPECT_EQ(entries->size(), 60u);
+  // All ops colocated on the directory's home server.
+  EXPECT_EQ(cluster.stats().colocated_ops, cluster.stats().ops);
+  // Exactly one server holds the files.
+  int holders = 0;
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    auto part = cluster.server(s).readdir("proj");
+    if (part && !part->empty()) ++holders;
+  }
+  EXPECT_EQ(holders, 1);
+}
+
+TEST(SubtreeCluster, SubtreeSpreadsTopLevelDirectories) {
+  SubtreeCluster cluster(4, DistributionPolicy::kSubtree, embedded_cfg());
+  for (int d = 0; d < 8; ++d) {
+    ASSERT_TRUE(cluster.mkdir("d" + std::to_string(d)).ok());
+    ASSERT_TRUE(cluster.create("d" + std::to_string(d) + "/x"));
+  }
+  // Round-robin delegation: every server got two subtrees' worth of work.
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    EXPECT_GT(cluster.server(s).stats().rpcs, 0u) << "server " << s;
+  }
+}
+
+TEST(SubtreeCluster, HashScattersChildren) {
+  SubtreeCluster cluster(4, DistributionPolicy::kHash, embedded_cfg());
+  ASSERT_TRUE(cluster.mkdir("proj").ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(cluster.create("proj/f" + std::to_string(i)));
+  }
+  int holders = 0;
+  u64 total = 0;
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    auto part = cluster.server(s).readdir("proj");
+    ASSERT_TRUE(part);
+    if (!part->empty()) ++holders;
+    total += part->size();
+  }
+  EXPECT_EQ(total, 60u);
+  EXPECT_GT(holders, 1);  // locality broken by design
+}
+
+TEST(SubtreeCluster, HashReaddirMustFanOut) {
+  SubtreeCluster subtree(4, DistributionPolicy::kSubtree, embedded_cfg());
+  SubtreeCluster hashed(4, DistributionPolicy::kHash, embedded_cfg());
+  for (auto* c : {&subtree, &hashed}) {
+    ASSERT_TRUE(c->mkdir("d").ok());
+    for (int i = 0; i < 40; ++i)
+      ASSERT_TRUE(c->create("d/f" + std::to_string(i)));
+  }
+  const u64 f0 = subtree.stats().fanout_requests;
+  ASSERT_TRUE(subtree.readdir_stats("d"));
+  const u64 f1 = hashed.stats().fanout_requests;
+  ASSERT_TRUE(hashed.readdir_stats("d"));
+  EXPECT_EQ(subtree.stats().fanout_requests - f0, 1u);
+  EXPECT_EQ(hashed.stats().fanout_requests - f1, 4u);
+}
+
+TEST(SubtreeCluster, NamespaceSemanticsHoldUnderBothPolicies) {
+  for (auto policy :
+       {DistributionPolicy::kSubtree, DistributionPolicy::kHash}) {
+    SubtreeCluster c(3, policy, embedded_cfg());
+    ASSERT_TRUE(c.mkdir("a").ok()) << to_string(policy);
+    ASSERT_TRUE(c.create("a/f"));
+    EXPECT_TRUE(c.stat("a/f").ok());
+    EXPECT_TRUE(c.utime("a/f").ok());
+    EXPECT_TRUE(c.unlink("a/f").ok());
+    EXPECT_EQ(c.stat("a/f").error(), Errc::kNotFound);
+  }
+}
+
+// The §IV-D claim, measured: the disk-access benefit of the aggregated
+// readdir-stat survives subtree partitioning but not hash distribution
+// (scattered children mean several servers each sweep their own piece).
+TEST(SubtreeCluster, EmbeddedBenefitSurvivesSubtreeNotHash) {
+  auto run = [](DistributionPolicy policy) {
+    SubtreeCluster c(4, policy, embedded_cfg());
+    EXPECT_TRUE(c.mkdir("big").ok());
+    for (int i = 0; i < 2000; ++i)
+      EXPECT_TRUE(c.create("big/f" + std::to_string(i)).ok());
+    for (std::size_t s = 0; s < c.size(); ++s) {
+      c.server(s).finish();
+      c.server(s).fs().cache().invalidate_all();
+    }
+    const u64 a0 = c.total_disk_accesses();
+    EXPECT_TRUE(c.readdir_stats("big"));
+    for (std::size_t s = 0; s < c.size(); ++s) c.server(s).finish();
+    return c.total_disk_accesses() - a0;
+  };
+  const u64 subtree_accesses = run(DistributionPolicy::kSubtree);
+  const u64 hash_accesses = run(DistributionPolicy::kHash);
+  EXPECT_LT(subtree_accesses, hash_accesses);
+}
+
+TEST(SubtreeCluster, SingleServerDegeneratesToPlainMds) {
+  SubtreeCluster c(1, DistributionPolicy::kSubtree, embedded_cfg());
+  ASSERT_TRUE(c.mkdir("d").ok());
+  ASSERT_TRUE(c.create("d/f"));
+  auto entries = c.readdir_stats("d");
+  ASSERT_TRUE(entries);
+  EXPECT_EQ(entries->size(), 1u);
+}
+
+}  // namespace
+}  // namespace mif::mds

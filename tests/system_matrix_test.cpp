@@ -1,0 +1,148 @@
+// System matrix: miniature versions of every workload, run across the full
+// (allocator × directory-layout) configuration grid.  Each cell must (a)
+// complete without errors, (b) leave every storage target and the namespace
+// verifiably consistent, and (c) be bit-deterministic across two runs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/btio.hpp"
+#include "workload/filetree.hpp"
+#include "workload/ior.hpp"
+#include "workload/metarates.hpp"
+#include "workload/postmark.hpp"
+#include "workload/shared_file.hpp"
+
+namespace mif {
+namespace {
+
+using Config = std::tuple<alloc::AllocatorMode, mfs::DirectoryMode>;
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  std::string s{alloc::to_string(std::get<0>(info.param))};
+  for (auto& c : s)
+    if (c == '-') c = '_';
+  return s + "_" + std::string(to_string(std::get<1>(info.param)));
+}
+
+class SystemMatrix : public ::testing::TestWithParam<Config> {
+ protected:
+  core::ClusterConfig cluster() const {
+    core::ClusterConfig cfg;
+    cfg.num_targets = 3;
+    cfg.target.allocator = std::get<0>(GetParam());
+    cfg.mds.mfs.mode = std::get<1>(GetParam());
+    cfg.mds.mfs.cache_blocks = 1024;
+    return cfg;
+  }
+
+  void verify_everything(core::ParallelFileSystem& fs) {
+    EXPECT_TRUE(fs.mds().fs().layout().verify().ok());
+    for (std::size_t t = 0; t < fs.num_targets(); ++t) {
+      const auto report = fs.target(t).verify();
+      EXPECT_TRUE(report.ok())
+          << "target " << t << ": overlap=" << report.overlap_free
+          << " accounted=" << report.space_accounted;
+    }
+  }
+};
+
+TEST_P(SystemMatrix, SharedFileMicroBenchmark) {
+  core::ParallelFileSystem fs(cluster());
+  workload::SharedFileConfig cfg;
+  cfg.processes = 8;
+  cfg.blocks_per_process = 64;
+  cfg.read_segments = 32;
+  const auto r = workload::run_shared_file(fs, cfg);
+  EXPECT_GT(r.phase2_throughput_mbps, 0.0);
+  EXPECT_GT(r.extents, 0u);
+  verify_everything(fs);
+}
+
+TEST_P(SystemMatrix, IorSmall) {
+  core::ParallelFileSystem fs(cluster());
+  workload::IorConfig cfg;
+  cfg.processes = 8;
+  cfg.bytes_per_process = 256 * 1024;
+  const auto r = workload::run_ior(fs, cfg);
+  EXPECT_GT(r.total_mbps, 0.0);
+  verify_everything(fs);
+}
+
+TEST_P(SystemMatrix, BtioSmallCollectiveAndNot) {
+  for (bool collective : {false, true}) {
+    core::ParallelFileSystem fs(cluster());
+    workload::BtioConfig cfg;
+    cfg.processes = 8;
+    cfg.timesteps = 3;
+    cfg.cells_per_process = 4;
+    cfg.collective = collective;
+    const auto r = workload::run_btio(fs, cfg);
+    EXPECT_GT(r.write_mbps, 0.0) << "collective=" << collective;
+    verify_everything(fs);
+  }
+}
+
+TEST_P(SystemMatrix, MetaratesSmall) {
+  mds::MdsConfig cfg;
+  cfg.mfs.mode = std::get<1>(GetParam());
+  mds::Mds mds(cfg);
+  workload::MetaratesConfig wcfg;
+  wcfg.clients = 3;
+  wcfg.files_per_dir = 60;
+  const auto r = workload::run_metarates(mds, wcfg);
+  EXPECT_EQ(r.create.ops, 180u);
+  EXPECT_EQ(r.remove.ops, 180u);
+  EXPECT_TRUE(mds.fs().layout().verify().ok());
+}
+
+TEST_P(SystemMatrix, PostmarkSmall) {
+  core::ParallelFileSystem fs(cluster());
+  workload::PostmarkConfig cfg;
+  cfg.base_files = 80;
+  cfg.transactions = 150;
+  cfg.subdirectories = 6;
+  const auto r = workload::run_postmark(fs, cfg);
+  EXPECT_GT(r.transactions_per_sec, 0.0);
+  verify_everything(fs);
+}
+
+TEST_P(SystemMatrix, FileTreeBuildCycle) {
+  core::ParallelFileSystem fs(cluster());
+  workload::FileTreeConfig cfg;
+  cfg.directories = 8;
+  cfg.files = 80;
+  workload::FileTreeWorkload tree(fs, cfg);
+  EXPECT_GT(tree.untar().elapsed_ms, 0.0);
+  EXPECT_GT(tree.make().ops, 0u);
+  EXPECT_GT(tree.make_clean().ops, 0u);
+  EXPECT_EQ(tree.tar_scan().ops, 80u);
+  verify_everything(fs);
+}
+
+TEST_P(SystemMatrix, SharedFileDeterministic) {
+  workload::SharedFileConfig cfg;
+  cfg.processes = 6;
+  cfg.blocks_per_process = 32;
+  cfg.read_segments = 16;
+  core::ParallelFileSystem fs1(cluster());
+  core::ParallelFileSystem fs2(cluster());
+  const auto a = workload::run_shared_file(fs1, cfg);
+  const auto b = workload::run_shared_file(fs2, cfg);
+  EXPECT_EQ(a.extents, b.extents);
+  EXPECT_DOUBLE_EQ(a.phase1_ms, b.phase1_ms);
+  EXPECT_DOUBLE_EQ(a.phase2_ms, b.phase2_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SystemMatrix,
+    ::testing::Combine(
+        ::testing::Values(alloc::AllocatorMode::kVanilla,
+                          alloc::AllocatorMode::kReservation,
+                          alloc::AllocatorMode::kOnDemand),
+        ::testing::Values(mfs::DirectoryMode::kNormal,
+                          mfs::DirectoryMode::kEmbedded)),
+    config_name);
+
+}  // namespace
+}  // namespace mif

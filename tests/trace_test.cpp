@@ -1,0 +1,158 @@
+// Tests for trace recording, parsing, generation and replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace.hpp"
+
+namespace mif::workload {
+namespace {
+
+core::ClusterConfig small_cluster() {
+  core::ClusterConfig cfg;
+  cfg.num_targets = 3;
+  cfg.target.allocator = alloc::AllocatorMode::kOnDemand;
+  return cfg;
+}
+
+TEST(Trace, TextRoundTrip) {
+  Trace t;
+  t.append({TraceOpKind::kCreate, 0, "a/b.dat", 0, 0});
+  t.append({TraceOpKind::kWrite, 3, "a/b.dat", 4096, 65536});
+  t.append({TraceOpKind::kBarrier, 0, {}, 0, 0});
+  t.append({TraceOpKind::kRead, 1, "a/b.dat", 0, 1024});
+  t.append({TraceOpKind::kClose, 0, "a/b.dat", 0, 0});
+  t.append({TraceOpKind::kUnlink, 0, "a/b.dat", 0, 0});
+
+  auto parsed = Trace::parse(t.to_string());
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(parsed->ops()[i], t.ops()[i]) << "op " << i;
+  }
+}
+
+TEST(Trace, ParseRejectsGarbageKind) {
+  auto r = Trace::parse("explode 0 x 0 0\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Trace, ParseEmptyIsEmptyTrace) {
+  auto r = Trace::parse("");
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(Trace, CheckpointGeneratorCoversEveryRegionExactlyOnce) {
+  const Trace t = make_checkpoint_trace(8, 1 << 20, 64 * 1024, 0.7);
+  u64 written = 0;
+  std::vector<u64> per_pid(8, 0);
+  for (const TraceOp& op : t.ops()) {
+    if (op.kind != TraceOpKind::kWrite) continue;
+    written += op.length;
+    ASSERT_LT(op.pid, 8u);
+    per_pid[op.pid] += op.length;
+    // Offsets stay within the pid's region.
+    EXPECT_GE(op.offset, op.pid * (u64{1} << 20));
+    EXPECT_LT(op.offset + op.length, (op.pid + 1) * (u64{1} << 20) + 1);
+  }
+  EXPECT_EQ(written, u64{8} << 20);
+  for (u64 b : per_pid) EXPECT_EQ(b, u64{1} << 20);
+}
+
+TEST(Trace, CheckpointGeneratorDeterministic) {
+  const Trace a = make_checkpoint_trace(4, 1 << 18, 32 * 1024, 0.5, 99);
+  const Trace b = make_checkpoint_trace(4, 1 << 18, 32 * 1024, 0.5, 99);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.to_string(), b.to_string());
+  const Trace c = make_checkpoint_trace(4, 1 << 18, 32 * 1024, 0.5, 100);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(Trace, ReplayExecutesCheckpointTrace) {
+  core::ParallelFileSystem fs(small_cluster());
+  const Trace t = make_checkpoint_trace(8, 1 << 20, 64 * 1024, 0.8);
+  const ReplayResult r = replay(fs, t);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.bytes_written, u64{8} << 20);
+  EXPECT_GT(r.data_elapsed_ms, 0.0);
+  // The file exists and carries the full mapping.
+  auto open = fs.mds().open_getlayout("ckpt.odb");
+  ASSERT_TRUE(open);
+  EXPECT_GT(open->extent_count, 0u);
+}
+
+TEST(Trace, ReplayIsDeterministic) {
+  const Trace t = make_checkpoint_trace(4, 1 << 19, 32 * 1024, 0.6);
+  core::ParallelFileSystem fs1(small_cluster());
+  core::ParallelFileSystem fs2(small_cluster());
+  const ReplayResult a = replay(fs1, t);
+  const ReplayResult b = replay(fs2, t);
+  EXPECT_DOUBLE_EQ(a.data_elapsed_ms, b.data_elapsed_ms);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+}
+
+TEST(Trace, ReplayMatchesPlacementOfDirectExecution) {
+  // Replaying a recorded pattern must fragment the file exactly as issuing
+  // the same pattern directly would — traces are a faithful medium.
+  const Trace t = make_checkpoint_trace(8, 1 << 20, 8 * 1024, 1.0);
+  core::ParallelFileSystem via_trace(small_cluster());
+  (void)replay(via_trace, t);
+  core::ParallelFileSystem direct(small_cluster());
+  {
+    auto client = direct.connect(ClientId{1});
+    auto fh = client.create("ckpt.odb");
+    ASSERT_TRUE(fh);
+    for (const TraceOp& op : t.ops()) {
+      if (op.kind == TraceOpKind::kWrite) {
+        ASSERT_TRUE(client.write(*fh, op.pid, op.offset, op.length).ok());
+      }
+    }
+    direct.drain_data();
+    ASSERT_TRUE(client.close(*fh).ok());
+  }
+  auto a = via_trace.mds().open_getlayout("ckpt.odb");
+  auto b = direct.mds().open_getlayout("ckpt.odb");
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(a->extent_count, b->extent_count);
+}
+
+TEST(Trace, SmallfileTraceRunsCleanly) {
+  core::ParallelFileSystem fs(small_cluster());
+  const Trace t = make_smallfile_trace(50, 200, 8192);
+  const ReplayResult r = replay(fs, t);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.bytes_written, 0u);
+}
+
+TEST(Trace, ReplayToleratesUnknownFiles) {
+  core::ParallelFileSystem fs(small_cluster());
+  Trace t;
+  t.append({TraceOpKind::kRead, 0, "never-created", 0, 4096});
+  t.append({TraceOpKind::kUnlink, 0, "also-missing", 0, 0});
+  const ReplayResult r = replay(fs, t);
+  EXPECT_EQ(r.ops_executed, 2u);
+  EXPECT_EQ(r.errors, 2u);
+}
+
+TEST(Trace, AllocatorComparisonViaOneTrace) {
+  // The trace methodology's point: the SAME arrival sequence replayed
+  // against different allocators isolates the placement policy.
+  const Trace t = make_checkpoint_trace(16, 1 << 20, 8 * 1024, 0.75);
+  core::ClusterConfig resv = small_cluster();
+  resv.target.allocator = alloc::AllocatorMode::kReservation;
+  core::ClusterConfig ond = small_cluster();
+  ond.target.allocator = alloc::AllocatorMode::kOnDemand;
+  core::ParallelFileSystem fs_r(resv), fs_o(ond);
+  (void)replay(fs_r, t);
+  (void)replay(fs_o, t);
+  auto er = fs_r.mds().open_getlayout("ckpt.odb");
+  auto eo = fs_o.mds().open_getlayout("ckpt.odb");
+  ASSERT_TRUE(er);
+  ASSERT_TRUE(eo);
+  EXPECT_LT(eo->extent_count, er->extent_count);
+}
+
+}  // namespace
+}  // namespace mif::workload

@@ -1,0 +1,165 @@
+// Unit tests for util: Result, RNG determinism/distributions, stats, tables.
+#include <gtest/gtest.h>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace mif {
+namespace {
+
+TEST(Types, BlockByteConversionRoundTrip) {
+  EXPECT_EQ(bytes_to_blocks(0), 0u);
+  EXPECT_EQ(bytes_to_blocks(1), 1u);
+  EXPECT_EQ(bytes_to_blocks(kBlockSize), 1u);
+  EXPECT_EQ(bytes_to_blocks(kBlockSize + 1), 2u);
+  EXPECT_EQ(blocks_to_bytes(bytes_to_blocks(10 * kBlockSize)),
+            10 * kBlockSize);
+}
+
+TEST(Types, StreamIdKeyIsInjective) {
+  StreamId a{1, 2}, b{2, 1}, c{1, 3};
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_EQ(a.key(), (StreamId{1, 2}).key());
+}
+
+TEST(Result, HoldsValueOrError) {
+  Result<int> ok{42};
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.error(), Errc::kOk);
+
+  Result<int> bad{Errc::kNoSpace};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::kNoSpace);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, StatusDefaultsToOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status e{Errc::kNotFound};
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(to_string(e.error()), "not found");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7), c(8);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const u64 x = a.next();
+    EXPECT_EQ(x, b.next());
+    if (x != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ParetoBoundedAndSkewedSmall) {
+  Rng r(5);
+  u64 small = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = r.pareto(512, 1 << 20, 1.2);
+    ASSERT_GE(v, 512u);
+    ASSERT_LE(v, u64{1} << 20);
+    if (v < 8192) ++small;
+  }
+  // Heavy small-file skew: most samples near the low end.
+  EXPECT_GT(small, 1000u);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng r(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng r(9);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.uniform01() * 100.0;
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+}
+
+TEST(Histogram, BucketsByLog2) {
+  Histogram h(10);
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.bucket(1), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket(10 - 1), 1u);  // 1024 clamped to the last bucket
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h;
+  for (u64 v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+}
+
+TEST(Percentile, ExactValues) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.25, 2)});
+  t.add_row({"b", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha | 1.25  |"), std::string::npos);
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+}
+
+TEST(Table, PctFormatsSigned) {
+  EXPECT_EQ(Table::pct(0.231), "+23.1%");
+  EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+}
+
+}  // namespace
+}  // namespace mif

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazyfree.dir/ablation_lazyfree.cpp.o"
+  "CMakeFiles/ablation_lazyfree.dir/ablation_lazyfree.cpp.o.d"
+  "ablation_lazyfree"
+  "ablation_lazyfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazyfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_miss_threshold.dir/ablation_miss_threshold.cpp.o"
+  "CMakeFiles/ablation_miss_threshold.dir/ablation_miss_threshold.cpp.o.d"
+  "ablation_miss_threshold"
+  "ablation_miss_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_miss_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

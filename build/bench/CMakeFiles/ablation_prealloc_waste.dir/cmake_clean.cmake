@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prealloc_waste.dir/ablation_prealloc_waste.cpp.o"
+  "CMakeFiles/ablation_prealloc_waste.dir/ablation_prealloc_waste.cpp.o.d"
+  "ablation_prealloc_waste"
+  "ablation_prealloc_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prealloc_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

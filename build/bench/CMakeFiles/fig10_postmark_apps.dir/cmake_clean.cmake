@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_postmark_apps.dir/fig10_postmark_apps.cpp.o"
+  "CMakeFiles/fig10_postmark_apps.dir/fig10_postmark_apps.cpp.o.d"
+  "fig10_postmark_apps"
+  "fig10_postmark_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_postmark_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

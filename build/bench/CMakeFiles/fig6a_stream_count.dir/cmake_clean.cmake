@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_stream_count.dir/fig6a_stream_count.cpp.o"
+  "CMakeFiles/fig6a_stream_count.dir/fig6a_stream_count.cpp.o.d"
+  "fig6a_stream_count"
+  "fig6a_stream_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_stream_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_request_size.dir/fig6b_request_size.cpp.o"
+  "CMakeFiles/fig6b_request_size.dir/fig6b_request_size.cpp.o.d"
+  "fig6b_request_size"
+  "fig6b_request_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_request_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_metadata.dir/fig8_metadata.cpp.o"
+  "CMakeFiles/fig8_metadata.dir/fig8_metadata.cpp.o.d"
+  "fig8_metadata"
+  "fig8_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

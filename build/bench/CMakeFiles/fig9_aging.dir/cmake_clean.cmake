@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_aging.dir/fig9_aging.cpp.o"
+  "CMakeFiles/fig9_aging.dir/fig9_aging.cpp.o.d"
+  "fig9_aging"
+  "fig9_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_extents.dir/table1_extents.cpp.o"
+  "CMakeFiles/table1_extents.dir/table1_extents.cpp.o.d"
+  "table1_extents"
+  "table1_extents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_extents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

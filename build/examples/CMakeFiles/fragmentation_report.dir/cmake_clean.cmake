@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_report.dir/fragmentation_report.cpp.o"
+  "CMakeFiles/fragmentation_report.dir/fragmentation_report.cpp.o.d"
+  "fragmentation_report"
+  "fragmentation_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

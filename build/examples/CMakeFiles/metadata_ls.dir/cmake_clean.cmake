@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_ls.dir/metadata_ls.cpp.o"
+  "CMakeFiles/metadata_ls.dir/metadata_ls.cpp.o.d"
+  "metadata_ls"
+  "metadata_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_checkpoint.dir/shared_checkpoint.cpp.o"
+  "CMakeFiles/shared_checkpoint.dir/shared_checkpoint.cpp.o.d"
+  "shared_checkpoint"
+  "shared_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

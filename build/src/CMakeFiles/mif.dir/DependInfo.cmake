@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cpp" "src/CMakeFiles/mif.dir/alloc/allocator.cpp.o" "gcc" "src/CMakeFiles/mif.dir/alloc/allocator.cpp.o.d"
+  "/root/repo/src/alloc/ondemand.cpp" "src/CMakeFiles/mif.dir/alloc/ondemand.cpp.o" "gcc" "src/CMakeFiles/mif.dir/alloc/ondemand.cpp.o.d"
+  "/root/repo/src/alloc/reservation.cpp" "src/CMakeFiles/mif.dir/alloc/reservation.cpp.o" "gcc" "src/CMakeFiles/mif.dir/alloc/reservation.cpp.o.d"
+  "/root/repo/src/alloc/static_prealloc.cpp" "src/CMakeFiles/mif.dir/alloc/static_prealloc.cpp.o" "gcc" "src/CMakeFiles/mif.dir/alloc/static_prealloc.cpp.o.d"
+  "/root/repo/src/alloc/vanilla.cpp" "src/CMakeFiles/mif.dir/alloc/vanilla.cpp.o" "gcc" "src/CMakeFiles/mif.dir/alloc/vanilla.cpp.o.d"
+  "/root/repo/src/block/alloc_group.cpp" "src/CMakeFiles/mif.dir/block/alloc_group.cpp.o" "gcc" "src/CMakeFiles/mif.dir/block/alloc_group.cpp.o.d"
+  "/root/repo/src/block/bitmap.cpp" "src/CMakeFiles/mif.dir/block/bitmap.cpp.o" "gcc" "src/CMakeFiles/mif.dir/block/bitmap.cpp.o.d"
+  "/root/repo/src/block/buffer_cache.cpp" "src/CMakeFiles/mif.dir/block/buffer_cache.cpp.o" "gcc" "src/CMakeFiles/mif.dir/block/buffer_cache.cpp.o.d"
+  "/root/repo/src/block/extent_map.cpp" "src/CMakeFiles/mif.dir/block/extent_map.cpp.o" "gcc" "src/CMakeFiles/mif.dir/block/extent_map.cpp.o.d"
+  "/root/repo/src/block/free_space.cpp" "src/CMakeFiles/mif.dir/block/free_space.cpp.o" "gcc" "src/CMakeFiles/mif.dir/block/free_space.cpp.o.d"
+  "/root/repo/src/block/journal.cpp" "src/CMakeFiles/mif.dir/block/journal.cpp.o" "gcc" "src/CMakeFiles/mif.dir/block/journal.cpp.o.d"
+  "/root/repo/src/client/client_fs.cpp" "src/CMakeFiles/mif.dir/client/client_fs.cpp.o" "gcc" "src/CMakeFiles/mif.dir/client/client_fs.cpp.o.d"
+  "/root/repo/src/client/collective.cpp" "src/CMakeFiles/mif.dir/client/collective.cpp.o" "gcc" "src/CMakeFiles/mif.dir/client/collective.cpp.o.d"
+  "/root/repo/src/core/pfs.cpp" "src/CMakeFiles/mif.dir/core/pfs.cpp.o" "gcc" "src/CMakeFiles/mif.dir/core/pfs.cpp.o.d"
+  "/root/repo/src/mds/mds.cpp" "src/CMakeFiles/mif.dir/mds/mds.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mds/mds.cpp.o.d"
+  "/root/repo/src/mds/mds_cluster.cpp" "src/CMakeFiles/mif.dir/mds/mds_cluster.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mds/mds_cluster.cpp.o.d"
+  "/root/repo/src/mds/subtree_cluster.cpp" "src/CMakeFiles/mif.dir/mds/subtree_cluster.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mds/subtree_cluster.cpp.o.d"
+  "/root/repo/src/mfs/dir_table.cpp" "src/CMakeFiles/mif.dir/mfs/dir_table.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mfs/dir_table.cpp.o.d"
+  "/root/repo/src/mfs/embedded_dir.cpp" "src/CMakeFiles/mif.dir/mfs/embedded_dir.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mfs/embedded_dir.cpp.o.d"
+  "/root/repo/src/mfs/inode.cpp" "src/CMakeFiles/mif.dir/mfs/inode.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mfs/inode.cpp.o.d"
+  "/root/repo/src/mfs/mfs.cpp" "src/CMakeFiles/mif.dir/mfs/mfs.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mfs/mfs.cpp.o.d"
+  "/root/repo/src/mfs/name_index.cpp" "src/CMakeFiles/mif.dir/mfs/name_index.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mfs/name_index.cpp.o.d"
+  "/root/repo/src/mfs/normal_dir.cpp" "src/CMakeFiles/mif.dir/mfs/normal_dir.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mfs/normal_dir.cpp.o.d"
+  "/root/repo/src/mfs/rename_map.cpp" "src/CMakeFiles/mif.dir/mfs/rename_map.cpp.o" "gcc" "src/CMakeFiles/mif.dir/mfs/rename_map.cpp.o.d"
+  "/root/repo/src/osd/storage_target.cpp" "src/CMakeFiles/mif.dir/osd/storage_target.cpp.o" "gcc" "src/CMakeFiles/mif.dir/osd/storage_target.cpp.o.d"
+  "/root/repo/src/osd/striping.cpp" "src/CMakeFiles/mif.dir/osd/striping.cpp.o" "gcc" "src/CMakeFiles/mif.dir/osd/striping.cpp.o.d"
+  "/root/repo/src/sim/disk.cpp" "src/CMakeFiles/mif.dir/sim/disk.cpp.o" "gcc" "src/CMakeFiles/mif.dir/sim/disk.cpp.o.d"
+  "/root/repo/src/sim/disk_array.cpp" "src/CMakeFiles/mif.dir/sim/disk_array.cpp.o" "gcc" "src/CMakeFiles/mif.dir/sim/disk_array.cpp.o.d"
+  "/root/repo/src/sim/io_scheduler.cpp" "src/CMakeFiles/mif.dir/sim/io_scheduler.cpp.o" "gcc" "src/CMakeFiles/mif.dir/sim/io_scheduler.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/mif.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/mif.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/readahead.cpp" "src/CMakeFiles/mif.dir/sim/readahead.cpp.o" "gcc" "src/CMakeFiles/mif.dir/sim/readahead.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/mif.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/mif.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/mif.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/mif.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mif.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mif.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/aging.cpp" "src/CMakeFiles/mif.dir/workload/aging.cpp.o" "gcc" "src/CMakeFiles/mif.dir/workload/aging.cpp.o.d"
+  "/root/repo/src/workload/btio.cpp" "src/CMakeFiles/mif.dir/workload/btio.cpp.o" "gcc" "src/CMakeFiles/mif.dir/workload/btio.cpp.o.d"
+  "/root/repo/src/workload/filetree.cpp" "src/CMakeFiles/mif.dir/workload/filetree.cpp.o" "gcc" "src/CMakeFiles/mif.dir/workload/filetree.cpp.o.d"
+  "/root/repo/src/workload/ior.cpp" "src/CMakeFiles/mif.dir/workload/ior.cpp.o" "gcc" "src/CMakeFiles/mif.dir/workload/ior.cpp.o.d"
+  "/root/repo/src/workload/metarates.cpp" "src/CMakeFiles/mif.dir/workload/metarates.cpp.o" "gcc" "src/CMakeFiles/mif.dir/workload/metarates.cpp.o.d"
+  "/root/repo/src/workload/postmark.cpp" "src/CMakeFiles/mif.dir/workload/postmark.cpp.o" "gcc" "src/CMakeFiles/mif.dir/workload/postmark.cpp.o.d"
+  "/root/repo/src/workload/shared_file.cpp" "src/CMakeFiles/mif.dir/workload/shared_file.cpp.o" "gcc" "src/CMakeFiles/mif.dir/workload/shared_file.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/mif.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/mif.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_ondemand_test.dir/alloc_ondemand_test.cpp.o"
+  "CMakeFiles/alloc_ondemand_test.dir/alloc_ondemand_test.cpp.o.d"
+  "alloc_ondemand_test"
+  "alloc_ondemand_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_ondemand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_property_test.dir/alloc_property_test.cpp.o"
+  "CMakeFiles/alloc_property_test.dir/alloc_property_test.cpp.o.d"
+  "alloc_property_test"
+  "alloc_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_static_test.dir/alloc_static_test.cpp.o"
+  "CMakeFiles/alloc_static_test.dir/alloc_static_test.cpp.o.d"
+  "alloc_static_test"
+  "alloc_static_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_static_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

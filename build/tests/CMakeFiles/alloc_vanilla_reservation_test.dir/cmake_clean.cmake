@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_vanilla_reservation_test.dir/alloc_vanilla_reservation_test.cpp.o"
+  "CMakeFiles/alloc_vanilla_reservation_test.dir/alloc_vanilla_reservation_test.cpp.o.d"
+  "alloc_vanilla_reservation_test"
+  "alloc_vanilla_reservation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_vanilla_reservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

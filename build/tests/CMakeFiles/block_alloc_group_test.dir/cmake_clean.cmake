@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_alloc_group_test.dir/block_alloc_group_test.cpp.o"
+  "CMakeFiles/block_alloc_group_test.dir/block_alloc_group_test.cpp.o.d"
+  "block_alloc_group_test"
+  "block_alloc_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_alloc_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

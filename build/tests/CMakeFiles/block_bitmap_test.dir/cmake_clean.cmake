@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_bitmap_test.dir/block_bitmap_test.cpp.o"
+  "CMakeFiles/block_bitmap_test.dir/block_bitmap_test.cpp.o.d"
+  "block_bitmap_test"
+  "block_bitmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

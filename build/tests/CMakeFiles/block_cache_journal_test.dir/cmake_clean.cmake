@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_cache_journal_test.dir/block_cache_journal_test.cpp.o"
+  "CMakeFiles/block_cache_journal_test.dir/block_cache_journal_test.cpp.o.d"
+  "block_cache_journal_test"
+  "block_cache_journal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_cache_journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_extent_map_test.dir/block_extent_map_test.cpp.o"
+  "CMakeFiles/block_extent_map_test.dir/block_extent_map_test.cpp.o.d"
+  "block_extent_map_test"
+  "block_extent_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_extent_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_readahead_test.dir/client_readahead_test.cpp.o"
+  "CMakeFiles/client_readahead_test.dir/client_readahead_test.cpp.o.d"
+  "client_readahead_test"
+  "client_readahead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_readahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

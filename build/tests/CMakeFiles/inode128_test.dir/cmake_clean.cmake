@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inode128_test.dir/inode128_test.cpp.o"
+  "CMakeFiles/inode128_test.dir/inode128_test.cpp.o.d"
+  "inode128_test"
+  "inode128_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inode128_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

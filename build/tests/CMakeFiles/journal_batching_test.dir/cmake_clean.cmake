@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_batching_test.dir/journal_batching_test.cpp.o"
+  "CMakeFiles/journal_batching_test.dir/journal_batching_test.cpp.o.d"
+  "journal_batching_test"
+  "journal_batching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_batching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_cluster_test.dir/mds_cluster_test.cpp.o"
+  "CMakeFiles/mds_cluster_test.dir/mds_cluster_test.cpp.o.d"
+  "mds_cluster_test"
+  "mds_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfs_dirtable_rename_test.dir/mfs_dirtable_rename_test.cpp.o"
+  "CMakeFiles/mfs_dirtable_rename_test.dir/mfs_dirtable_rename_test.cpp.o.d"
+  "mfs_dirtable_rename_test"
+  "mfs_dirtable_rename_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfs_dirtable_rename_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

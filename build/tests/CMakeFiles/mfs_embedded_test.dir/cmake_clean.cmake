@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfs_embedded_test.dir/mfs_embedded_test.cpp.o"
+  "CMakeFiles/mfs_embedded_test.dir/mfs_embedded_test.cpp.o.d"
+  "mfs_embedded_test"
+  "mfs_embedded_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfs_embedded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfs_normal_test.dir/mfs_normal_test.cpp.o"
+  "CMakeFiles/mfs_normal_test.dir/mfs_normal_test.cpp.o.d"
+  "mfs_normal_test"
+  "mfs_normal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfs_normal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

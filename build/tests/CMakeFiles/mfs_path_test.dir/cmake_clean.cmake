@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfs_path_test.dir/mfs_path_test.cpp.o"
+  "CMakeFiles/mfs_path_test.dir/mfs_path_test.cpp.o.d"
+  "mfs_path_test"
+  "mfs_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfs_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osd_test.dir/osd_test.cpp.o"
+  "CMakeFiles/osd_test.dir/osd_test.cpp.o.d"
+  "osd_test"
+  "osd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

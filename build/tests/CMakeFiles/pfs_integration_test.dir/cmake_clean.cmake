@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs_integration_test.dir/pfs_integration_test.cpp.o"
+  "CMakeFiles/pfs_integration_test.dir/pfs_integration_test.cpp.o.d"
+  "pfs_integration_test"
+  "pfs_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

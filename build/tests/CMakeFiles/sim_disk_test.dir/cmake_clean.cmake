@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_disk_test.dir/sim_disk_test.cpp.o"
+  "CMakeFiles/sim_disk_test.dir/sim_disk_test.cpp.o.d"
+  "sim_disk_test"
+  "sim_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

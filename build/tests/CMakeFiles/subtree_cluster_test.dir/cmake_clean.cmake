@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtree_cluster_test.dir/subtree_cluster_test.cpp.o"
+  "CMakeFiles/subtree_cluster_test.dir/subtree_cluster_test.cpp.o.d"
+  "subtree_cluster_test"
+  "subtree_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtree_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

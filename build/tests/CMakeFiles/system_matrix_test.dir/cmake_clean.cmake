@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_matrix_test.dir/system_matrix_test.cpp.o"
+  "CMakeFiles/system_matrix_test.dir/system_matrix_test.cpp.o.d"
+  "system_matrix_test"
+  "system_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "mds/subtree_cluster.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -15,13 +16,14 @@ struct Out {
   mif::u64 fanout;
 };
 
-Out run(mif::mds::DistributionPolicy policy, mif::mfs::DirectoryMode mode) {
+Out run(mif::mds::DistributionPolicy policy, mif::mfs::DirectoryMode mode,
+        bool quick) {
   mif::mds::MdsConfig cfg;
   cfg.mfs.mode = mode;
   cfg.mfs.cache_blocks = 2048;
   mif::mds::SubtreeCluster cluster(4, policy, cfg);
 
-  constexpr int kDirs = 4, kFiles = 2500;
+  const int kDirs = 4, kFiles = quick ? 250 : 2500;
   for (int d = 0; d < kDirs; ++d) {
     (void)cluster.mkdir("proj" + std::to_string(d));
     for (int f = 0; f < kFiles; ++f) {
@@ -47,10 +49,11 @@ Out run(mif::mds::DistributionPolicy policy, mif::mfs::DirectoryMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
   using mif::mds::DistributionPolicy;
   using mif::mfs::DirectoryMode;
+  mif::obs::BenchReport report("ablation_distribution", argc, argv);
   std::printf(
       "Ablation — §IV-D: distribution policy x directory layout\n"
       "(readdir-stat over four 2500-file directories on a 4-server MDS "
@@ -59,13 +62,26 @@ int main() {
            "per-dir fan-out"});
   for (auto policy : {DistributionPolicy::kSubtree, DistributionPolicy::kHash}) {
     for (auto mode : {DirectoryMode::kNormal, DirectoryMode::kEmbedded}) {
-      const Out o = run(policy, mode);
+      const Out o = run(policy, mode, report.quick());
       t.add_row({std::string(to_string(policy)),
                  std::string(to_string(mode)), std::to_string(o.accesses),
                  Table::num(o.ms, 1), Table::num(double(o.fanout) / 4.0, 1)});
+      if (report.json_enabled()) {
+        mif::obs::Json config;
+        config["policy"] = to_string(policy);
+        config["layout"] = to_string(mode);
+        mif::obs::Json results;
+        results["disk_accesses"] = o.accesses;
+        results["sweep_ms"] = o.ms;
+        results["fanout_requests"] = o.fanout;
+        report.add_run(std::string(to_string(policy)) + " " +
+                           std::string(to_string(mode)),
+                       std::move(config), std::move(results));
+      }
     }
   }
   t.print();
+  report.write();
   std::printf(
       "\nUnder subtree delegation the embedded layout answers a listing from "
       "one server's\ncontiguous region; hash placement forces every server "

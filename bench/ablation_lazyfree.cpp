@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "mds/mds.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -13,7 +14,7 @@ struct Out {
   mif::u64 disk_accesses;
 };
 
-Out run(mif::u64 batch) {
+Out run(mif::u64 batch, int files) {
   using namespace mif;
   mds::MdsConfig cfg;
   cfg.mfs.mode = mfs::DirectoryMode::kEmbedded;
@@ -21,7 +22,7 @@ Out run(mif::u64 batch) {
   cfg.mfs.cache_blocks = 4096;
   mds::Mds mds(cfg);
 
-  constexpr int kFiles = 5000;
+  const int kFiles = files;
   if (!mds.mkdir("d")) return {};
   for (int i = 0; i < kFiles; ++i)
     (void)mds.create("d/f" + std::to_string(i));
@@ -39,17 +40,30 @@ Out run(mif::u64 batch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
+  mif::obs::BenchReport report("ablation_lazyfree", argc, argv);
+  const int files = report.quick() ? 500 : 5000;
   std::printf(
-      "Ablation — lazy-free batch size vs delete throughput (5000 files)\n\n");
+      "Ablation — lazy-free batch size vs delete throughput (%d files)\n\n",
+      files);
   Table t({"batch", "delete ops/s", "disk accesses"});
   for (mif::u64 batch : {1u, 4u, 16u, 64u, 256u}) {
-    const Out o = run(batch);
+    const Out o = run(batch, files);
     t.add_row({std::to_string(batch), Table::num(o.ops_per_sec, 0),
                std::to_string(o.disk_accesses)});
+    if (report.json_enabled()) {
+      mif::obs::Json config;
+      config["lazy_free_batch"] = batch;
+      mif::obs::Json results;
+      results["delete_ops_per_sec"] = o.ops_per_sec;
+      results["disk_accesses"] = o.disk_accesses;
+      report.add_run("batch=" + std::to_string(batch), std::move(config),
+                     std::move(results));
+    }
   }
   t.print();
+  report.write();
   std::printf(
       "\nBatch=1 degenerates to eager freeing (one bitmap transaction per "
       "unlink); the paper's batching amortises it away.\n");

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "alloc/ondemand.hpp"
+#include "obs/report.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -58,8 +59,9 @@ Out run(mif::u32 threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
+  mif::obs::BenchReport report("ablation_miss_threshold", argc, argv);
   std::printf(
       "Ablation — miss threshold on a mixed sequential+random stream mix\n"
       "(8 sequential streams with 2%% hiccups + 8 random streams)\n\n");
@@ -69,8 +71,19 @@ int main() {
     const Out o = run(thr);
     t.add_row({std::to_string(thr), std::to_string(o.extents),
                std::to_string(o.released), std::to_string(o.demoted)});
+    if (report.json_enabled()) {
+      mif::obs::Json config;
+      config["miss_threshold"] = thr;
+      mif::obs::Json results;
+      results["extents"] = o.extents;
+      results["released_blocks"] = o.released;
+      results["streams_demoted"] = o.demoted;
+      report.add_run("threshold=" + std::to_string(thr), std::move(config),
+                     std::move(results));
+    }
   }
   t.print();
+  report.write();
   std::printf(
       "\nA threshold around 4 keeps hiccuping sequential streams preallocated "
       "while random streams are cut off quickly.\n");

@@ -6,6 +6,7 @@
 // space each policy pins.
 #include <cstdio>
 
+#include "obs/report.hpp"
 #include "osd/storage_target.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -17,7 +18,7 @@ struct Out {
   mif::u64 pinned_blocks; // blocks unavailable to others after create+close
 };
 
-constexpr int kFiles = 8000;
+int g_files = 8000;
 
 Out run_static(mif::u64 prealloc_bytes) {
   using namespace mif;
@@ -27,7 +28,7 @@ Out run_static(mif::u64 prealloc_bytes) {
   osd::StorageTarget t(cfg);
   Rng rng(2630);
   u64 data = 0;
-  for (int i = 0; i < kFiles; ++i) {
+  for (int i = 0; i < g_files; ++i) {
     const InodeNo ino{static_cast<u64>(i) + 1};
     const u64 size = rng.pareto(512, 128 * 1024, 1.4);  // kernel-file sizes
     const u64 blocks = bytes_to_blocks(size);
@@ -48,7 +49,7 @@ Out run_ondemand() {
   osd::StorageTarget t(cfg);
   Rng rng(2630);
   u64 data = 0;
-  for (int i = 0; i < kFiles; ++i) {
+  for (int i = 0; i < g_files; ++i) {
     const InodeNo ino{static_cast<u64>(i) + 1};
     const u64 size = rng.pareto(512, 128 * 1024, 1.4);
     const u64 blocks = bytes_to_blocks(size);
@@ -66,12 +67,14 @@ Out run_ondemand() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
+  mif::obs::BenchReport report("ablation_prealloc_waste", argc, argv);
+  if (report.quick()) g_files = 1000;
   std::printf(
       "Ablation — preallocation sizing waste on %d kernel-tree files\n"
       "(paper: static 256KB occupies ~100x the space of static 16KB)\n\n",
-      kFiles);
+      g_files);
   Table t({"policy", "file data MiB", "space pinned MiB", "overhead"});
   auto row = [&](const char* name, const Out& o) {
     const double data_mib =
@@ -80,11 +83,20 @@ int main() {
         static_cast<double>(mif::blocks_to_bytes(o.pinned_blocks)) / (1 << 20);
     t.add_row({name, Table::num(data_mib, 1), Table::num(pinned_mib, 1),
                Table::num(pinned_mib / data_mib, 2) + "x"});
+    if (report.json_enabled()) {
+      mif::obs::Json config;
+      config["policy"] = name;
+      mif::obs::Json results;
+      results["data_blocks"] = o.data_blocks;
+      results["pinned_blocks"] = o.pinned_blocks;
+      report.add_run(name, std::move(config), std::move(results));
+    }
   };
   row("static 16 KiB", run_static(16 * 1024));
   row("static 256 KiB", run_static(256 * 1024));
   row("on-demand (adaptive)", run_ondemand());
   t.print();
+  report.write();
   std::printf(
       "\nOn-demand sizes its persistent windows from observed write sizes, so "
       "small files pin little while big sequential files still stream.\n");

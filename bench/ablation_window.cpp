@@ -3,7 +3,9 @@
 // (the "tunable" cap) on the shared-file micro-benchmark, reporting
 // throughput, extents and wasted (released) blocks.
 #include <cstdio>
+#include <vector>
 
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "workload/shared_file.hpp"
 
@@ -15,7 +17,7 @@ struct Out {
   mif::u64 released;
 };
 
-Out run(mif::u64 scale, mif::u64 max_blocks) {
+Out run(mif::u64 scale, mif::u64 max_blocks, bool quick) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 5;
   cfg.target.allocator = mif::alloc::AllocatorMode::kOnDemand;
@@ -23,8 +25,8 @@ Out run(mif::u64 scale, mif::u64 max_blocks) {
   cfg.target.tuning.max_preallocation_blocks = max_blocks;
   mif::core::ParallelFileSystem fs(cfg);
   mif::workload::SharedFileConfig wcfg;
-  wcfg.processes = 32;
-  wcfg.blocks_per_process = 256;
+  wcfg.processes = quick ? 8 : 32;
+  wcfg.blocks_per_process = quick ? 64 : 256;
   const auto r = mif::workload::run_shared_file(fs, wcfg);
   mif::u64 released = 0;
   for (std::size_t t = 0; t < fs.num_targets(); ++t)
@@ -34,22 +36,39 @@ Out run(mif::u64 scale, mif::u64 max_blocks) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
+  mif::obs::BenchReport report("ablation_window", argc, argv);
   std::printf(
       "Ablation — on-demand window sizing (scale x max cap), 32 streams\n\n");
   Table t({"scale", "max window KiB", "read MB/s", "extents",
            "released blocks"});
+  const std::vector<mif::u64> caps =
+      report.quick() ? std::vector<mif::u64>{64, 1024}
+                     : std::vector<mif::u64>{64, 256, 1024, 2048};
   for (mif::u64 scale : {2u, 4u}) {
-    for (mif::u64 cap : {64u, 256u, 1024u, 2048u}) {
-      const Out o = run(scale, cap);
+    for (mif::u64 cap : caps) {
+      const Out o = run(scale, cap, report.quick());
       t.add_row({std::to_string(scale),
                  std::to_string(cap * mif::kBlockSize / 1024),
                  Table::num(o.mbps), std::to_string(o.extents),
                  std::to_string(o.released)});
+      if (report.json_enabled()) {
+        mif::obs::Json config;
+        config["scale"] = scale;
+        config["max_preallocation_blocks"] = cap;
+        mif::obs::Json results;
+        results["read_mbps"] = o.mbps;
+        results["extents"] = o.extents;
+        results["released_blocks"] = o.released;
+        report.add_run("scale=" + std::to_string(scale) +
+                           " cap=" + std::to_string(cap),
+                       std::move(config), std::move(results));
+      }
     }
   }
   t.print();
+  report.write();
   std::printf(
       "\nLarger caps keep long sequential runs contiguous; the scale mostly "
       "affects how fast the window gets there.\n");

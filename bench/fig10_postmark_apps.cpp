@@ -9,6 +9,7 @@
 // configuration, so the proportion is what carries over.
 #include <cstdio>
 
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "workload/filetree.hpp"
 #include "workload/postmark.hpp"
@@ -26,9 +27,10 @@ mif::core::ClusterConfig cluster(mif::mfs::DirectoryMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
   using mif::mfs::DirectoryMode;
+  mif::obs::BenchReport report("fig10_postmark_apps", argc, argv);
 
   std::printf(
       "Fig 10 — PostMark and applications, execution-time proportion\n"
@@ -41,8 +43,8 @@ int main() {
   // ---- PostMark -----------------------------------------------------------
   {
     mif::workload::PostmarkConfig pcfg;
-    pcfg.base_files = 10000;
-    pcfg.transactions = 50000;
+    pcfg.base_files = report.quick() ? 1000 : 10000;
+    pcfg.transactions = report.quick() ? 5000 : 50000;
     mif::core::ParallelFileSystem nfs(cluster(DirectoryMode::kNormal));
     mif::core::ParallelFileSystem efs(cluster(DirectoryMode::kEmbedded));
     const auto n = mif::workload::run_postmark(nfs, pcfg);
@@ -51,6 +53,14 @@ int main() {
                Table::num(e.elapsed_ms, 0),
                Table::num(100.0 * e.elapsed_ms / n.elapsed_ms, 1) + "%",
                Table::pct(1.0 - e.elapsed_ms / n.elapsed_ms)});
+    if (report.json_enabled()) {
+      mif::obs::Json config;
+      config["program"] = "postmark";
+      mif::obs::Json results;
+      results["normal_ms"] = n.elapsed_ms;
+      results["embedded_ms"] = e.elapsed_ms;
+      report.add_run("postmark", std::move(config), std::move(results));
+    }
   }
 
   // ---- tar / make / make-clean over a kernel-shaped tree ------------------
@@ -76,9 +86,18 @@ int main() {
                  Table::num(p.e.elapsed_ms, 0),
                  Table::num(100.0 * p.e.elapsed_ms / p.n.elapsed_ms, 1) + "%",
                  Table::pct(1.0 - p.e.elapsed_ms / p.n.elapsed_ms)});
+      if (report.json_enabled()) {
+        mif::obs::Json config;
+        config["program"] = p.name;
+        mif::obs::Json results;
+        results["normal_ms"] = p.n.elapsed_ms;
+        results["embedded_ms"] = p.e.elapsed_ms;
+        report.add_run(p.name, std::move(config), std::move(results));
+      }
     }
   }
 
   t.print();
+  report.write();
   return 0;
 }

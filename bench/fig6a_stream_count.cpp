@@ -3,15 +3,26 @@
 // strategies.  The paper reports on-demand beating reservation by ~17 %,
 // 27 % and 48 % at 32, 48 and 64 processes, with static preallocation
 // (fallocate) as the contiguous upper bound.
+//
+// `--json <path>` additionally writes the full per-run metrics registry
+// (allocator counters, extent-count histogram, positioning-time stats);
+// `--quick` shrinks the sweep for CI schema checks.
 #include <cstdio>
+#include <vector>
 
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "workload/shared_file.hpp"
 
 namespace {
 
-mif::workload::SharedFileResult run(mif::alloc::AllocatorMode mode,
-                                    bool static_pre, mif::u32 processes) {
+struct RunOut {
+  mif::workload::SharedFileResult res;
+  mif::obs::Json metrics;
+};
+
+RunOut run(mif::alloc::AllocatorMode mode, bool static_pre, mif::u32 processes,
+           bool quick) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 5;  // "all data to be striped on five disks"
   cfg.target.allocator = mode;
@@ -19,36 +30,75 @@ mif::workload::SharedFileResult run(mif::alloc::AllocatorMode mode,
   mif::workload::SharedFileConfig wcfg;
   wcfg.processes = processes;
   wcfg.threads_per_client = 4;
-  wcfg.blocks_per_process = 256;  // 1 MiB per process
+  wcfg.blocks_per_process = quick ? 64 : 256;  // 1 MiB per process (full run)
   wcfg.request_blocks = 4;        // 16 KiB writes (Fig. 6(b)'s low-mid range)
-  wcfg.read_segments = 1024;
+  wcfg.read_segments = quick ? 128 : 1024;
   wcfg.static_prealloc = static_pre;
-  return mif::workload::run_shared_file(fs, wcfg);
+  RunOut out;
+  out.res = mif::workload::run_shared_file(fs, wcfg);
+  out.metrics = fs.metrics_json();
+  return out;
+}
+
+mif::obs::Json results_json(const mif::workload::SharedFileResult& r) {
+  mif::obs::Json j;
+  j["phase1_ms"] = r.phase1_ms;
+  j["phase2_ms"] = r.phase2_ms;
+  j["phase2_throughput_mbps"] = r.phase2_throughput_mbps;
+  j["file_blocks"] = r.file_blocks;
+  j["extents"] = r.extents;
+  j["positionings"] = r.positionings;
+  j["mds_cpu"] = r.mds_cpu;
+  return j;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
+  mif::obs::BenchReport report("fig6a_stream_count", argc, argv);
   std::printf(
       "Fig 6(a) — shared-file micro-benchmark, phase-2 throughput vs stream "
       "count\n(paper: on-demand > reservation by ~17%%/27%%/48%% at "
       "32/48/64)\n\n");
 
+  const std::vector<mif::u32> sweep =
+      report.quick() ? std::vector<mif::u32>{8}
+                     : std::vector<mif::u32>{32u, 48u, 64u};
+
   Table t({"streams", "reservation MB/s", "on-demand MB/s", "static MB/s",
            "on-demand vs reservation"});
-  for (mif::u32 procs : {32u, 48u, 64u}) {
-    const auto res = run(mif::alloc::AllocatorMode::kReservation, false, procs);
-    const auto ond = run(mif::alloc::AllocatorMode::kOnDemand, false, procs);
-    const auto sta = run(mif::alloc::AllocatorMode::kStatic, true, procs);
+  for (mif::u32 procs : sweep) {
+    const auto res = run(mif::alloc::AllocatorMode::kReservation, false, procs,
+                         report.quick());
+    const auto ond = run(mif::alloc::AllocatorMode::kOnDemand, false, procs,
+                         report.quick());
+    const auto sta = run(mif::alloc::AllocatorMode::kStatic, true, procs,
+                         report.quick());
     t.add_row({std::to_string(procs),
-               Table::num(res.phase2_throughput_mbps),
-               Table::num(ond.phase2_throughput_mbps),
-               Table::num(sta.phase2_throughput_mbps),
-               Table::pct(ond.phase2_throughput_mbps /
-                              res.phase2_throughput_mbps -
+               Table::num(res.res.phase2_throughput_mbps),
+               Table::num(ond.res.phase2_throughput_mbps),
+               Table::num(sta.res.phase2_throughput_mbps),
+               Table::pct(ond.res.phase2_throughput_mbps /
+                              res.res.phase2_throughput_mbps -
                           1.0)});
+    if (report.json_enabled()) {
+      const struct {
+        const char* mode;
+        const RunOut* out;
+      } rows[] = {{"reservation", &res}, {"ondemand", &ond}, {"static", &sta}};
+      for (const auto& row : rows) {
+        mif::obs::Json config;
+        config["streams"] = procs;
+        config["mode"] = row.mode;
+        report.add_run("streams=" + std::to_string(procs) +
+                           " mode=" + row.mode,
+                       std::move(config), results_json(row.out->res),
+                       row.out->metrics);
+      }
+    }
   }
   t.print();
+  report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 // allocator's influence.
 #include <cstdio>
 
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "workload/btio.hpp"
 #include "workload/ior.hpp"
@@ -21,9 +22,10 @@ mif::core::ParallelFileSystem make_fs(mif::alloc::AllocatorMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
   using mif::alloc::AllocatorMode;
+  mif::obs::BenchReport report("fig7_macro", argc, argv);
 
   std::printf(
       "Fig 7 — macro benchmarks on a 16-node/64-process cluster, 8-disk "
@@ -33,12 +35,26 @@ int main() {
   Table t({"benchmark", "mode", "reservation MB/s", "on-demand MB/s",
            "improvement"});
 
+  auto add_json = [&](const char* bench, bool collective, double res_mbps,
+                      double ond_mbps) {
+    if (!report.json_enabled()) return;
+    mif::obs::Json config;
+    config["benchmark"] = bench;
+    config["collective"] = collective;
+    mif::obs::Json results;
+    results["reservation_mbps"] = res_mbps;
+    results["ondemand_mbps"] = ond_mbps;
+    report.add_run(std::string(bench) +
+                       (collective ? " collective" : " non-collective"),
+                   std::move(config), std::move(results));
+  };
+
   // ---- IOR: each process owns a contiguous 1/m share, 32 KiB requests ----
   for (bool collective : {false, true}) {
     mif::workload::IorConfig cfg;
-    cfg.processes = 64;
+    cfg.processes = report.quick() ? 16 : 64;
     cfg.request_bytes = 64 * 1024;
-    cfg.bytes_per_process = 16 * 1024 * 1024;
+    cfg.bytes_per_process = report.quick() ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
     cfg.collective = collective;
     auto rfs = make_fs(AllocatorMode::kReservation);
     auto ofs = make_fs(AllocatorMode::kOnDemand);
@@ -47,13 +63,14 @@ int main() {
     t.add_row({"IOR2", collective ? "collective" : "non-collective",
                Table::num(r.total_mbps), Table::num(o.total_mbps),
                Table::pct(o.total_mbps / r.total_mbps - 1.0)});
+    add_json("IOR2", collective, r.total_mbps, o.total_mbps);
   }
 
   // ---- BTIO: nested-strided small cells per timestep ---------------------
   for (bool collective : {false, true}) {
     mif::workload::BtioConfig cfg;
-    cfg.processes = 64;
-    cfg.timesteps = 10;
+    cfg.processes = report.quick() ? 16 : 64;
+    cfg.timesteps = report.quick() ? 4 : 10;
     cfg.cells_per_process = 16;
     cfg.cell_bytes = 8 * 1024;
     cfg.collective = collective;
@@ -65,8 +82,10 @@ int main() {
     const double ot = 2.0 / (1.0 / o.write_mbps + 1.0 / o.read_mbps);
     t.add_row({"BTIO", collective ? "collective" : "non-collective",
                Table::num(rt), Table::num(ot), Table::pct(ot / rt - 1.0)});
+    add_json("BTIO", collective, rt, ot);
   }
 
   t.print();
+  report.write();
   return 0;
 }

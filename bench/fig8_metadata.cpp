@@ -5,8 +5,10 @@
 // least for delete — and (b) 23–170 % throughput gains; plus the
 // readdir-stat gain growing with directory size (kernel prefetch window).
 #include <cstdio>
+#include <vector>
 
 #include "mds/mds.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "workload/metarates.hpp"
 
@@ -21,9 +23,10 @@ mif::mds::MdsConfig mds_cfg(mif::mfs::DirectoryMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mif::Table;
   using mif::mfs::DirectoryMode;
+  mif::obs::BenchReport report("fig8_metadata", argc, argv);
 
   std::printf(
       "Fig 8 — Metarates metadata workloads: 10 clients, own directory, 5000 "
@@ -31,8 +34,8 @@ int main() {
       "and lifts throughput 23-170%%)\n\n");
 
   mif::workload::MetaratesConfig wcfg;
-  wcfg.clients = 10;
-  wcfg.files_per_dir = 5000;
+  wcfg.clients = report.quick() ? 4 : 10;
+  wcfg.files_per_dir = report.quick() ? 500 : 5000;
 
   mif::mds::Mds normal(mds_cfg(DirectoryMode::kNormal));
   mif::mds::Mds embedded(mds_cfg(DirectoryMode::kEmbedded));
@@ -50,6 +53,17 @@ int main() {
                               static_cast<double>(np.disk_accesses),
                           1) +
                    "%"});
+    if (report.json_enabled()) {
+      mif::obs::Json config;
+      config["workload"] = name;
+      mif::obs::Json results;
+      results["normal_ops_per_sec"] = np.ops_per_sec();
+      results["embedded_ops_per_sec"] = ep.ops_per_sec();
+      results["normal_disk_accesses"] = np.disk_accesses;
+      results["embedded_disk_accesses"] = ep.disk_accesses;
+      report.add_run(std::string("workload=") + name, std::move(config),
+                     std::move(results));
+    }
   };
   row("create", n.create, e.create);
   row("utime", n.utime, e.utime);
@@ -63,7 +77,10 @@ int main() {
       "decrease grows with directory size as the prefetch window ramps)\n\n");
   Table t2({"files/dir", "normal accesses", "embedded accesses",
             "proportion"});
-  for (mif::u32 files : {1000u, 2000u, 5000u, 10000u}) {
+  const std::vector<mif::u32> dir_sizes =
+      report.quick() ? std::vector<mif::u32>{1000u}
+                     : std::vector<mif::u32>{1000u, 2000u, 5000u, 10000u};
+  for (mif::u32 files : dir_sizes) {
     mif::workload::MetaratesConfig c;
     c.clients = 4;
     c.files_per_dir = files;
@@ -81,5 +98,6 @@ int main() {
                     "%"});
   }
   t2.print();
+  report.write();
   return 0;
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# CI schema check for the bench harness's --json reports.
+#
+# Usage: check_bench_json.sh <path-to-fig6a_stream_count>
+#
+# Runs the fastest figure bench in --quick mode, then validates the report:
+# schema envelope, per-run config/results, and — for the on-demand run — the
+# allocator counters, extent-count histogram and positioning-time stats the
+# paper's evaluation reads.  Registered as a ctest (see bench/CMakeLists.txt).
+set -eu
+
+BENCH="${1:?usage: check_bench_json.sh <fig6a_stream_count binary>}"
+OUT="$(mktemp /tmp/mif_bench_json.XXXXXX)"
+trap 'rm -f "$OUT"' EXIT
+
+"$BENCH" --quick --json "$OUT" > /dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+require(doc.get("schema_version") == 1, "schema_version != 1")
+require(doc.get("bench") == "fig6a_stream_count", "bench name mismatch")
+runs = doc.get("runs")
+require(isinstance(runs, list) and runs, "runs missing or empty")
+
+for run in runs:
+    for key in ("name", "config", "results"):
+        require(key in run, f"run missing '{key}'")
+    require(isinstance(run["results"].get("phase2_throughput_mbps"),
+                       (int, float)), "results missing throughput")
+
+ondemand = [r for r in runs if r["config"].get("mode") == "ondemand"]
+require(ondemand, "no ondemand run in report")
+m = ondemand[0].get("metrics")
+require(isinstance(m, dict), "ondemand run has no metrics registry")
+
+counters = m.get("counters", {})
+for key in ("alloc.ondemand.layout_miss", "alloc.ondemand.pre_alloc_layout"):
+    require(key in counters, f"counter '{key}' missing")
+    require(counters[key] > 0, f"counter '{key}' is zero")
+
+hist = m.get("histograms", {}).get("alloc.extents_per_file")
+require(hist is not None, "histogram 'alloc.extents_per_file' missing")
+require(hist.get("count", 0) > 0, "extent histogram is empty")
+require(isinstance(hist.get("buckets"), list), "extent histogram has no buckets")
+
+stat = m.get("stats", {}).get("sim.disk.position_ms")
+require(stat is not None, "stat 'sim.disk.position_ms' missing")
+require(stat.get("count", 0) > 0, "positioning-time stat is empty")
+require(stat.get("mean", 0) > 0, "positioning-time mean is zero")
+
+print(f"check_bench_json: OK ({len(runs)} runs, "
+      f"layout_miss={counters['alloc.ondemand.layout_miss']})")
+EOF

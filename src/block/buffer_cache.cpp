@@ -25,13 +25,17 @@ void BufferCache::insert(u64 block, bool dirty) {
 void BufferCache::evict_one() {
   const u64 victim = lru_.back();
   auto it = map_.find(victim);
-  if (it->second.dirty) {
+  const bool dirty = it->second.dirty;
+  if (dirty) {
     io_.submit({sim::IoKind::kWrite, DiskBlock{victim}, 1});
     ++stats_.writebacks;
   }
   map_.erase(it);
   lru_.pop_back();
   ++stats_.evictions;
+  if (trace_) {
+    trace_->record(obs::TraceEventType::kCacheEvict, victim, dirty ? 1 : 0);
+  }
 }
 
 void BufferCache::read(DiskBlock start, u64 len) {

@@ -10,6 +10,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "sim/io_scheduler.hpp"
 #include "util/types.hpp"
 
@@ -55,8 +56,12 @@ class BufferCache {
   void invalidate_all();
 
   const CacheStats& stats() const { return stats_; }
+  CacheStats snapshot() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   u64 resident_blocks() const { return map_.size(); }
+
+  /// Attach a trace sink for eviction events (nullptr disables).
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 
  private:
   struct Entry {
@@ -69,6 +74,7 @@ class BufferCache {
   void evict_one();
 
   sim::IoScheduler& io_;
+  obs::TraceBuffer* trace_{nullptr};
   u64 capacity_;
   std::list<u64> lru_;  // front = most recent
   std::unordered_map<u64, Entry> map_;

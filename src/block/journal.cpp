@@ -40,12 +40,14 @@ void Journal::commit() {
   io_.submit({sim::IoKind::kWrite, DiskBlock{area_start_.v + cursor_},
               std::min(blocks, area_blocks_)});
   cursor_ = std::min(cursor_ + blocks, area_blocks_);
+  if (trace_) trace_->record(obs::TraceEventType::kJournalCommit, blocks);
 }
 
 void Journal::checkpoint() {
   since_checkpoint_ = 0;
   if (uncommitted_blocks_ > 0) commit();
   if (pending_.empty()) return;
+  const u64 checkpoint_blocks_before = stats_.checkpoint_blocks;
   // Sort by home address and merge duplicates/adjacent runs so the write-back
   // pass is a single elevator sweep — mirroring jbd2 checkpoint behaviour.
   std::sort(pending_.begin(), pending_.end(),
@@ -66,6 +68,10 @@ void Journal::checkpoint() {
   }
   pending_.clear();
   ++stats_.checkpoints;
+  if (trace_) {
+    trace_->record(obs::TraceEventType::kJournalCheckpoint,
+                   stats_.checkpoint_blocks - checkpoint_blocks_before);
+  }
 }
 
 }  // namespace mif::block

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "block/block_types.hpp"
+#include "obs/trace.hpp"
 #include "sim/io_scheduler.hpp"
 #include "util/types.hpp"
 
@@ -49,10 +50,15 @@ class Journal {
   void checkpoint();
 
   const JournalStats& stats() const { return stats_; }
+  JournalStats snapshot() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Attach a trace sink for commit/checkpoint events (nullptr disables).
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 
  private:
   sim::IoScheduler& io_;
+  obs::TraceBuffer* trace_{nullptr};
   DiskBlock area_start_;
   u64 area_blocks_;
   u64 checkpoint_interval_;

@@ -1,11 +1,17 @@
 #include "client/client_fs.hpp"
 
 #include "core/pfs.hpp"
+#include "obs/export.hpp"
 
 namespace mif::client {
 
 ClientFs::ClientFs(core::ParallelFileSystem& fs, ClientId id)
     : fs_(&fs), id_(id) {}
+
+void ClientFs::export_metrics(obs::MetricsRegistry& reg,
+                              std::string_view prefix) const {
+  obs::publish(reg, prefix, stats_);
+}
 
 Result<FileHandle> ClientFs::create(std::string_view path) {
   auto ino = fs_->mds().create(path);

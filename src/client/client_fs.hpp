@@ -17,6 +17,9 @@
 namespace mif::core {
 class ParallelFileSystem;
 }
+namespace mif::obs {
+class MetricsRegistry;
+}
 
 namespace mif::client {
 
@@ -66,6 +69,11 @@ class ClientFs {
 
   ClientId id() const { return id_; }
   const ClientStats& stats() const { return stats_; }
+  ClientStats snapshot() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  /// Publish this client's counters under `<prefix>.…` into the registry.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      std::string_view prefix) const;
   core::ParallelFileSystem& fs() { return *fs_; }
 
  private:

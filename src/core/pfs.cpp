@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "obs/export.hpp"
 
 namespace mif::core {
 
@@ -64,7 +67,7 @@ double ParallelFileSystem::data_elapsed_ms() const {
 sim::DiskStats ParallelFileSystem::data_stats() const {
   sim::DiskStats total;
   for (const auto& t : targets_) {
-    const sim::DiskStats& s = const_cast<osd::StorageTarget&>(*t).disk().stats();
+    const sim::DiskStats& s = t->disk().stats();
     total.requests += s.requests;
     total.positionings += s.positionings;
     total.skips += s.skips;
@@ -85,6 +88,49 @@ void ParallelFileSystem::reset_data_stats() {
     t->disk().reset_stats();
     t->io().reset_stats();
   }
+}
+
+void ParallelFileSystem::set_trace(obs::TraceBuffer* trace) {
+  mds_->set_trace(trace);
+  for (auto& t : targets_) t->set_trace(trace);
+}
+
+void ParallelFileSystem::export_metrics(obs::MetricsRegistry& reg) const {
+  mds_->export_metrics(reg, "mds");
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    targets_[i]->export_metrics(reg, "osd." + std::to_string(i));
+  }
+
+  // Cluster-wide aggregates under the names the paper's algorithm uses.
+  alloc::AllocatorStats agg;
+  for (const auto& t : targets_) {
+    const alloc::AllocatorStats s = t->allocator().stats();
+    agg.extends += s.extends;
+    agg.fresh_allocations += s.fresh_allocations;
+    agg.allocated_blocks += s.allocated_blocks;
+    agg.layout_misses += s.layout_misses;
+    agg.prealloc_promotions += s.prealloc_promotions;
+    agg.reserved_blocks += s.reserved_blocks;
+    agg.released_blocks += s.released_blocks;
+    agg.prealloc_disabled += s.prealloc_disabled;
+  }
+  const std::string mode =
+      obs::join_key("alloc", obs::metric_key(cfg_.target.allocator));
+  obs::publish(reg, mode, agg);
+
+  obs::publish(reg, "sim.disk", data_stats());
+  obs::Histo& extents = reg.histogram("alloc.extents_per_file");
+  obs::Stat& position = reg.stat("sim.disk.position_ms");
+  for (const auto& t : targets_) {
+    t->add_extent_counts(extents);
+    position.merge_from(t->disk().position_times_ms());
+  }
+}
+
+obs::Json ParallelFileSystem::metrics_json() const {
+  obs::MetricsRegistry reg;
+  export_metrics(reg);
+  return reg.to_json();
 }
 
 }  // namespace mif::core

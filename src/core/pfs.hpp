@@ -19,6 +19,8 @@
 
 #include "client/client_fs.hpp"
 #include "mds/mds.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "osd/storage_target.hpp"
 #include "osd/striping.hpp"
 
@@ -73,6 +75,20 @@ class ParallelFileSystem {
   sim::DiskStats data_stats() const;
 
   void reset_data_stats();
+
+  // --- observability -------------------------------------------------------
+  /// Attach one trace sink to the whole cluster: every target's allocator
+  /// state machine plus the MDS journal and buffer cache.  nullptr detaches.
+  void set_trace(obs::TraceBuffer* trace);
+
+  /// Publish the entire stack into `reg`: per-instance metrics
+  /// (`osd.<i>.…`, `mds.…`) plus cluster-wide aggregates
+  /// (`alloc.<mode>.layout_miss`, `alloc.extents_per_file`,
+  /// `sim.disk.position_ms`, …).
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
+  /// One-shot convenience: fresh registry → export_metrics → to_json().
+  obs::Json metrics_json() const;
 
   const ClusterConfig& config() const { return cfg_; }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/export.hpp"
+
 namespace mif::mds {
 
 Mds::Mds(MdsConfig cfg) : cfg_(cfg), fs_(cfg.mfs), net_(cfg.net) {}
@@ -96,6 +98,14 @@ Status Mds::report_extents(InodeNo file, u64 extent_count) {
 double Mds::cpu_utilization() const {
   const double elapsed = std::max(fs_.elapsed_ms(), 1e-9);
   return std::min(1.0, stats_.cpu_ms / elapsed);
+}
+
+void Mds::export_metrics(obs::MetricsRegistry& reg,
+                         std::string_view prefix) const {
+  obs::publish(reg, prefix, stats_);
+  reg.gauge(obs::join_key(prefix, "cpu_utilization")).set(cpu_utilization());
+  obs::publish(reg, obs::join_key(prefix, "net"), net_.stats());
+  fs_.export_metrics(reg, obs::join_key(prefix, "mfs"));
 }
 
 }  // namespace mif::mds

@@ -15,6 +15,10 @@
 #include "mfs/mfs.hpp"
 #include "sim/network.hpp"
 
+namespace mif::obs {
+class MetricsRegistry;
+}
+
 namespace mif::mds {
 
 struct MdsConfig {
@@ -67,7 +71,17 @@ class Mds {
   // --- observability -------------------------------------------------------
   mfs::Mfs& fs() { return fs_; }
   const MdsStats& stats() const { return stats_; }
+  MdsStats snapshot() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
   const sim::Network& network() const { return net_; }
+
+  /// Attach a trace sink to the metadata stack (journal, cache).
+  void set_trace(obs::TraceBuffer* trace) { fs_.set_trace(trace); }
+
+  /// Publish MDS RPC/CPU counters plus the whole MFS stack under
+  /// `<prefix>.…`.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      std::string_view prefix) const;
 
   /// CPU utilisation over the run so far: CPU time ÷ elapsed (disk) time.
   double cpu_utilization() const;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/export.hpp"
+
 namespace mif::mfs {
 
 std::string_view to_string(DirectoryMode m) {
@@ -164,6 +166,18 @@ void Mfs::reset_io_stats() {
   disk_.reset_stats();
   cache_->reset_stats();
   journal_->reset_stats();
+}
+
+void Mfs::export_metrics(obs::MetricsRegistry& reg,
+                         std::string_view prefix) const {
+  obs::publish(reg, obs::join_key(prefix, "cache"), cache_->stats());
+  obs::publish(reg, obs::join_key(prefix, "journal"), journal_->stats());
+  obs::publish(reg, obs::join_key(prefix, "disk"), disk_.stats());
+  reg.stat(obs::join_key(prefix, "disk.position_ms"))
+      .merge_from(disk_.position_times_ms());
+  obs::publish(reg, obs::join_key(prefix, "io"), io_.stats());
+  reg.gauge(obs::join_key(prefix, "space.free_blocks"))
+      .set(static_cast<double>(space_->free_blocks()));
 }
 
 }  // namespace mif::mfs

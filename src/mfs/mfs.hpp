@@ -21,6 +21,10 @@
 #include "sim/disk.hpp"
 #include "sim/io_scheduler.hpp"
 
+namespace mif::obs {
+class MetricsRegistry;
+}
+
 namespace mif::mfs {
 
 struct MfsConfig {
@@ -82,6 +86,17 @@ class Mfs {
   u64 disk_accesses() const { return io_.stats().dispatched; }
   double elapsed_ms() const { return disk_.now_ms(); }
   void reset_io_stats();
+
+  /// Attach a trace sink for journal commit/checkpoint and cache eviction
+  /// events (nullptr detaches).
+  void set_trace(obs::TraceBuffer* trace) {
+    journal_->set_trace(trace);
+    cache_->set_trace(trace);
+  }
+
+  /// Publish cache/journal/disk/scheduler counters under `<prefix>.…`.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      std::string_view prefix) const;
 
  private:
   struct Walk {

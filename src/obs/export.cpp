@@ -1,0 +1,117 @@
+#include "obs/export.hpp"
+
+namespace mif::obs {
+
+std::string_view metric_key(alloc::AllocatorMode m) {
+  switch (m) {
+    case alloc::AllocatorMode::kVanilla: return "vanilla";
+    case alloc::AllocatorMode::kReservation: return "reservation";
+    case alloc::AllocatorMode::kStatic: return "static";
+    case alloc::AllocatorMode::kOnDemand: return "ondemand";
+  }
+  return "?";
+}
+
+std::string join_key(std::string_view prefix, std::string_view leaf) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + leaf.size());
+  out.append(prefix);
+  out.push_back('.');
+  out.append(leaf);
+  return out;
+}
+
+namespace {
+
+void add(MetricsRegistry& reg, std::string_view prefix, std::string_view leaf,
+         u64 v) {
+  reg.counter(join_key(prefix, leaf)).inc(v);
+}
+
+void set_gauge(MetricsRegistry& reg, std::string_view prefix,
+               std::string_view leaf, double v) {
+  reg.gauge(join_key(prefix, leaf)).set(v);
+}
+
+}  // namespace
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const alloc::AllocatorStats& s) {
+  add(reg, prefix, "extends", s.extends);
+  add(reg, prefix, "fresh_allocations", s.fresh_allocations);
+  add(reg, prefix, "allocated_blocks", s.allocated_blocks);
+  add(reg, prefix, "layout_miss", s.layout_misses);
+  add(reg, prefix, "pre_alloc_layout", s.prealloc_promotions);
+  add(reg, prefix, "released_blocks", s.released_blocks);
+  add(reg, prefix, "prealloc_disabled", s.prealloc_disabled);
+  // Reserved blocks are a point-in-time quantity, not an event count.
+  set_gauge(reg, prefix, "reserved_blocks",
+            static_cast<double>(s.reserved_blocks));
+}
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const sim::DiskStats& s) {
+  add(reg, prefix, "requests", s.requests);
+  add(reg, prefix, "positionings", s.positionings);
+  add(reg, prefix, "skips", s.skips);
+  add(reg, prefix, "sequential_hits", s.sequential_hits);
+  add(reg, prefix, "blocks_read", s.blocks_read);
+  add(reg, prefix, "blocks_written", s.blocks_written);
+  set_gauge(reg, prefix, "seek_ms", s.seek_ms);
+  set_gauge(reg, prefix, "rotation_ms", s.rotation_ms);
+  set_gauge(reg, prefix, "skip_ms", s.skip_ms);
+  set_gauge(reg, prefix, "transfer_ms", s.transfer_ms);
+  set_gauge(reg, prefix, "busy_ms", s.busy_ms());
+}
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const sim::SchedulerStats& s) {
+  add(reg, prefix, "queued", s.queued);
+  add(reg, prefix, "dispatched", s.dispatched);
+  add(reg, prefix, "merged", s.merged);
+}
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const sim::NetworkStats& s) {
+  add(reg, prefix, "rpcs", s.rpcs);
+  add(reg, prefix, "bytes", s.bytes);
+  set_gauge(reg, prefix, "time_ms", s.time_ms);
+}
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const block::JournalStats& s) {
+  add(reg, prefix, "transactions", s.transactions);
+  add(reg, prefix, "journal_blocks", s.journal_blocks);
+  add(reg, prefix, "checkpoint_blocks", s.checkpoint_blocks);
+  add(reg, prefix, "checkpoints", s.checkpoints);
+}
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const block::CacheStats& s) {
+  add(reg, prefix, "hits", s.hits);
+  add(reg, prefix, "misses", s.misses);
+  add(reg, prefix, "writebacks", s.writebacks);
+  add(reg, prefix, "evictions", s.evictions);
+  set_gauge(reg, prefix, "hit_ratio", s.hit_ratio());
+}
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const client::ClientStats& s) {
+  add(reg, prefix, "opens", s.opens);
+  add(reg, prefix, "layout_cache_hits", s.layout_cache_hits);
+  add(reg, prefix, "writes", s.writes);
+  add(reg, prefix, "reads", s.reads);
+  add(reg, prefix, "bytes_written", s.bytes_written);
+  add(reg, prefix, "bytes_read", s.bytes_read);
+  add(reg, prefix, "readahead_hits", s.readahead_hits);
+  add(reg, prefix, "readahead_blocks", s.readahead_blocks);
+}
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const mds::MdsStats& s) {
+  add(reg, prefix, "rpcs", s.rpcs);
+  add(reg, prefix, "extent_ops", s.extent_ops);
+  set_gauge(reg, prefix, "cpu_ms", s.cpu_ms);
+}
+
+}  // namespace mif::obs

@@ -1,0 +1,53 @@
+// Uniform bridge from every subsystem's snapshot struct into the
+// MetricsRegistry.
+//
+// Each `*Stats` struct in the stack keeps its role as the lock-free hot-path
+// accumulator (updated under the subsystem's own lock, exactly as before);
+// `publish(registry, prefix, snapshot)` maps one snapshot into hierarchical
+// registry metrics.  One overload per struct keeps the naming scheme in one
+// file — see docs/OBSERVABILITY.md for the catalogue.
+//
+// Prefixes compose: `publish(reg, "osd.0.disk", disk.stats())` yields
+// `osd.0.disk.positionings` and friends.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "alloc/allocator.hpp"
+#include "block/buffer_cache.hpp"
+#include "block/journal.hpp"
+#include "client/client_fs.hpp"
+#include "mds/mds.hpp"
+#include "obs/metrics.hpp"
+#include "sim/disk.hpp"
+#include "sim/io_scheduler.hpp"
+#include "sim/network.hpp"
+
+namespace mif::obs {
+
+/// Dot-safe allocator-mode key ("ondemand", not "on-demand"): used as the
+/// middle segment of the `alloc.<mode>.<metric>` names.
+std::string_view metric_key(alloc::AllocatorMode m);
+
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const alloc::AllocatorStats& s);
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const sim::DiskStats& s);
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const sim::SchedulerStats& s);
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const sim::NetworkStats& s);
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const block::JournalStats& s);
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const block::CacheStats& s);
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const client::ClientStats& s);
+void publish(MetricsRegistry& reg, std::string_view prefix,
+             const mds::MdsStats& s);
+
+/// Helper for the overloads above: "<prefix>.<leaf>".
+std::string join_key(std::string_view prefix, std::string_view leaf);
+
+}  // namespace mif::obs

@@ -1,0 +1,331 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mif::obs {
+
+double Json::as_double() const {
+  if (const auto* d = std::get_if<double>(&v_)) return *d;
+  if (const auto* u = std::get_if<u64>(&v_)) return static_cast<double>(*u);
+  return static_cast<double>(std::get<i64>(v_));
+}
+
+u64 Json::as_u64() const {
+  if (const auto* u = std::get_if<u64>(&v_)) return *u;
+  if (const auto* i = std::get_if<i64>(&v_)) return static_cast<u64>(*i);
+  return static_cast<u64>(std::get<double>(v_));
+}
+
+i64 Json::as_i64() const {
+  if (const auto* i = std::get_if<i64>(&v_)) return *i;
+  if (const auto* u = std::get_if<u64>(&v_)) return static_cast<i64>(*u);
+  return static_cast<i64>(std::get<double>(v_));
+}
+
+bool Json::contains(std::string_view key) const {
+  const auto* o = std::get_if<Object>(&v_);
+  return o && o->find(key) != o->end();
+}
+
+const Json& Json::at(std::string_view key) const {
+  static const Json null_json{};
+  if (const auto* o = std::get_if<Object>(&v_)) {
+    if (auto it = o->find(key); it != o->end()) return it->second;
+  }
+  return null_json;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (!is_object()) v_ = Object{};
+  auto& o = std::get<Object>(v_);
+  auto it = o.find(key);
+  if (it == o.end()) it = o.emplace(std::string(key), Json{}).first;
+  return it->second;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (is_number() && other.is_number()) {
+    // Compare numerically so 3 == 3.0 regardless of carrier type.
+    return as_double() == other.as_double();
+  }
+  return v_ == other.v_;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; emit null like most tools
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  assert(ec == std::errc{});
+  out.append(buf, end);
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  // Recursive serialiser as an explicit lambda so dump() stays the only
+  // public entry point.
+  auto emit = [&](auto&& self, const Json& j, int depth) -> void {
+    auto newline = [&](int d) {
+      if (indent < 0) return;
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    if (j.is_null()) {
+      out += "null";
+    } else if (j.is_bool()) {
+      out += j.as_bool() ? "true" : "false";
+    } else if (const auto* u = std::get_if<u64>(&j.v_)) {
+      char buf[24];
+      auto [end, ec] = std::to_chars(buf, buf + sizeof buf, *u);
+      assert(ec == std::errc{});
+      out.append(buf, end);
+    } else if (const auto* i = std::get_if<i64>(&j.v_)) {
+      char buf[24];
+      auto [end, ec] = std::to_chars(buf, buf + sizeof buf, *i);
+      assert(ec == std::errc{});
+      out.append(buf, end);
+    } else if (const auto* d = std::get_if<double>(&j.v_)) {
+      number_into(out, *d);
+    } else if (j.is_string()) {
+      escape_into(out, j.as_string());
+    } else if (j.is_array()) {
+      const Array& a = j.as_array();
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        if (k) out += ',';
+        newline(depth + 1);
+        self(self, a[k], depth + 1);
+      }
+      newline(depth);
+      out += ']';
+    } else {
+      const Object& o = j.as_object();
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        escape_into(out, key);
+        out += indent < 0 ? ":" : ": ";
+        self(self, value, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+    }
+  };
+  emit(emit, *this, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned cp = 0;
+          const auto [p, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, cp, 16);
+          if (ec != std::errc{} || p != text_.data() + pos_ + 4)
+            return std::nullopt;
+          pos_ += 4;
+          // The exporters only emit \u00xx control escapes; anything above
+          // Latin-1 would need UTF-8 encoding we don't produce.
+          if (cp > 0xFF) return std::nullopt;
+          out += static_cast<char>(cp);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false, fractional = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        digits = true;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        fractional = true;
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    if (!digits) return std::nullopt;
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (!fractional) {
+      // Integers keep an exact 64-bit carrier so counters round-trip.
+      if (tok[0] == '-') {
+        i64 v = 0;
+        const auto [p, ec] =
+            std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (ec == std::errc{} && p == tok.data() + tok.size()) return Json(v);
+      } else {
+        u64 v = 0;
+        const auto [p, ec] =
+            std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (ec == std::errc{} && p == tok.data() + tok.size()) return Json(v);
+      }
+    }
+    double v = 0.0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) return std::nullopt;
+    return Json(v);
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n': return literal("null") ? std::optional<Json>(Json{}) : std::nullopt;
+      case 't': return literal("true") ? std::optional<Json>(Json{true}) : std::nullopt;
+      case 'f': return literal("false") ? std::optional<Json>(Json{false}) : std::nullopt;
+      case '"': {
+        auto s = string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case '[': {
+        ++pos_;
+        Json::Array a;
+        skip_ws();
+        if (consume(']')) return Json(std::move(a));
+        while (true) {
+          auto v = value();
+          if (!v) return std::nullopt;
+          a.push_back(std::move(*v));
+          if (consume(']')) return Json(std::move(a));
+          if (!consume(',')) return std::nullopt;
+        }
+      }
+      case '{': {
+        ++pos_;
+        Json::Object o;
+        skip_ws();
+        if (consume('}')) return Json(std::move(o));
+        while (true) {
+          skip_ws();
+          auto key = string();
+          if (!key || !consume(':')) return std::nullopt;
+          auto v = value();
+          if (!v) return std::nullopt;
+          o.insert_or_assign(std::move(*key), std::move(*v));
+          if (consume('}')) return Json(std::move(o));
+          if (!consume(',')) return std::nullopt;
+        }
+      }
+      default: return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace mif::obs

@@ -1,0 +1,83 @@
+// Minimal JSON document model for the observability exporters.
+//
+// The bench harness emits machine-readable reports (`--json <path>`) and the
+// obs tests parse them back, so we need both a writer and a reader — but only
+// for the subset the exporters produce: null, bool, integer/double numbers,
+// strings, arrays, objects.  Objects keep their keys sorted, which makes
+// every dump deterministic (diff-able across runs, like the rest of the
+// simulator's output).  No external dependency: the container image only
+// ships gtest/benchmark.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mif::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(u64 n) : v_(n) {}
+  Json(i64 n) : v_(n) {}
+  Json(int n) : v_(static_cast<i64>(n)) {}
+  Json(unsigned n) : v_(static_cast<u64>(n)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(v_) ||
+           std::holds_alternative<u64>(v_) || std::holds_alternative<i64>(v_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  /// Numeric accessors convert between the three number representations.
+  double as_double() const;
+  u64 as_u64() const;
+  i64 as_i64() const;
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object field access; `at` returns null for missing keys (chainable).
+  bool contains(std::string_view key) const;
+  const Json& at(std::string_view key) const;
+  Json& operator[](std::string_view key);
+
+  /// Serialise.  indent < 0 → compact one-liner; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete document; nullopt on any syntax error.
+  static std::optional<Json> parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, u64, i64, std::string, Array,
+               Object>
+      v_;
+};
+
+}  // namespace mif::obs

@@ -1,0 +1,163 @@
+// Unified metrics registry.
+//
+// Every layer of the stack — allocators, block layer, simulated disks,
+// schedulers, MDS, clients — publishes its counters here under one
+// hierarchical, dot-separated naming scheme:
+//
+//   <layer>[.<instance>].<metric>      e.g.  alloc.ondemand.layout_miss
+//                                            osd.0.disk.positionings
+//                                            mds.mfs.cache.hits
+//
+// Four metric kinds cover everything the paper's evaluation reads:
+//   Counter — monotonically increasing u64 (events, blocks, RPCs);
+//   Gauge   — instantaneous double (free blocks, utilisation);
+//   Histo   — log2 histogram of sizes (extent counts, request sizes),
+//             backed by util/stats.hpp's Histogram;
+//   Stat    — streaming mean/min/max/stddev (positioning times, latencies),
+//             backed by util/stats.hpp's RunningStats.
+//
+// Registration is idempotent: asking for an existing name returns the same
+// object, so a subsystem can cache the reference once and update it on the
+// hot path (counters are atomic; Histo/Stat carry a small mutex).  Objects
+// are heap-pinned — references stay valid for the registry's lifetime.
+//
+// Exporters: `to_text()` for humans, `to_json()` for the bench harness
+// (`--json`), whose output `Json::parse` reads back for round-trip tests.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace mif::obs {
+
+class Counter {
+ public:
+  void inc(u64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void set(u64 v) { v_.store(v, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Registry-owned log2 histogram; thread-safe via a per-object mutex (the
+/// paths that feed it are not per-block hot).
+class Histo {
+ public:
+  explicit Histo(std::size_t buckets = 40) : h_(buckets) {}
+
+  void add(u64 value) {
+    std::lock_guard lock(mu_);
+    h_.add(value);
+  }
+  void merge_from(const Histogram& other);
+  Histogram snapshot() const {
+    std::lock_guard lock(mu_);
+    return h_;
+  }
+  u64 count() const {
+    std::lock_guard lock(mu_);
+    return h_.count();
+  }
+  u64 quantile(double q) const {
+    std::lock_guard lock(mu_);
+    return h_.quantile(q);
+  }
+  void reset() {
+    std::lock_guard lock(mu_);
+    h_ = Histogram(h_.buckets());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram h_;
+};
+
+/// Registry-owned RunningStats with the same locking discipline.
+class Stat {
+ public:
+  void add(double x) {
+    std::lock_guard lock(mu_);
+    s_.add(x);
+  }
+  void merge_from(const RunningStats& other) {
+    std::lock_guard lock(mu_);
+    s_.merge(other);
+  }
+  RunningStats snapshot() const {
+    std::lock_guard lock(mu_);
+    return s_;
+  }
+  void reset() {
+    std::lock_guard lock(mu_);
+    s_ = {};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats s_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register-or-lookup.  The returned reference is stable for the
+  /// registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histo& histogram(std::string_view name, std::size_t buckets = 40);
+  Stat& stat(std::string_view name);
+
+  /// Lookup without creating; nullptr when the name was never registered.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histo* find_histogram(std::string_view name) const;
+  const Stat* find_stat(std::string_view name) const;
+
+  /// Convenience for tests/exporters: counter value or 0 when absent.
+  u64 counter_value(std::string_view name) const;
+
+  /// Every registered name, sorted, across all four kinds.
+  std::vector<std::string> names() const;
+
+  /// Zero every metric (objects stay registered; cached references survive).
+  void reset();
+
+  /// {"counters": {name: n}, "gauges": {...}, "histograms": {name:
+  ///  {count, p50, p90, p99, buckets: [[log2, count], ...]}},
+  ///  "stats": {name: {count, mean, min, max, stddev, sum}}}
+  Json to_json() const;
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  std::string to_text() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histo>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Stat>, std::less<>> stats_;
+};
+
+}  // namespace mif::obs

@@ -1,0 +1,50 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <string_view>
+
+namespace mif::obs {
+
+BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path_ = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path_ = arg.substr(7);
+    } else if (arg == "--quick") {
+      quick_ = true;
+    }
+  }
+  doc_["schema_version"] = kReportSchemaVersion;
+  doc_["bench"] = bench_name;
+  doc_["runs"] = Json::Array{};
+}
+
+void BenchReport::add_run(std::string_view name, Json config, Json results,
+                          Json metrics) {
+  Json run;
+  run["name"] = name;
+  run["config"] = std::move(config);
+  run["results"] = std::move(results);
+  if (!metrics.is_null()) run["metrics"] = std::move(metrics);
+  doc_["runs"].as_array().push_back(std::move(run));
+}
+
+bool BenchReport::write() const {
+  if (path_.empty()) return true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "obs: cannot write JSON report to %s\n",
+                 path_.c_str());
+    return false;
+  }
+  const std::string text = doc_.dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "obs: JSON report written to %s\n", path_.c_str());
+  return true;
+}
+
+}  // namespace mif::obs

@@ -1,0 +1,58 @@
+// Bench-harness JSON reporting.
+//
+// Every bench binary keeps printing its human table exactly as before; with
+// `--json <path>` it additionally writes a machine-readable trajectory:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "fig6a_stream_count",
+//     "runs": [
+//       {"name": "streams=32 mode=ondemand",
+//        "config": {...},        // the knobs of this run
+//        "results": {...},       // the numbers the table prints
+//        "metrics": {...}},      // optional full MetricsRegistry::to_json()
+//       ...
+//     ]
+//   }
+//
+// `--quick` is also parsed here: CI (scripts/check_bench_json.sh) uses it to
+// run a reduced workload so the schema check stays fast.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace mif::obs {
+
+inline constexpr u64 kReportSchemaVersion = 1;
+
+class BenchReport {
+ public:
+  /// Parses `--json <path>` and `--quick` out of argv.  Unknown arguments
+  /// are ignored (google-benchmark style flags pass through).
+  BenchReport(std::string_view bench_name, int argc, char** argv);
+
+  bool json_enabled() const { return !path_.empty(); }
+  bool quick() const { return quick_; }
+
+  /// Append one run row.  `name` identifies the configuration point.
+  void add_run(std::string_view name, Json config, Json results,
+               Json metrics = Json{});
+
+  /// Root document (already carrying schema_version/bench/runs); open for
+  /// benches that want extra top-level fields.
+  Json& doc() { return doc_; }
+
+  /// Write the report if `--json` was given.  Returns false (and prints to
+  /// stderr) when the file cannot be written.  Safe to call when disabled.
+  bool write() const;
+
+ private:
+  std::string path_;
+  bool quick_{false};
+  Json doc_;
+};
+
+}  // namespace mif::obs

@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mif::obs {
+
+std::string_view to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kLayoutMiss: return "layout_miss";
+    case TraceEventType::kPreAllocLayout: return "pre_alloc_layout";
+    case TraceEventType::kStreamDemote: return "stream_demote";
+    case TraceEventType::kLazyFree: return "lazy_free";
+    case TraceEventType::kJournalCommit: return "journal_commit";
+    case TraceEventType::kJournalCheckpoint: return "journal_checkpoint";
+    case TraceEventType::kCacheEvict: return "cache_evict";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::push(const TraceRecord& r) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);  // within the reserved capacity: no allocation
+    return;
+  }
+  ring_[head_] = r;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceBuffer::record(TraceEventType t, InodeNo inode, StreamId stream,
+                         u64 arg0, u64 arg1) {
+  std::lock_guard lock(mu_);
+  if (filter_on_ &&
+      (inode.v != filter_inode_ || stream.key() != filter_stream_)) {
+    ++filtered_;
+    return;
+  }
+  push({next_seq_++, t, inode.v, stream.key(), arg0, arg1});
+}
+
+void TraceBuffer::record(TraceEventType t, u64 arg0, u64 arg1) {
+  std::lock_guard lock(mu_);
+  if (filter_on_) {
+    ++filtered_;
+    return;
+  }
+  push({next_seq_++, t, 0, 0, arg0, arg1});
+}
+
+void TraceBuffer::set_filter(InodeNo inode, StreamId stream) {
+  std::lock_guard lock(mu_);
+  filter_on_ = true;
+  filter_inode_ = inode.v;
+  filter_stream_ = stream.key();
+}
+
+void TraceBuffer::clear_filter() {
+  std::lock_guard lock(mu_);
+  filter_on_ = false;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+u64 TraceBuffer::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+u64 TraceBuffer::filtered() const {
+  std::lock_guard lock(mu_);
+  return filtered_;
+}
+
+std::vector<TraceRecord> TraceBuffer::events() const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: [head_, end) then [0, head_) once wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> TraceBuffer::events(InodeNo inode,
+                                             StreamId stream) const {
+  std::vector<TraceRecord> all = events();
+  std::erase_if(all, [&](const TraceRecord& r) {
+    return r.inode != inode.v || r.stream != stream.key();
+  });
+  return all;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  filtered_ = 0;
+}
+
+std::string TraceBuffer::dump() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : events()) {
+    os << '#' << r.seq << ' ' << to_string(r.type);
+    if (r.inode != 0) os << " ino=" << r.inode;
+    if (r.stream != 0)
+      os << " stream=" << (r.stream >> 32) << ':' << (r.stream & 0xffffffffu);
+    os << " arg0=" << r.arg0 << " arg1=" << r.arg1 << '\n';
+  }
+  return os.str();
+}
+
+Json TraceBuffer::to_json() const {
+  Json doc;
+  {
+    std::lock_guard lock(mu_);
+    doc["capacity"] = u64{capacity_};
+    doc["dropped"] = dropped_;
+    doc["filtered"] = filtered_;
+  }
+  Json::Array events_json;
+  for (const TraceRecord& r : events()) {
+    Json e;
+    e["seq"] = r.seq;
+    e["type"] = to_string(r.type);
+    e["inode"] = r.inode;
+    e["stream"] = r.stream;
+    e["arg0"] = r.arg0;
+    e["arg1"] = r.arg1;
+    events_json.push_back(std::move(e));
+  }
+  doc["events"] = std::move(events_json);
+  return doc;
+}
+
+}  // namespace mif::obs

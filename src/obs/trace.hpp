@@ -1,0 +1,110 @@
+// Allocator state-machine tracing.
+//
+// The paper's on-demand preallocation is a per-stream state machine (Fig. 3):
+// layout_miss re-seeds a window, pre_alloc_layout promotes the sequential
+// window and ramps the next one, enough misses demote the stream to
+// no-preallocation.  Those transitions are what every fragmentation result
+// in §V is made of, so they are recorded first-class here — together with
+// journal commits and buffer-cache evictions, the two block-layer events the
+// metadata results (Fig. 8) hinge on.
+//
+// TraceBuffer is a bounded ring: capacity is fixed at construction, record()
+// never allocates, and once full the oldest records are overwritten (the
+// `dropped()` counter says how many).  That bounds tracing overhead on the
+// allocator write path to one mutex + one in-place store.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/types.hpp"
+
+namespace mif::obs {
+
+enum class TraceEventType : u8 {
+  kLayoutMiss,        // write outside both windows (Fig. 2 trigger 1)
+  kPreAllocLayout,    // sequential-window hit → promotion (Fig. 2 trigger 2)
+  kStreamDemote,      // miss threshold reached: stream classified random
+  kLazyFree,          // unused reservation returned at close
+  kJournalCommit,     // compound transaction written to the journal area
+  kJournalCheckpoint, // logged blocks written back to home locations
+  kCacheEvict,        // buffer-cache LRU eviction (arg1 = was dirty)
+};
+
+std::string_view to_string(TraceEventType t);
+
+/// One fixed-size trace record.  `arg0`/`arg1` are event-specific:
+///   kLayoutMiss       — logical block, write length (blocks)
+///   kPreAllocLayout   — promoted (new current) window length,
+///                       newly reserved sequential window length
+///   kStreamDemote     — misses seen, reservation blocks released
+///   kLazyFree         — blocks released
+///   kJournalCommit    — blocks written (records + commit block)
+///   kJournalCheckpoint— home-location blocks written
+///   kCacheEvict       — victim disk block, 1 if a writeback was issued
+struct TraceRecord {
+  u64 seq{0};  // global arrival order, never reset by wraparound
+  TraceEventType type{TraceEventType::kLayoutMiss};
+  u64 inode{0};   // 0 = not file-scoped (journal/cache events)
+  u64 stream{0};  // StreamId::key(); 0 = not stream-scoped
+  u64 arg0{0};
+  u64 arg1{0};
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 4096);
+
+  /// Record a stream-scoped allocator event.  O(1), no allocation.
+  void record(TraceEventType t, InodeNo inode, StreamId stream, u64 arg0 = 0,
+              u64 arg1 = 0);
+
+  /// Record a subsystem event with no file/stream association.
+  void record(TraceEventType t, u64 arg0 = 0, u64 arg1 = 0);
+
+  /// Restrict recording to one (inode, stream); events from other streams
+  /// (including non-stream-scoped ones) are counted as filtered, not stored.
+  void set_filter(InodeNo inode, StreamId stream);
+  void clear_filter();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Records overwritten by wraparound since construction/clear().
+  u64 dropped() const;
+  /// Records rejected by the stream filter.
+  u64 filtered() const;
+
+  /// Chronological copy of the retained records.
+  std::vector<TraceRecord> events() const;
+
+  /// Chronological copy of retained records for one (inode, stream).
+  std::vector<TraceRecord> events(InodeNo inode, StreamId stream) const;
+
+  /// Drop all records (capacity and filter unchanged).
+  void clear();
+
+  /// Human-readable dump, one event per line.
+  std::string dump() const;
+
+  /// {"capacity": n, "dropped": n, "events": [{seq, type, inode, stream,
+  ///   arg0, arg1}, ...]}
+  Json to_json() const;
+
+ private:
+  void push(const TraceRecord& r);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceRecord> ring_;  // reserved once; grows to capacity_ max
+  std::size_t head_{0};            // next slot once ring_ is full
+  u64 next_seq_{0};
+  u64 dropped_{0};
+  u64 filtered_{0};
+  bool filter_on_{false};
+  u64 filter_inode_{0};
+  u64 filter_stream_{0};
+};
+
+}  // namespace mif::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/export.hpp"
+
 namespace mif::osd {
 
 StorageTarget::StorageTarget(TargetConfig cfg)
@@ -66,6 +68,30 @@ StorageTarget::VerifyReport StorageTarget::verify() const {
   report.space_accounted =
       report.used_blocks == report.mapped_blocks + report.reserved_blocks;
   return report;
+}
+
+void StorageTarget::export_metrics(obs::MetricsRegistry& reg,
+                                   std::string_view prefix) const {
+  obs::publish(reg, obs::join_key(prefix, "disk"), disk_.stats());
+  reg.stat(obs::join_key(prefix, "disk.position_ms"))
+      .merge_from(disk_.position_times_ms());
+  obs::publish(reg, obs::join_key(prefix, "io"), io_.stats());
+  obs::publish(reg, obs::join_key(prefix, "alloc"), alloc_->stats());
+  reg.gauge(obs::join_key(prefix, "space.free_blocks"))
+      .set(static_cast<double>(space_->free_blocks()));
+  reg.gauge(obs::join_key(prefix, "space.total_blocks"))
+      .set(static_cast<double>(space_->total_blocks()));
+  reg.gauge(obs::join_key(prefix, "space.utilisation"))
+      .set(space_->utilisation());
+  add_extent_counts(reg.histogram(obs::join_key(prefix, "extents_per_file")));
+}
+
+void StorageTarget::add_extent_counts(obs::Histo& h) const {
+  std::lock_guard lock(files_mu_);
+  for (const auto& [ino, state] : files_) {
+    std::lock_guard flock(state->mu);
+    h.add(state->map.extent_count());
+  }
 }
 
 Status StorageTarget::write(InodeNo inode, StreamId stream, FileBlock logical,

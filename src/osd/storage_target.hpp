@@ -12,6 +12,11 @@
 #include "sim/disk.hpp"
 #include "sim/io_scheduler.hpp"
 
+namespace mif::obs {
+class MetricsRegistry;
+class Histo;
+}
+
 namespace mif::osd {
 
 struct TargetConfig {
@@ -77,6 +82,19 @@ class StorageTarget {
   /// reservation.
   VerifyReport verify() const;
 
+  // --- observability -------------------------------------------------------
+  /// Attach a trace sink to the allocator state machine (nullptr detaches).
+  void set_trace(obs::TraceBuffer* trace) { alloc_->set_trace(trace); }
+
+  /// Publish this target's counters under `<prefix>.…`: disk, scheduler,
+  /// allocator, free-space gauges and the per-file extent-count histogram.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      std::string_view prefix) const;
+
+  /// Merge every local subfile's extent count into a (cluster-level)
+  /// histogram — the Table I "Seg Counts" distribution.
+  void add_extent_counts(obs::Histo& h) const;
+
   void drain() {
     std::lock_guard lock(io_mu_);
     io_.drain();
@@ -84,9 +102,11 @@ class StorageTarget {
   double elapsed_ms() const { return disk_.now_ms(); }
 
   sim::Disk& disk() { return disk_; }
+  const sim::Disk& disk() const { return disk_; }
   sim::IoScheduler& io() { return io_; }
   block::FreeSpace& space() { return *space_; }
   alloc::FileAllocator& allocator() { return *alloc_; }
+  const alloc::FileAllocator& allocator() const { return *alloc_; }
 
  private:
   struct FileState {

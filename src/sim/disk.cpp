@@ -45,6 +45,7 @@ double Disk::service(const DiskRequest& req) {
       stats_.seek_ms += seek;
       stats_.rotation_ms += geometry_.rotational_ms;
       ++stats_.positionings;
+      position_times_ms_.add(seek + geometry_.rotational_ms);
     }
   }
 

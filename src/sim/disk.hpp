@@ -13,6 +13,7 @@
 
 #include <cstddef>
 
+#include "util/stats.hpp"
 #include "util/types.hpp"
 
 namespace mif::sim {
@@ -79,7 +80,16 @@ class Disk {
   DiskBlock head() const { return head_; }
   const DiskGeometry& geometry() const { return geometry_; }
   const DiskStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+
+  /// Per-request positioning time (seek + rotation) for the requests that
+  /// paid a full reposition — the distribution behind the paper's "move
+  /// back and forth constantly" argument, not just its sum.
+  const RunningStats& position_times_ms() const { return position_times_ms_; }
+
+  void reset_stats() {
+    stats_ = {};
+    position_times_ms_ = {};
+  }
 
   /// Seek time for a head movement of `distance` blocks.  Square-root model:
   /// short seeks are dominated by head settle, long ones by the arm sweep.
@@ -90,6 +100,7 @@ class Disk {
   DiskBlock head_{0};
   double now_ms_{0.0};
   DiskStats stats_;
+  RunningStats position_times_ms_;
 };
 
 }  // namespace mif::sim

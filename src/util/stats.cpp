@@ -53,6 +53,14 @@ void Histogram::add(u64 value) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i] == 0) continue;
+    counts_[std::min(i, counts_.size() - 1)] += other.counts_[i];
+    total_ += other.counts_[i];
+  }
+}
+
 u64 Histogram::quantile(double q) const {
   if (total_ == 0) return 0;
   const u64 target = static_cast<u64>(q * static_cast<double>(total_));

@@ -14,12 +14,18 @@ namespace mif {
 class RunningStats {
  public:
   void add(double x);
+  /// Parallel-merge `other` into this.  Merging an empty object is a no-op;
+  /// merging into an empty object copies `other` (including min/max).
   void merge(const RunningStats& other);
 
+  bool empty() const { return n_ == 0; }
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;
   double stddev() const;
+  /// min()/max() return 0.0 on an empty object purely as a sentinel — with
+  /// all-negative samples max() is legitimately negative, so callers that
+  /// care must check empty() rather than compare against 0.0.
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
@@ -41,6 +47,9 @@ class Histogram {
   explicit Histogram(std::size_t buckets = 40);
 
   void add(u64 value);
+  /// Add `other`'s per-bucket counts into this histogram; `other`'s excess
+  /// high buckets clamp into our last bucket, mirroring add().
+  void merge(const Histogram& other);
   u64 count() const { return total_; }
   u64 bucket(std::size_t i) const { return i < counts_.size() ? counts_[i] : 0; }
   std::size_t buckets() const { return counts_.size(); }

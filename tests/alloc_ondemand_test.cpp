@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "alloc/ondemand.hpp"
+#include "obs/trace.hpp"
 
 namespace mif::alloc {
 namespace {
@@ -174,6 +175,117 @@ TEST_F(OnDemandFixture, WritesIntoPromotedWindowBypassAllocator) {
   ASSERT_TRUE(write(1, 2).ok());   // inside current window
   EXPECT_EQ(alloc.stats().layout_misses, misses);
   EXPECT_EQ(alloc.stats().prealloc_promotions, promos);
+}
+
+// --- state-machine tracing (obs::TraceBuffer) -------------------------------
+
+using obs::TraceEventType;
+
+TEST_F(OnDemandFixture, TraceRecordsExactTransitionSequence) {
+  obs::TraceBuffer trace(64);
+  alloc.set_trace(&trace);
+
+  // Fig. 3 walked with default tuning (scale=2, miss_threshold=4):
+  ASSERT_TRUE(write(1, 0).ok());     // miss: seed seq window [1,3)
+  ASSERT_TRUE(write(1, 1).ok());     // promote: current [1,3), seq 4 blocks
+  ASSERT_TRUE(write(1, 2).ok());     // inside current window — no event
+  ASSERT_TRUE(write(1, 3).ok());     // promote: seq window ramps to 8
+  ASSERT_TRUE(write(1, 1000).ok());  // miss 1 (re-seed)
+  ASSERT_TRUE(write(1, 2000).ok());  // miss 2
+  ASSERT_TRUE(write(1, 3000).ok());  // miss 3
+  ASSERT_TRUE(write(1, 4000).ok());  // miss 4 → demote
+
+  const struct {
+    TraceEventType type;
+  } expected[] = {
+      {TraceEventType::kLayoutMiss},      {TraceEventType::kPreAllocLayout},
+      {TraceEventType::kPreAllocLayout},  {TraceEventType::kLayoutMiss},
+      {TraceEventType::kLayoutMiss},      {TraceEventType::kLayoutMiss},
+      {TraceEventType::kLayoutMiss},      {TraceEventType::kStreamDemote},
+  };
+  const auto evs = trace.events();
+  ASSERT_EQ(evs.size(), std::size(expected));
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].type, expected[i].type) << "event " << i;
+    EXPECT_EQ(evs[i].inode, 1u) << "event " << i;
+    EXPECT_EQ(evs[i].stream, (StreamId{1, 0}).key()) << "event " << i;
+  }
+  // Promotion args: (promoted current window, newly reserved seq window).
+  EXPECT_EQ(evs[1].arg0, 2u);
+  EXPECT_EQ(evs[1].arg1, 4u);
+  EXPECT_EQ(evs[2].arg0, 4u);
+  EXPECT_EQ(evs[2].arg1, 8u);
+  // The demotion records the miss count that crossed the threshold.
+  EXPECT_EQ(evs[7].arg0, tuning.miss_threshold);
+}
+
+TEST_F(OnDemandFixture, TraceLazyFreeOnClose) {
+  obs::TraceBuffer trace(64);
+  alloc.set_trace(&trace);
+  for (u64 b = 0; b < 4; ++b) ASSERT_TRUE(write(1, b).ok());
+  ASSERT_GT(alloc.stats().reserved_blocks, 0u);
+  alloc.close_file(InodeNo{1}, map);
+  const auto evs = trace.events();
+  ASSERT_FALSE(evs.empty());
+  EXPECT_EQ(evs.back().type, TraceEventType::kLazyFree);
+  EXPECT_GT(evs.back().arg0, 0u);  // blocks returned to free space
+  EXPECT_EQ(evs.back().stream, (StreamId{1, 0}).key());
+}
+
+TEST_F(OnDemandFixture, TraceMultiStreamSharedFileWithFiltering) {
+  // Scripted shared-file write: three streams interleave on inode 1.  The
+  // record-side filter keeps only stream 1; the read-side filter then checks
+  // per-stream isolation on an unfiltered buffer.
+  obs::TraceBuffer filtered(64);
+  alloc.set_trace(&filtered);
+  filtered.set_filter(InodeNo{1}, StreamId{1, 0});
+  const u64 per_stream = 16;
+  for (u64 r = 0; r < per_stream; ++r)
+    for (u32 p = 0; p < 3; ++p)
+      ASSERT_TRUE(write(p, static_cast<u64>(p) * per_stream + r).ok());
+  for (const auto& ev : filtered.events())
+    EXPECT_EQ(ev.stream, (StreamId{1, 0}).key());
+  EXPECT_GT(filtered.size(), 0u);
+  EXPECT_GT(filtered.filtered(), 0u);  // other streams were rejected
+
+  // Same workload against a fresh allocator, unfiltered: every stream shows
+  // the identical miss→promote ramp.
+  OnDemandAllocator a2(space, tuning);
+  block::ExtentMap m2;
+  obs::TraceBuffer all(256);
+  a2.set_trace(&all);
+  for (u64 r = 0; r < per_stream; ++r)
+    for (u32 p = 0; p < 3; ++p)
+      ASSERT_TRUE(a2.extend({InodeNo{1}, StreamId{p, 0},
+                             FileBlock{static_cast<u64>(p) * per_stream + r},
+                             1},
+                            m2)
+                      .ok());
+  for (u32 p = 0; p < 3; ++p) {
+    const auto evs = all.events(InodeNo{1}, StreamId{p, 0});
+    ASSERT_GE(evs.size(), 3u) << "stream " << p;
+    EXPECT_EQ(evs[0].type, TraceEventType::kLayoutMiss);
+    EXPECT_EQ(evs[1].type, TraceEventType::kPreAllocLayout);
+    for (std::size_t i = 1; i < evs.size(); ++i)
+      EXPECT_EQ(evs[i].type, TraceEventType::kPreAllocLayout)
+          << "stream " << p << " event " << i;
+  }
+}
+
+TEST_F(OnDemandFixture, TraceRingStaysBounded) {
+  obs::TraceBuffer trace(8);
+  alloc.set_trace(&trace);
+  for (u64 b = 0; b < 400; ++b) ASSERT_TRUE(write(1, b).ok());
+  EXPECT_LE(trace.size(), 8u);
+  // Every miss and promotion was recorded; whatever the ring could not
+  // retain is accounted for as dropped.
+  EXPECT_EQ(alloc.stats().prealloc_promotions + alloc.stats().layout_misses,
+            trace.dropped() + trace.size());
+  EXPECT_GT(trace.dropped(), 0u);
+  // What remains is the chronological tail with contiguous sequence numbers.
+  const auto evs = trace.events();
+  for (std::size_t i = 1; i < evs.size(); ++i)
+    EXPECT_EQ(evs[i].seq, evs[i - 1].seq + 1);
 }
 
 }  // namespace

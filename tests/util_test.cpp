@@ -120,6 +120,68 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
 }
 
+TEST(RunningStats, EmptyUntilFirstSample) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  // The min/max sentinels of an empty accumulator are 0.0 — callers must
+  // check empty() instead of comparing against it.
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  s.add(-3.5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.min(), -3.5);
+  EXPECT_DOUBLE_EQ(s.max(), -3.5);
+}
+
+TEST(RunningStats, MergeOfEmptyIsNoOp) {
+  RunningStats s, empty;
+  for (double x : {2.0, 4.0, 9.0}) s.add(x);
+  const u64 count = s.count();
+  const double mean = s.mean(), mn = s.min(), mx = s.max();
+  s.merge(empty);
+  EXPECT_EQ(s.count(), count);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_DOUBLE_EQ(s.min(), mn);
+  EXPECT_DOUBLE_EQ(s.max(), mx);
+}
+
+TEST(RunningStats, EmptyMergeOfNonEmptyCopies) {
+  // All-negative samples: a merge that treated the 0.0 sentinels as real
+  // min/max would corrupt the extrema.
+  RunningStats s, other;
+  for (double x : {-7.0, -3.0, -5.0}) other.add(x);
+  s.merge(other);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), -5.0);
+}
+
+TEST(Histogram, MergeMatchesSequential) {
+  Histogram all, left(20), right(20);
+  Rng r(11);
+  for (int i = 0; i < 400; ++i) {
+    const u64 v = r.uniform(0, 1 << 14);
+    all.add(v);
+    (i % 2 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_EQ(left.quantile(0.5), all.quantile(0.5));
+  EXPECT_EQ(left.quantile(0.99), all.quantile(0.99));
+}
+
+TEST(Histogram, MergeClampsWiderSource) {
+  // Merging a finer-bucketed histogram into a coarser one folds the excess
+  // high buckets into the last bucket instead of dropping samples.
+  Histogram coarse(4), fine(20);
+  fine.add(u64{1} << 16);  // far beyond coarse's top bucket
+  coarse.merge(fine);
+  EXPECT_EQ(coarse.count(), 1u);
+  EXPECT_EQ(coarse.bucket(3), 1u);
+}
+
 TEST(Histogram, BucketsByLog2) {
   Histogram h(10);
   h.add(0);

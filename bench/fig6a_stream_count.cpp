@@ -6,11 +6,14 @@
 //
 // `--json <path>` additionally writes the full per-run metrics registry
 // (allocator counters, extent-count histogram, positioning-time stats);
-// `--quick` shrinks the sweep for CI schema checks.
+// `--trace <path>` records end-to-end request spans and writes a
+// Chrome-trace / Perfetto JSON (open at ui.perfetto.dev); `--quick` shrinks
+// the sweep for CI schema checks.
 #include <cstdio>
 #include <vector>
 
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "util/table.hpp"
 #include "workload/shared_file.hpp"
 
@@ -22,11 +25,12 @@ struct RunOut {
 };
 
 RunOut run(mif::alloc::AllocatorMode mode, bool static_pre, mif::u32 processes,
-           bool quick) {
+           bool quick, mif::obs::SpanCollector* spans) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 5;  // "all data to be striped on five disks"
   cfg.target.allocator = mode;
   mif::core::ParallelFileSystem fs(cfg);
+  fs.set_spans(spans);
   mif::workload::SharedFileConfig wcfg;
   wcfg.processes = processes;
   wcfg.threads_per_client = 4;
@@ -66,15 +70,20 @@ int main(int argc, char** argv) {
       report.quick() ? std::vector<mif::u32>{8}
                      : std::vector<mif::u32>{32u, 48u, 64u};
 
+  // One collector across the sweep: the ring keeps the most recent spans,
+  // the slow log the slowest traces of the whole bench.
+  mif::obs::SpanCollector spans;
+  mif::obs::SpanCollector* sp = report.trace_enabled() ? &spans : nullptr;
+
   Table t({"streams", "reservation MB/s", "on-demand MB/s", "static MB/s",
            "on-demand vs reservation"});
   for (mif::u32 procs : sweep) {
     const auto res = run(mif::alloc::AllocatorMode::kReservation, false, procs,
-                         report.quick());
+                         report.quick(), sp);
     const auto ond = run(mif::alloc::AllocatorMode::kOnDemand, false, procs,
-                         report.quick());
+                         report.quick(), sp);
     const auto sta = run(mif::alloc::AllocatorMode::kStatic, true, procs,
-                         report.quick());
+                         report.quick(), sp);
     t.add_row({std::to_string(procs),
                Table::num(res.res.phase2_throughput_mbps),
                Table::num(ond.res.phase2_throughput_mbps),
@@ -100,5 +109,6 @@ int main(int argc, char** argv) {
   }
   t.print();
   report.write();
+  if (sp) mif::obs::write_chrome_trace(spans, report.trace_path());
   return 0;
 }

@@ -7,17 +7,21 @@
 #include <cstdio>
 
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "util/table.hpp"
 #include "workload/btio.hpp"
 #include "workload/ior.hpp"
 
 namespace {
 
-mif::core::ParallelFileSystem make_fs(mif::alloc::AllocatorMode mode) {
+mif::core::ParallelFileSystem make_fs(mif::alloc::AllocatorMode mode,
+                                      mif::obs::SpanCollector* spans) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 8;  // "all data are striped in eight disks"
   cfg.target.allocator = mode;
-  return mif::core::ParallelFileSystem(cfg);
+  mif::core::ParallelFileSystem fs(cfg);
+  fs.set_spans(spans);
+  return fs;
 }
 
 }  // namespace
@@ -26,6 +30,11 @@ int main(int argc, char** argv) {
   using mif::Table;
   using mif::alloc::AllocatorMode;
   mif::obs::BenchReport report("fig7_macro", argc, argv);
+
+  // One collector across every run: `--trace <path>` dumps the slowest
+  // traces and the most recent spans of the whole macro sweep.
+  mif::obs::SpanCollector spans;
+  mif::obs::SpanCollector* sp = report.trace_enabled() ? &spans : nullptr;
 
   std::printf(
       "Fig 7 — macro benchmarks on a 16-node/64-process cluster, 8-disk "
@@ -56,8 +65,8 @@ int main(int argc, char** argv) {
     cfg.request_bytes = 64 * 1024;
     cfg.bytes_per_process = report.quick() ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
     cfg.collective = collective;
-    auto rfs = make_fs(AllocatorMode::kReservation);
-    auto ofs = make_fs(AllocatorMode::kOnDemand);
+    auto rfs = make_fs(AllocatorMode::kReservation, sp);
+    auto ofs = make_fs(AllocatorMode::kOnDemand, sp);
     const auto r = mif::workload::run_ior(rfs, cfg);
     const auto o = mif::workload::run_ior(ofs, cfg);
     t.add_row({"IOR2", collective ? "collective" : "non-collective",
@@ -74,8 +83,8 @@ int main(int argc, char** argv) {
     cfg.cells_per_process = 16;
     cfg.cell_bytes = 8 * 1024;
     cfg.collective = collective;
-    auto rfs = make_fs(AllocatorMode::kReservation);
-    auto ofs = make_fs(AllocatorMode::kOnDemand);
+    auto rfs = make_fs(AllocatorMode::kReservation, sp);
+    auto ofs = make_fs(AllocatorMode::kOnDemand, sp);
     const auto r = mif::workload::run_btio(rfs, cfg);
     const auto o = mif::workload::run_btio(ofs, cfg);
     const double rt = 2.0 / (1.0 / r.write_mbps + 1.0 / r.read_mbps);
@@ -87,5 +96,6 @@ int main(int argc, char** argv) {
 
   t.print();
   report.write();
+  if (sp) mif::obs::write_chrome_trace(spans, report.trace_path());
   return 0;
 }

@@ -1,0 +1,97 @@
+#!/usr/bin/env sh
+# CI check for the bench harness's --trace Chrome-trace/Perfetto dumps.
+#
+# Usage: check_trace_json.sh <path-to-fig6a_stream_count>
+#
+# Runs the fastest figure bench in --quick mode with both --trace and --json,
+# then validates the span dump: well-formed Chrome trace events (ph/ts/dur),
+# sane timestamps, phase coverage across client/mds/osd/disk, the slow-request
+# log, and the span quantiles in the metrics registry.  Registered as a ctest
+# (see bench/CMakeLists.txt).
+set -eu
+
+BENCH="${1:?usage: check_trace_json.sh <fig6a_stream_count binary>}"
+TRACE="$(mktemp /tmp/mif_trace_json.XXXXXX)"
+METRICS="$(mktemp /tmp/mif_trace_metrics.XXXXXX)"
+trap 'rm -f "$TRACE" "$METRICS"' EXIT
+
+"$BENCH" --quick --trace "$TRACE" --json "$METRICS" > /dev/null
+
+python3 - "$TRACE" "$METRICS" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_trace_json: FAIL: {msg}")
+
+events = doc.get("traceEvents")
+require(isinstance(events, list) and events, "traceEvents missing or empty")
+
+spans = [e for e in events if e.get("ph") == "X"]
+require(spans, "no complete ('X') span events")
+for e in spans:
+    for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+        require(key in e, f"span event missing '{key}': {e}")
+    require(e["ts"] >= 0, f"negative timestamp: {e}")
+    require(e["dur"] >= 0, f"negative duration: {e}")
+    require(e["pid"] in (1, 2), f"unknown pid (host=1, sim=2): {e}")
+    args = e.get("args", {})
+    require("trace_id" in args and "span_id" in args,
+            f"span event missing identity args: {e}")
+
+# Phase coverage: every layer of the stack shows up, ≥ 6 distinct phases.
+names = {e["name"] for e in spans}
+require(len(names) >= 6, f"expected >= 6 distinct phases, got {sorted(names)}")
+for layer in ("client.", "mds.", "osd.", "disk."):
+    require(any(n.startswith(layer) for n in names),
+            f"no '{layer}*' phase in trace ({sorted(names)})")
+
+# Parent/child timestamps are causally sane per trace on the host clock:
+# children start no earlier than their parent.
+by_span = {e["args"]["span_id"]: e for e in spans if e["pid"] == 1}
+checked = 0
+for e in by_span.values():
+    parent = by_span.get(e["args"].get("parent_id"))
+    if parent is None:
+        continue
+    require(e["ts"] + 1e-6 >= parent["ts"],
+            f"child starts before parent: {e}")
+    checked += 1
+require(checked > 0, "no parent/child pair found on the host clock")
+
+# Sim-disk spans never overlap on one disk's timeline (tid = track).
+by_track = {}
+for e in spans:
+    if e["pid"] == 2:
+        by_track.setdefault(e["tid"], []).append((e["ts"], e["dur"]))
+for track, ts in by_track.items():
+    ts.sort()
+    for (a_ts, a_dur), (b_ts, _) in zip(ts, ts[1:]):
+        require(a_ts + a_dur <= b_ts + 1e-3,  # 1 ns slack for ms→µs rounding
+                f"overlapping sim spans on disk track {track}")
+require(by_track, "no sim-disk spans recorded")
+
+slow = doc.get("slowTraces")
+require(isinstance(slow, list) and slow, "slowTraces missing or empty")
+for t in slow:
+    require(t.get("spans"), f"slow trace {t.get('trace_id')} has no spans")
+durs = [t["dur_us"] for t in slow]
+require(durs == sorted(durs, reverse=True), "slowTraces not slowest-first")
+
+# The metrics registry carries span quantiles for the key phases.
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+runs = metrics.get("runs")
+require(isinstance(runs, list) and runs, "metrics report has no runs")
+hist = runs[-1].get("metrics", {}).get("histograms", {})
+for phase in ("span.disk.seek", "span.journal.commit", "span.client.write"):
+    require(phase in hist, f"histogram '{phase}' missing from metrics")
+    for q in ("p50", "p95", "p99"):
+        require(q in hist[phase], f"'{phase}' missing quantile '{q}'")
+
+print(f"check_trace_json: OK ({len(spans)} spans, {len(names)} phases, "
+      f"{len(slow)} slow traces)")
+EOF

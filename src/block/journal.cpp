@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+
 namespace mif::block {
 
 Journal::Journal(sim::IoScheduler& io, DiskBlock area_start, u64 area_blocks,
@@ -27,6 +29,7 @@ void Journal::log(const std::vector<BlockRange>& home_blocks) {
 void Journal::commit() {
   since_commit_ = 0;
   const u64 blocks = uncommitted_blocks_ + 1;  // + commit block
+  obs::ScopedSpan span(spans_, "journal.commit", blocks);
   uncommitted_blocks_ = 0;
   stats_.journal_blocks += 1;
 
@@ -47,6 +50,7 @@ void Journal::checkpoint() {
   since_checkpoint_ = 0;
   if (uncommitted_blocks_ > 0) commit();
   if (pending_.empty()) return;
+  obs::ScopedSpan span(spans_, "journal.checkpoint", pending_.size());
   const u64 checkpoint_blocks_before = stats_.checkpoint_blocks;
   // Sort by home address and merge duplicates/adjacent runs so the write-back
   // pass is a single elevator sweep — mirroring jbd2 checkpoint behaviour.

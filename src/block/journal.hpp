@@ -16,6 +16,10 @@
 #include "sim/io_scheduler.hpp"
 #include "util/types.hpp"
 
+namespace mif::obs {
+class SpanCollector;
+}
+
 namespace mif::block {
 
 struct JournalStats {
@@ -56,9 +60,14 @@ class Journal {
   /// Attach a trace sink for commit/checkpoint events (nullptr disables).
   void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 
+  /// Attach a span collector: commits and checkpoints then record
+  /// `journal.commit` / `journal.checkpoint` phases (nullptr detaches).
+  void set_spans(obs::SpanCollector* spans) { spans_ = spans; }
+
  private:
   sim::IoScheduler& io_;
   obs::TraceBuffer* trace_{nullptr};
+  obs::SpanCollector* spans_{nullptr};
   DiskBlock area_start_;
   u64 area_blocks_;
   u64 checkpoint_interval_;

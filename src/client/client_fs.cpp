@@ -2,6 +2,7 @@
 
 #include "core/pfs.hpp"
 #include "obs/export.hpp"
+#include "obs/span.hpp"
 
 namespace mif::client {
 
@@ -14,6 +15,7 @@ void ClientFs::export_metrics(obs::MetricsRegistry& reg,
 }
 
 Result<FileHandle> ClientFs::create(std::string_view path) {
+  obs::ScopedSpan span(fs_->spans(), "client.create", id_.v);
   auto ino = fs_->mds().create(path);
   if (!ino) return ino.error();
   ++stats_.opens;
@@ -21,6 +23,7 @@ Result<FileHandle> ClientFs::create(std::string_view path) {
 }
 
 Result<FileHandle> ClientFs::open(std::string_view path) {
+  obs::ScopedSpan span(fs_->spans(), "client.open", id_.v);
   ++stats_.opens;
   const std::string key(path);
   if (layout_cache_.contains(key)) {
@@ -40,11 +43,13 @@ Result<FileHandle> ClientFs::open(std::string_view path) {
 Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
                        u64 len_bytes) {
   if (!fh.valid() || len_bytes == 0) return Errc::kInvalid;
+  obs::ScopedSpan span(fs_->spans(), "client.write", fh.ino.v, len_bytes);
   const u64 first = offset_bytes / kBlockSize;
   const u64 last = (offset_bytes + len_bytes + kBlockSize - 1) / kBlockSize;
   const StreamId stream{id_.v, pid};
   for (const osd::StripeSlice& s :
        osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+    obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
     if (Status st = fs_->target(s.target).write(fh.ino, stream, s.local_start,
                                                 s.count);
         !st)
@@ -65,6 +70,7 @@ Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
 Status ClientFs::read_blocks(const FileHandle& fh, u64 first, u64 last) {
   for (const osd::StripeSlice& s :
        osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+    obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
     if (Status st = fs_->target(s.target).read(fh.ino, s.local_start, s.count);
         !st)
       return st;
@@ -95,6 +101,7 @@ Status ClientFs::fetch_range(const FileHandle& fh, u64 first, u64 last,
 
 Status ClientFs::read(const FileHandle& fh, u64 offset_bytes, u64 len_bytes) {
   if (!fh.valid() || len_bytes == 0) return Errc::kInvalid;
+  obs::ScopedSpan span(fs_->spans(), "client.read", fh.ino.v, len_bytes);
   const u64 first = offset_bytes / kBlockSize;
   const u64 last = (offset_bytes + len_bytes + kBlockSize - 1) / kBlockSize;
   ++stats_.reads;
@@ -138,6 +145,7 @@ Status ClientFs::read(const FileHandle& fh, u64 offset_bytes, u64 len_bytes) {
 
 Status ClientFs::close(const FileHandle& fh) {
   if (!fh.valid()) return Errc::kInvalid;
+  obs::ScopedSpan span(fs_->spans(), "client.close", fh.ino.v);
   fs_->close_file(fh.ino);
   // Ship the final layout to the MDS; it persists the mapping and pays CPU
   // per extent — fragmented files are expensive here (Table I).

@@ -95,6 +95,18 @@ void ParallelFileSystem::set_trace(obs::TraceBuffer* trace) {
   for (auto& t : targets_) t->set_trace(trace);
 }
 
+void ParallelFileSystem::set_spans(obs::SpanCollector* spans) {
+  spans_ = spans;
+  mds_->set_spans(spans);
+  // One track namespace per attachment: a bench sweeping configurations
+  // recreates the cluster against a shared collector, and each mount's
+  // disks must keep their own timelines (lane = target index).
+  const u32 inst = spans ? spans->reserve_track_namespace() : 0;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    targets_[i]->set_spans(spans, obs::make_track(inst, static_cast<u32>(i)));
+  }
+}
+
 void ParallelFileSystem::export_metrics(obs::MetricsRegistry& reg) const {
   mds_->export_metrics(reg, "mds");
   for (std::size_t i = 0; i < targets_.size(); ++i) {
@@ -125,6 +137,10 @@ void ParallelFileSystem::export_metrics(obs::MetricsRegistry& reg) const {
     t->add_extent_counts(extents);
     position.merge_from(t->disk().position_times_ms());
   }
+
+  // Per-phase request-span latency distributions (span.<phase>), when a
+  // collector is attached.
+  if (spans_) spans_->export_metrics(reg);
 }
 
 obs::Json ParallelFileSystem::metrics_json() const {

@@ -20,6 +20,7 @@
 #include "client/client_fs.hpp"
 #include "mds/mds.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "osd/storage_target.hpp"
 #include "osd/striping.hpp"
@@ -81,6 +82,15 @@ class ParallelFileSystem {
   /// state machine plus the MDS journal and buffer cache.  nullptr detaches.
   void set_trace(obs::TraceBuffer* trace);
 
+  /// Attach one span collector to the whole cluster: client ops become root
+  /// spans, MDS RPCs / allocator decisions / journal commits become child
+  /// phases, and every disk (data disks on tracks 0..N-1, metadata disk on
+  /// track 255) records its simulated mechanical phases.  nullptr detaches.
+  void set_spans(obs::SpanCollector* spans);
+
+  /// The attached collector (nullptr when none); clients read this per op.
+  obs::SpanCollector* spans() const { return spans_; }
+
   /// Publish the entire stack into `reg`: per-instance metrics
   /// (`osd.<i>.…`, `mds.…`) plus cluster-wide aggregates
   /// (`alloc.<mode>.layout_miss`, `alloc.extents_per_file`,
@@ -96,6 +106,7 @@ class ParallelFileSystem {
   ClusterConfig cfg_;
   std::unique_ptr<mds::Mds> mds_;
   std::vector<std::unique_ptr<osd::StorageTarget>> targets_;
+  obs::SpanCollector* spans_{nullptr};
 };
 
 }  // namespace mif::core

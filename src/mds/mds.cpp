@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/export.hpp"
+#include "obs/span.hpp"
 
 namespace mif::mds {
 
@@ -25,11 +26,14 @@ Result<InodeNo> Mds::mkdir(std::string_view path) {
 }
 
 Result<InodeNo> Mds::create(std::string_view path) {
+  obs::ScopedSpan span(spans_, "mds.create");
   charge_rpc(256);
   return fs_.create(path);
 }
 
 Status Mds::stat(std::string_view path) {
+  // A stat is a pure namespace lookup: one path walk, no layout work.
+  obs::ScopedSpan span(spans_, "mds.lookup");
   charge_rpc(256);
   return fs_.stat(path);
 }
@@ -50,8 +54,12 @@ Result<InodeNo> Mds::rename(std::string_view from, std::string_view to) {
 }
 
 Result<OpenResult> Mds::open_getlayout(std::string_view path) {
+  obs::ScopedSpan span(spans_, "mds.open_getlayout");
   charge_rpc(256);
-  auto ino = fs_.resolve(path);
+  auto ino = [&] {
+    obs::ScopedSpan lookup(spans_, "mds.lookup");
+    return fs_.resolve(path);
+  }();
   if (!ino) return ino.error();
   mfs::Inode* node = fs_.find(*ino);
   if (!node) return Errc::kNotFound;
@@ -85,6 +93,7 @@ Status Mds::report_extents(InodeNo file, u64 extent_count) {
   // The MDS merges the newly grown part of the layout into its index; CPU
   // is paid per extent it has to process, i.e. the delta since the last
   // report (plus the shipping bandwidth for it).
+  obs::ScopedSpan span(spans_, "mds.report_extents", file.v, extent_count);
   mfs::Inode* node = fs_.find(file);
   if (!node) return Errc::kNotFound;
   const u64 before = node->last_synced_extents;

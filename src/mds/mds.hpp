@@ -17,6 +17,7 @@
 
 namespace mif::obs {
 class MetricsRegistry;
+class SpanCollector;
 }
 
 namespace mif::mds {
@@ -78,6 +79,13 @@ class Mds {
   /// Attach a trace sink to the metadata stack (journal, cache).
   void set_trace(obs::TraceBuffer* trace) { fs_.set_trace(trace); }
 
+  /// Attach a span collector: namespace RPCs record `mds.*` phases and the
+  /// metadata stack (journal, MDS disk) records its own (nullptr detaches).
+  void set_spans(obs::SpanCollector* spans) {
+    spans_ = spans;
+    fs_.set_spans(spans);
+  }
+
   /// Publish MDS RPC/CPU counters plus the whole MFS stack under
   /// `<prefix>.…`.
   void export_metrics(obs::MetricsRegistry& reg,
@@ -96,6 +104,7 @@ class Mds {
   mfs::Mfs fs_;
   sim::Network net_;
   MdsStats stats_;
+  obs::SpanCollector* spans_{nullptr};
 };
 
 }  // namespace mif::mds

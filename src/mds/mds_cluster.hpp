@@ -52,6 +52,13 @@ class MdsCluster {
   std::size_t size() const { return servers_.size(); }
   const ClusterStats& stats() const { return stats_; }
 
+  /// Attach a span collector to every member server (nullptr detaches).
+  /// Member metadata disks share one span track; the per-server lookup /
+  /// create phases still separate by span args.
+  void set_spans(obs::SpanCollector* spans) {
+    for (auto& s : servers_) s->set_spans(spans);
+  }
+
  private:
   std::size_t owner_of(std::string_view name) const;
   std::string subpath(std::string_view name) const;

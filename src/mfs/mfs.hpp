@@ -18,6 +18,7 @@
 #include "mfs/embedded_dir.hpp"
 #include "mfs/layout.hpp"
 #include "mfs/normal_dir.hpp"
+#include "obs/span.hpp"
 #include "sim/disk.hpp"
 #include "sim/io_scheduler.hpp"
 
@@ -92,6 +93,19 @@ class Mfs {
   void set_trace(obs::TraceBuffer* trace) {
     journal_->set_trace(trace);
     cache_->set_trace(trace);
+  }
+
+  /// Metadata disk's span track *lane* (data disks take lanes 0..N-1 in
+  /// their own namespace; compare with obs::track_lane).
+  static constexpr u32 kMdsDiskTrack = 255;
+
+  /// Attach a span collector to the metadata stack: journal commits /
+  /// checkpoints plus the metadata disk's mechanical phases (nullptr
+  /// detaches).  Claims its own track namespace per attachment.
+  void set_spans(obs::SpanCollector* spans) {
+    journal_->set_spans(spans);
+    const u32 inst = spans ? spans->reserve_track_namespace() : 0;
+    disk_.set_spans(spans, obs::make_track(inst, kMdsDiskTrack));
   }
 
   /// Publish cache/journal/disk/scheduler counters under `<prefix>.…`.

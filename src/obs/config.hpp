@@ -1,0 +1,30 @@
+// One observability configuration for the whole obs layer.
+//
+// The allocator event ring (obs/trace.hpp) and the request-span buffer
+// (obs/span.hpp) used to carry their own scattered capacity constants; both
+// now size themselves from this struct, so a bench or test that wants a
+// bigger (or tiny) observability footprint changes one knob.
+#pragma once
+
+#include <cstddef>
+
+namespace mif::obs {
+
+struct Config {
+  /// TraceBuffer ring capacity (allocator/journal/cache event records).
+  std::size_t trace_capacity{4096};
+  /// SpanCollector ring capacity (completed span records kept for export).
+  std::size_t span_capacity{65536};
+  /// Slow-request log size: the K slowest root spans retained with their
+  /// full span trees (tail sampling).
+  std::size_t slow_k{8};
+  /// Admission threshold for the slow log in microseconds; 0 = every
+  /// finished trace competes for the top-K slots.
+  double slow_threshold_us{0.0};
+  /// Quantile-triggered admission: when > 0, a finished trace must also be
+  /// at or above this quantile of all root durations seen so far (e.g. 0.99
+  /// keeps only the tail).  0 disables the quantile gate.
+  double slow_quantile{0.0};
+};
+
+}  // namespace mif::obs

@@ -107,6 +107,7 @@ Json MetricsRegistry::to_json() const {
     entry["count"] = snap.count();
     entry["p50"] = snap.quantile(0.50);
     entry["p90"] = snap.quantile(0.90);
+    entry["p95"] = snap.quantile(0.95);
     entry["p99"] = snap.quantile(0.99);
     Json::Array buckets;
     for (std::size_t i = 0; i < snap.buckets(); ++i) {
@@ -152,7 +153,8 @@ std::string MetricsRegistry::to_text() const {
     const Histogram snap = h->snapshot();
     std::ostringstream os;
     os << name << " (n=" << snap.count() << ") p50=" << snap.quantile(0.5)
-       << " p90=" << snap.quantile(0.9) << " p99=" << snap.quantile(0.99);
+       << " p90=" << snap.quantile(0.9) << " p95=" << snap.quantile(0.95)
+       << " p99=" << snap.quantile(0.99);
     line(name, os.str());
   }
   for (const auto& [name, s] : stats_) {

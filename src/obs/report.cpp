@@ -12,6 +12,10 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
       path_ = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       path_ = arg.substr(7);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path_ = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path_ = arg.substr(8);
     } else if (arg == "--quick") {
       quick_ = true;
     }

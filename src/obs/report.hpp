@@ -30,12 +30,19 @@ inline constexpr u64 kReportSchemaVersion = 1;
 
 class BenchReport {
  public:
-  /// Parses `--json <path>` and `--quick` out of argv.  Unknown arguments
-  /// are ignored (google-benchmark style flags pass through).
+  /// Parses `--json <path>`, `--trace <path>` and `--quick` out of argv.
+  /// Unknown arguments are ignored (google-benchmark style flags pass
+  /// through).
   BenchReport(std::string_view bench_name, int argc, char** argv);
 
   bool json_enabled() const { return !path_.empty(); }
   bool quick() const { return quick_; }
+
+  /// `--trace <path>` / `--trace=<path>`: where to write the Chrome-trace /
+  /// Perfetto span dump; empty when tracing was not requested.  The bench
+  /// attaches an obs::SpanCollector and calls obs::write_chrome_trace.
+  bool trace_enabled() const { return !trace_path_.empty(); }
+  const std::string& trace_path() const { return trace_path_; }
 
   /// Append one run row.  `name` identifies the configuration point.
   void add_run(std::string_view name, Json config, Json results,
@@ -51,6 +58,7 @@ class BenchReport {
 
  private:
   std::string path_;
+  std::string trace_path_;
   bool quick_{false};
   Json doc_;
 };

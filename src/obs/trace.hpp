@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/config.hpp"
 #include "obs/json.hpp"
 #include "util/types.hpp"
 
@@ -55,7 +56,9 @@ struct TraceRecord {
 
 class TraceBuffer {
  public:
-  explicit TraceBuffer(std::size_t capacity = 4096);
+  /// Capacity defaults to the shared obs::Config knob (see obs/config.hpp).
+  explicit TraceBuffer(std::size_t capacity = Config{}.trace_capacity);
+  explicit TraceBuffer(const Config& cfg) : TraceBuffer(cfg.trace_capacity) {}
 
   /// Record a stream-scoped allocator event.  O(1), no allocation.
   void record(TraceEventType t, InodeNo inode, StreamId stream, u64 arg0 = 0,

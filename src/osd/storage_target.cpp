@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/export.hpp"
+#include "obs/span.hpp"
 
 namespace mif::osd {
 
@@ -100,7 +101,10 @@ Status StorageTarget::write(InodeNo inode, StreamId stream, FileBlock logical,
   FileState& f = file(inode);
   std::lock_guard lock(f.mu);
   alloc::AllocContext ctx{inode, stream, logical, count};
-  if (Status s = alloc_->extend(ctx, f.map); !s) return s;
+  {
+    obs::ScopedSpan span(spans_, "alloc.decide", inode.v, count);
+    if (Status s = alloc_->extend(ctx, f.map); !s) return s;
+  }
   // Submit the data writes along the physical runs the placement produced —
   // this is where fragmentation turns into positioning time.
   std::lock_guard io_lock(io_mu_);

@@ -15,6 +15,7 @@
 namespace mif::obs {
 class MetricsRegistry;
 class Histo;
+class SpanCollector;
 }
 
 namespace mif::osd {
@@ -86,6 +87,14 @@ class StorageTarget {
   /// Attach a trace sink to the allocator state machine (nullptr detaches).
   void set_trace(obs::TraceBuffer* trace) { alloc_->set_trace(trace); }
 
+  /// Attach a span collector: allocator decisions record `alloc.decide` and
+  /// the data disk records `disk.*` on span track `track` (nullptr
+  /// detaches).
+  void set_spans(obs::SpanCollector* spans, u32 track) {
+    spans_ = spans;
+    disk_.set_spans(spans, track);
+  }
+
   /// Publish this target's counters under `<prefix>.…`: disk, scheduler,
   /// allocator, free-space gauges and the per-file extent-count histogram.
   void export_metrics(obs::MetricsRegistry& reg,
@@ -116,6 +125,7 @@ class StorageTarget {
   FileState& file(InodeNo inode);
 
   TargetConfig cfg_;
+  obs::SpanCollector* spans_{nullptr};
   sim::Disk disk_;
   /// The scheduler (and the disk behind it) is single-threaded state; all
   /// submissions and drains serialise here.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/span.hpp"
+
 namespace mif::sim {
 
 Disk::Disk(DiskGeometry geometry) : geometry_(geometry), head_{0} {}
@@ -22,6 +24,7 @@ double Disk::service(const DiskRequest& req) {
 
   double t = 0.0;
   ++stats_.requests;
+  const obs::SpanContext ctx = spans_ ? spans_->ambient() : obs::SpanContext{};
   if (req.start == head_) {
     // Head already on the right spot: pure streaming.
     ++stats_.sequential_hits;
@@ -39,6 +42,9 @@ double Disk::service(const DiskRequest& req) {
       t += skip;
       stats_.skip_ms += skip;
       ++stats_.skips;
+      if (spans_)
+        spans_->record_sim("disk.skip", span_track_, now_ms_, skip, ctx,
+                           req.start.v, dist);
     } else {
       const double seek = seek_time_ms(dist);
       t += seek + geometry_.rotational_ms;
@@ -46,6 +52,10 @@ double Disk::service(const DiskRequest& req) {
       stats_.rotation_ms += geometry_.rotational_ms;
       ++stats_.positionings;
       position_times_ms_.add(seek + geometry_.rotational_ms);
+      if (spans_)
+        spans_->record_sim("disk.seek", span_track_, now_ms_,
+                           seek + geometry_.rotational_ms, ctx, req.start.v,
+                           dist);
     }
   }
 
@@ -53,6 +63,9 @@ double Disk::service(const DiskRequest& req) {
                                                      : geometry_.seq_write_mbps;
   const double bytes = static_cast<double>(blocks_to_bytes(req.count));
   const double transfer = bytes / (rate_mbps * 1e6) * 1e3;  // ms
+  if (spans_)
+    spans_->record_sim("disk.transfer", span_track_, now_ms_ + t, transfer,
+                       ctx, req.start.v, req.count);
   t += transfer;
   stats_.transfer_ms += transfer;
 

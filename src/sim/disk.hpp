@@ -16,6 +16,10 @@
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
+namespace mif::obs {
+class SpanCollector;
+}
+
 namespace mif::sim {
 
 struct DiskGeometry {
@@ -91,6 +95,15 @@ class Disk {
     position_times_ms_ = {};
   }
 
+  /// Attach a span collector: every serviced request then emits
+  /// `disk.seek` / `disk.skip` / `disk.transfer` spans on this disk's
+  /// simulated timeline (track = `track`), attributed to the collector's
+  /// ambient trace context at service time.  nullptr detaches.
+  void set_spans(obs::SpanCollector* spans, u32 track) {
+    spans_ = spans;
+    span_track_ = track;
+  }
+
   /// Seek time for a head movement of `distance` blocks.  Square-root model:
   /// short seeks are dominated by head settle, long ones by the arm sweep.
   double seek_time_ms(u64 distance) const;
@@ -101,6 +114,8 @@ class Disk {
   double now_ms_{0.0};
   DiskStats stats_;
   RunningStats position_times_ms_;
+  obs::SpanCollector* spans_{nullptr};
+  u32 span_track_{0};
 };
 
 }  // namespace mif::sim

@@ -9,8 +9,13 @@
 #include <memory>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "sim/disk.hpp"
 #include "sim/io_scheduler.hpp"
+
+namespace mif::obs {
+class SpanCollector;
+}
 
 namespace mif::sim {
 
@@ -37,6 +42,14 @@ class DiskArray {
   u64 total_dispatched() const;
 
   void reset_stats();
+
+  /// Attach a span collector to every member disk (track = member index);
+  /// nullptr detaches.
+  void set_spans(obs::SpanCollector* spans) {
+    const u32 inst = spans ? spans->reserve_track_namespace() : 0;
+    for (std::size_t i = 0; i < disks_.size(); ++i)
+      disks_[i]->set_spans(spans, obs::make_track(inst, static_cast<u32>(i)));
+  }
 
  private:
   std::vector<std::unique_ptr<Disk>> disks_;

@@ -107,6 +107,9 @@ IorResult run_ior(core::ParallelFileSystem& fs, const IorConfig& cfg) {
   res.total_mbps = 2.0 * mb / ((res.write_ms + res.read_ms) * 1e-3);
   // MDS CPU utilisation over the whole run (Table I).
   res.mds_cpu = fs.mds().stats().cpu_ms / (res.write_ms + res.read_ms);
+  // Unmount-style metadata sync after measurement: forces the batched
+  // journal out so even short runs commit + checkpoint.
+  fs.mds().finish();
   return res;
 }
 

@@ -3,11 +3,17 @@
 // deterministic interleavings; these tests hammer the locks).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "core/pfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "osd/storage_target.hpp"
 
 namespace mif {
@@ -116,6 +122,100 @@ TEST(StorageTargetConcurrency, ParallelClientsWriteDisjointFiles) {
       mapped += e.length;
     EXPECT_GE(mapped, 500u);
   }
+}
+
+// The span collector takes concurrent recorders: each thread opens nested
+// spans against ONE collector while the spans feed the ring, the per-phase
+// stats and the slow log under the collector mutex.  Trace ids must stay
+// distinct per root and every thread's spans must land.
+TEST(SpanCollectorConcurrency, ParallelRecordersShareOneCollector) {
+  obs::Config cfg;
+  cfg.slow_k = 4;
+  obs::SpanCollector collector(cfg);
+  constexpr int kThreads = 4;
+  constexpr int kTraces = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kTraces; ++i) {
+        obs::ScopedSpan root(&collector, "client.write",
+                             static_cast<u64>(t));
+        obs::ScopedSpan child(&collector, "osd.stripe_unit");
+        collector.record_sim("disk.transfer", static_cast<u32>(t), i, 0.5,
+                             collector.ambient());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr u64 kExpected = u64{kThreads} * kTraces * 3;
+  EXPECT_EQ(collector.total_spans(), kExpected);
+  EXPECT_EQ(collector.size() + collector.dropped(), kExpected);
+
+  // Every root got its own trace id; children stayed in their root's trace.
+  std::set<u64> root_traces;
+  for (const obs::SpanRecord& s : collector.spans()) {
+    if (s.parent_id == 0 && s.clock == obs::SpanClock::kHost)
+      root_traces.insert(s.trace_id);
+  }
+  const auto stats = collector.phase_stats();
+  ASSERT_TRUE(stats.count("client.write"));
+  EXPECT_EQ(stats.at("client.write").hist_ns.count(), u64{kThreads} * kTraces);
+  EXPECT_EQ(collector.slow_traces().size(), 4u);
+
+  // Export under load is a consistent snapshot.
+  obs::MetricsRegistry reg;
+  collector.export_metrics(reg);
+  EXPECT_EQ(reg.counter("span.total").value(), kExpected);
+}
+
+// Whole-stack version: parallel clients of one ParallelFileSystem with a
+// collector attached — the configuration the benches run under `--trace`.
+// Metadata ops (create/close) stay on the main thread — the MDS, like a
+// real one, serialises its namespace; the data path is what runs threaded.
+TEST(SpanCollectorConcurrency, ParallelClientsOnOneFilesystem) {
+  core::ClusterConfig cfg;
+  cfg.num_targets = 4;
+  cfg.target.allocator = alloc::AllocatorMode::kOnDemand;
+  core::ParallelFileSystem fs(cfg);
+  obs::SpanCollector spans;
+  fs.set_spans(&spans);
+
+  constexpr int kThreads = 4;
+  // Below the 64-write layout-report threshold, so threaded writes never
+  // call into the (unlocked) MDS.
+  constexpr u64 kWrites = 63;
+  std::vector<client::ClientFs> clients;
+  std::vector<client::FileHandle> fhs;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(fs.connect(ClientId{static_cast<u32>(t) + 1}));
+    auto fh = clients.back().create("/spans-" + std::to_string(t));
+    ASSERT_TRUE(fh);
+    fhs.push_back(*fh);
+  }
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (u64 b = 0; b < kWrites; ++b) {
+        if (!clients[t].write(fhs[t], 0, b * kBlockSize, kBlockSize).ok())
+          ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  fs.drain_data();
+  for (int t = 0; t < kThreads; ++t)
+    ASSERT_TRUE(clients[t].close(fhs[t]).ok());
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = spans.phase_stats();
+  ASSERT_TRUE(stats.count("client.write"));
+  EXPECT_EQ(stats.at("client.write").us.count(), u64{kThreads} * kWrites);
+  ASSERT_TRUE(stats.count("alloc.decide"));
+  EXPECT_EQ(spans.slow_traces().size(),
+            std::min<std::size_t>(obs::Config{}.slow_k, kThreads * kWrites));
 }
 
 TEST(StorageTargetConcurrency, MixedReadWriteDeleteSurvives) {

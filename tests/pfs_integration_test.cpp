@@ -3,7 +3,11 @@
 // evaluation depends on.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/pfs.hpp"
+#include "obs/span.hpp"
 #include "workload/shared_file.hpp"
 
 namespace mif::core {
@@ -113,6 +117,53 @@ TEST(PfsIntegration, PreallocateSplitsAcrossStripe) {
   for (std::size_t t = 0; t < fs.num_targets(); ++t) {
     EXPECT_EQ(fs.target(t).extent_count(fh->ino), 1u) << "target " << t;
   }
+}
+
+// A shared-file write must leave latency attribution in every layer: client
+// root spans, MDS phases, OSD/allocator phases, and the simulated disks'
+// mechanical phases — the end-to-end chain the span tracer exists for.
+TEST(PfsIntegration, SharedFileWriteSpansEveryLayer) {
+  ParallelFileSystem fs(
+      cluster(alloc::AllocatorMode::kOnDemand, mfs::DirectoryMode::kEmbedded));
+  obs::SpanCollector spans;
+  fs.set_spans(&spans);
+
+  workload::SharedFileConfig wcfg;
+  wcfg.processes = 8;
+  wcfg.blocks_per_process = 64;
+  wcfg.read_segments = 64;
+  const auto res = workload::run_shared_file(fs, wcfg);
+  EXPECT_GT(res.phase2_throughput_mbps, 0.0);
+
+  std::set<std::string> phases;
+  bool data_disk = false, mds_disk = false;
+  for (const obs::SpanRecord& s : spans.spans()) {
+    phases.emplace(s.name);
+    if (s.clock == obs::SpanClock::kSim) {
+      if (obs::track_lane(s.track) == mfs::Mfs::kMdsDiskTrack) mds_disk = true;
+      else data_disk = true;
+    }
+  }
+  for (const char* phase :
+       {"client.create", "client.write", "client.read", "client.close",
+        "mds.create", "mds.report_extents", "osd.stripe_unit", "alloc.decide",
+        "journal.commit", "disk.seek", "disk.transfer"}) {
+    EXPECT_TRUE(phases.count(phase)) << phase;
+  }
+  // Both disk families recorded mechanical spans: the striped data disks
+  // and the MDS metadata disk (track 255).
+  EXPECT_TRUE(data_disk);
+  EXPECT_TRUE(mds_disk);
+
+  // The per-phase stats cover the same phases and the registry export
+  // carries them (quantiles included).
+  obs::MetricsRegistry reg;
+  fs.export_metrics(reg);
+  const obs::Json j = reg.to_json();
+  const auto& histos = j.as_object().at("histograms").as_object();
+  EXPECT_TRUE(histos.count("span.client.write"));
+  EXPECT_TRUE(histos.count("span.disk.seek"));
+  EXPECT_TRUE(histos.count("span.journal.commit"));
 }
 
 TEST(PfsIntegration, DataElapsedIsMaxOverTargets) {

@@ -7,8 +7,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "mds/mds.hpp"
 #include "obs/report.hpp"
+#include "rpc/mds_node.hpp"
 #include "util/table.hpp"
 #include "workload/metarates.hpp"
 
@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
   wcfg.clients = report.quick() ? 4 : 10;
   wcfg.files_per_dir = report.quick() ? 500 : 5000;
 
-  mif::mds::Mds normal(mds_cfg(DirectoryMode::kNormal));
-  mif::mds::Mds embedded(mds_cfg(DirectoryMode::kEmbedded));
+  mif::rpc::MdsNode normal(mds_cfg(DirectoryMode::kNormal));
+  mif::rpc::MdsNode embedded(mds_cfg(DirectoryMode::kEmbedded));
   const auto n = mif::workload::run_metarates(normal, wcfg);
   const auto e = mif::workload::run_metarates(embedded, wcfg);
 
@@ -84,8 +84,8 @@ int main(int argc, char** argv) {
     mif::workload::MetaratesConfig c;
     c.clients = 4;
     c.files_per_dir = files;
-    mif::mds::Mds nm(mds_cfg(DirectoryMode::kNormal));
-    mif::mds::Mds em(mds_cfg(DirectoryMode::kEmbedded));
+    mif::rpc::MdsNode nm(mds_cfg(DirectoryMode::kNormal));
+    mif::rpc::MdsNode em(mds_cfg(DirectoryMode::kEmbedded));
     const auto nr = mif::workload::run_metarates(nm, c);
     const auto er = mif::workload::run_metarates(em, c);
     t2.add_row({std::to_string(files),

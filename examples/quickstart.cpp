@@ -22,7 +22,7 @@ int main() {
   auto client = fs.connect(ClientId{1});
 
   // Create a directory and a shared output file.
-  if (!fs.mds().mkdir("results")) {
+  if (!fs.rpc().mkdir("results")) {
     std::fprintf(stderr, "mkdir failed\n");
     return 1;
   }

@@ -35,7 +35,7 @@ int main() {
     cfg.target.allocator = mode;
     core::ParallelFileSystem fs(cfg);
     const workload::ReplayResult r = workload::replay(fs, *reloaded);
-    auto layout = fs.mds().open_getlayout("ckpt.odb");
+    auto layout = fs.rpc().open_getlayout("ckpt.odb");
     t.add_row({std::string(alloc::to_string(mode)), std::to_string(r.errors),
                layout ? std::to_string(layout->extent_count) : "?",
                Table::num(r.data_elapsed_ms, 1),

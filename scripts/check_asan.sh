@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Build and run the RPC/concurrency-sensitive tier-1 tests under
+# AddressSanitizer + UBSan.
+#
+# Usage: check_asan.sh [source-dir]
+#
+# Configures a side build (<source>/build-asan) with -DMIF_SANITIZE=
+# address,undefined, builds the test subset that exercises the transport
+# stack, threading and fault paths, and runs it via ctest.  Skips cleanly
+# (exit 0) when the toolchain has no sanitizer runtime, so plain CI
+# environments are not broken.  Registered as a ctest from
+# tests/CMakeLists.txt for sanitizer-less parent builds.
+set -eu
+
+SRC="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+BUILD="$SRC/build-asan"
+SANITIZERS="address,undefined"
+TESTS="rpc_test concurrency_test fault_verify_test client_test mds_test"
+
+# Probe: can this toolchain link a sanitized binary at all?
+PROBE_DIR="$(mktemp -d /tmp/mif_asan_probe.XXXXXX)"
+trap 'rm -rf "$PROBE_DIR"' EXIT
+printf 'int main(){return 0;}\n' > "$PROBE_DIR/probe.cpp"
+if ! c++ -fsanitize=$SANITIZERS "$PROBE_DIR/probe.cpp" -o "$PROBE_DIR/probe" \
+    > /dev/null 2>&1; then
+  echo "check_asan: SKIP (toolchain cannot link -fsanitize=$SANITIZERS)"
+  exit 0
+fi
+
+cmake -B "$BUILD" -S "$SRC" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DMIF_SANITIZE="$SANITIZERS" > /dev/null
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+# shellcheck disable=SC2086  # word-splitting of $TESTS is intended
+cmake --build "$BUILD" -j "$JOBS" --target $TESTS > /dev/null
+
+TEST_REGEX="$(echo "$TESTS" | tr ' ' '|')"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$BUILD" -R "^($TEST_REGEX)$" --output-on-failure \
+          -j "$JOBS"
+
+echo "check_asan: OK ($TESTS under $SANITIZERS)"

@@ -16,7 +16,7 @@ void ClientFs::export_metrics(obs::MetricsRegistry& reg,
 
 Result<FileHandle> ClientFs::create(std::string_view path) {
   obs::ScopedSpan span(fs_->spans(), "client.create", id_.v);
-  auto ino = fs_->mds().create(path);
+  auto ino = fs_->rpc().create(path);
   if (!ino) return ino.error();
   ++stats_.opens;
   return FileHandle{*ino, std::string(path)};
@@ -27,14 +27,14 @@ Result<FileHandle> ClientFs::open(std::string_view path) {
   ++stats_.opens;
   const std::string key(path);
   if (layout_cache_.contains(key)) {
-    // Layout already cached from an earlier open; only a cheap revalidation
-    // RPC would be needed, which we fold into the cache hit.
+    // Layout already cached from an earlier open; the resolve envelope is a
+    // free revalidation of the cached handle (traits(kResolve).free).
     ++stats_.layout_cache_hits;
-    auto ino = fs_->mds().fs().resolve(path);
+    auto ino = fs_->rpc().resolve(path);
     if (!ino) return ino.error();
     return FileHandle{*ino, key};
   }
-  auto r = fs_->mds().open_getlayout(path);
+  auto r = fs_->rpc().open_getlayout(path);
   if (!r) return r.error();
   layout_cache_[key] = r->extent_count;
   return FileHandle{r->ino, key};
@@ -50,8 +50,8 @@ Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
   for (const osd::StripeSlice& s :
        osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
     obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
-    if (Status st = fs_->target(s.target).write(fh.ino, stream, s.local_start,
-                                                s.count);
+    if (Status st = fs_->rpc().block_write(s.target, fh.ino, stream,
+                                           s.local_start, s.count);
         !st)
       return st;
   }
@@ -62,16 +62,27 @@ Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
   // it — the continual cost Table I correlates with fragmentation.
   if (++writes_since_report_[fh.ino.v] >= 64) {
     writes_since_report_[fh.ino.v] = 0;
-    (void)fs_->mds().report_extents(fh.ino, fs_->file_extents(fh.ino));
+    (void)fs_->rpc().report_extents(fh.ino, remote_extents(fh.ino));
   }
   return {};
+}
+
+u64 ClientFs::remote_extents(InodeNo ino) {
+  // Ask every target for its local subfile's extent count — what a client
+  // really does before shipping a layout (it cannot read server memory).
+  u64 n = 0;
+  for (u32 t = 0; t < fs_->num_targets(); ++t) {
+    n += fs_->rpc().target_extents(t, ino).value_or(0);
+  }
+  return n;
 }
 
 Status ClientFs::read_blocks(const FileHandle& fh, u64 first, u64 last) {
   for (const osd::StripeSlice& s :
        osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
     obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
-    if (Status st = fs_->target(s.target).read(fh.ino, s.local_start, s.count);
+    if (Status st =
+            fs_->rpc().block_read(s.target, fh.ino, s.local_start, s.count);
         !st)
       return st;
   }
@@ -149,9 +160,9 @@ Status ClientFs::close(const FileHandle& fh) {
   fs_->close_file(fh.ino);
   // Ship the final layout to the MDS; it persists the mapping and pays CPU
   // per extent — fragmented files are expensive here (Table I).
-  const u64 extents = fs_->file_extents(fh.ino);
+  const u64 extents = remote_extents(fh.ino);
   layout_cache_[fh.path] = extents;
-  return fs_->mds().report_extents(fh.ino, extents);
+  return fs_->rpc().report_extents(fh.ino, extents);
 }
 
 }  // namespace mif::client

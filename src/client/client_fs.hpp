@@ -80,6 +80,10 @@ class ClientFs {
   /// Issue block reads [first, last) to the striped targets.
   Status read_blocks(const FileHandle& fh, u64 first, u64 last);
 
+  /// Sum the file's extent counts across all targets via get_extents
+  /// envelopes (what a layout report ships to the MDS).
+  u64 remote_extents(InodeNo ino);
+
   /// Fetch [first, last), skipping blocks already sitting in the client's
   /// readahead buffer.  `consume` = the application is reading these blocks
   /// now (buffered ones are handed over and dropped); otherwise this is a

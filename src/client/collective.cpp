@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/pfs.hpp"
+
 namespace mif::client {
 
 CollectiveWriter::CollectiveWriter(ClientFs& client, CollectiveConfig cfg)
@@ -46,7 +48,10 @@ Status CollectiveWriter::write_round(const FileHandle& fh,
       pos += chunk;
     }
   }
-  return {};
+  // A collective round is a synchronisation point (MPI_File_write_all
+  // returns only when every aggregator's data is on the servers): push out
+  // anything a batching transport still buffers and surface its errors.
+  return client_.fs().rpc().flush();
 }
 
 Status CollectiveWriter::read_round(const FileHandle& fh,
@@ -64,7 +69,7 @@ Status CollectiveWriter::read_round(const FileHandle& fh,
       pos += chunk;
     }
   }
-  return {};
+  return client_.fs().rpc().flush();
 }
 
 }  // namespace mif::client

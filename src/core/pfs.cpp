@@ -16,6 +16,11 @@ ParallelFileSystem::ParallelFileSystem(ClusterConfig cfg) : cfg_(cfg) {
   for (std::size_t i = 0; i < cfg_.num_targets; ++i) {
     targets_.push_back(std::make_unique<osd::StorageTarget>(cfg_.target));
   }
+  rpc::Endpoints eps;
+  eps.mds.push_back(mds_.get());
+  for (auto& t : targets_) eps.osds.push_back(t.get());
+  rpc_stack_ = rpc::TransportStack(std::move(eps), cfg_.rpc);
+  rpc_client_ = std::make_unique<rpc::Client>(rpc_stack_.top());
 }
 
 client::ClientFs ParallelFileSystem::connect(ClientId id) {
@@ -34,18 +39,22 @@ Status ParallelFileSystem::preallocate(InodeNo ino, u64 total_blocks) {
   }
   for (std::size_t t = 0; t < targets_.size(); ++t) {
     if (local_end[t] == 0) continue;
-    if (Status st = targets_[t]->preallocate(ino, local_end[t]); !st)
+    if (Status st = rpc_client_->preallocate(static_cast<u32>(t), ino,
+                                             local_end[t]);
+        !st)
       return st;
   }
   return {};
 }
 
 void ParallelFileSystem::close_file(InodeNo ino) {
-  for (auto& t : targets_) t->close_file(ino);
+  for (u32 t = 0; t < targets_.size(); ++t)
+    (void)rpc_client_->close_file(t, ino);
 }
 
 void ParallelFileSystem::delete_file(InodeNo ino) {
-  for (auto& t : targets_) t->delete_file(ino);
+  for (u32 t = 0; t < targets_.size(); ++t)
+    (void)rpc_client_->delete_file(t, ino);
 }
 
 u64 ParallelFileSystem::file_extents(InodeNo ino) const {
@@ -55,6 +64,9 @@ u64 ParallelFileSystem::file_extents(InodeNo ino) const {
 }
 
 void ParallelFileSystem::drain_data() {
+  // Anything a batching transport still buffers has to reach the targets
+  // before their queues can drain.
+  (void)rpc_client_->flush();
   for (auto& t : targets_) t->drain();
 }
 
@@ -98,6 +110,7 @@ void ParallelFileSystem::set_trace(obs::TraceBuffer* trace) {
 void ParallelFileSystem::set_spans(obs::SpanCollector* spans) {
   spans_ = spans;
   mds_->set_spans(spans);
+  rpc_stack_.set_spans(spans);
   // One track namespace per attachment: a bench sweeping configurations
   // recreates the cluster against a shared collector, and each mount's
   // disks must keep their own timelines (lane = target index).
@@ -112,6 +125,9 @@ void ParallelFileSystem::export_metrics(obs::MetricsRegistry& reg) const {
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     targets_[i]->export_metrics(reg, "osd." + std::to_string(i));
   }
+  // Per-op envelope counters, latency histograms, the meta/data aggregates
+  // and both simulated networks — everything the transport charges.
+  rpc_stack_.export_metrics(reg, "rpc");
 
   // Cluster-wide aggregates under the names the paper's algorithm uses.
   alloc::AllocatorStats agg;

@@ -24,6 +24,8 @@
 #include "obs/trace.hpp"
 #include "osd/storage_target.hpp"
 #include "osd/striping.hpp"
+#include "rpc/client.hpp"
+#include "rpc/stack.hpp"
 
 namespace mif::core {
 
@@ -32,6 +34,9 @@ struct ClusterConfig {
   osd::StripeLayout stripe{5, 16};
   osd::TargetConfig target{};
   mds::MdsConfig mds{};
+  /// Transport between clients and servers.  The default (kInproc,
+  /// synchronous) preserves the paper figures exactly; see rpc/stack.hpp.
+  rpc::TransportOptions rpc{};
   /// Client sequential-read prefetch cap in blocks (Lustre-style per-file
   /// readahead; 2048 blocks = 8 MiB).  0 disables client readahead.
   u64 client_readahead_max_blocks{2048};
@@ -46,6 +51,13 @@ class ParallelFileSystem {
 
   // --- namespace (proxied to the MDS) -------------------------------------
   mds::Mds& mds() { return *mds_; }
+
+  // --- RPC layer ------------------------------------------------------------
+  /// The typed stub every cross-node call goes through (clients, workloads).
+  rpc::Client& rpc() { return *rpc_client_; }
+  /// The transport chain itself (metrics, batching/fault decorators).
+  rpc::TransportStack& transport() { return rpc_stack_; }
+  const rpc::TransportStack& transport() const { return rpc_stack_; }
 
   // --- data path -----------------------------------------------------------
   std::size_t num_targets() const { return targets_.size(); }
@@ -106,6 +118,8 @@ class ParallelFileSystem {
   ClusterConfig cfg_;
   std::unique_ptr<mds::Mds> mds_;
   std::vector<std::unique_ptr<osd::StorageTarget>> targets_;
+  rpc::TransportStack rpc_stack_;
+  std::unique_ptr<rpc::Client> rpc_client_;
   obs::SpanCollector* spans_{nullptr};
 };
 

@@ -7,55 +7,36 @@
 
 namespace mif::mds {
 
-Mds::Mds(MdsConfig cfg) : cfg_(cfg), fs_(cfg.mfs), net_(cfg.net) {}
-
-void Mds::charge_rpc(u64 payload_bytes) {
-  net_.rpc(payload_bytes);
-  ++stats_.rpcs;
-  stats_.cpu_ms += cfg_.cpu_us_per_rpc / 1000.0;
-}
+Mds::Mds(MdsConfig cfg) : cfg_(cfg), fs_(cfg.mfs) {}
 
 void Mds::charge_extents(u64 n) {
   stats_.extent_ops += n;
   stats_.cpu_ms += static_cast<double>(n) * cfg_.cpu_us_per_extent / 1000.0;
 }
 
-Result<InodeNo> Mds::mkdir(std::string_view path) {
-  charge_rpc(256);
-  return fs_.mkdir(path);
-}
+Result<InodeNo> Mds::mkdir(std::string_view path) { return fs_.mkdir(path); }
 
 Result<InodeNo> Mds::create(std::string_view path) {
   obs::ScopedSpan span(spans_, "mds.create");
-  charge_rpc(256);
   return fs_.create(path);
 }
 
 Status Mds::stat(std::string_view path) {
   // A stat is a pure namespace lookup: one path walk, no layout work.
   obs::ScopedSpan span(spans_, "mds.lookup");
-  charge_rpc(256);
   return fs_.stat(path);
 }
 
-Status Mds::utime(std::string_view path) {
-  charge_rpc(256);
-  return fs_.utime(path);
-}
+Status Mds::utime(std::string_view path) { return fs_.utime(path); }
 
-Status Mds::unlink(std::string_view path) {
-  charge_rpc(256);
-  return fs_.unlink(path);
-}
+Status Mds::unlink(std::string_view path) { return fs_.unlink(path); }
 
 Result<InodeNo> Mds::rename(std::string_view from, std::string_view to) {
-  charge_rpc(512);
   return fs_.rename(from, to);
 }
 
 Result<OpenResult> Mds::open_getlayout(std::string_view path) {
   obs::ScopedSpan span(spans_, "mds.open_getlayout");
-  charge_rpc(256);
   auto ino = [&] {
     obs::ScopedSpan lookup(spans_, "mds.lookup");
     return fs_.resolve(path);
@@ -65,41 +46,31 @@ Result<OpenResult> Mds::open_getlayout(std::string_view path) {
   if (!node) return Errc::kNotFound;
   if (Status s = fs_.getlayout(*ino); !s) return s.error();
   // The MDS serves the layout it last persisted from the storage targets.
+  // The transport charges the reply transfer from the extent count it finds
+  // in the response envelope — fragmented files cost bandwidth too.
   const u64 extents = node->last_synced_extents;
   charge_extents(extents);
-  // Reply payload grows with the extent list — fragmented files cost
-  // bandwidth too.
-  net_.rpc(extents * 32);
   return OpenResult{*ino, extents};
 }
 
 Result<std::vector<mfs::DirEntry>> Mds::readdir_stats(std::string_view path) {
-  charge_rpc(256);
-  auto entries = fs_.readdir(path, /*plus=*/true);
-  if (!entries) return entries;
-  net_.rpc(entries->size() * 128);
-  return entries;
+  return fs_.readdir(path, /*plus=*/true);
 }
 
 Result<std::vector<mfs::DirEntry>> Mds::readdir(std::string_view path) {
-  charge_rpc(256);
-  auto entries = fs_.readdir(path, /*plus=*/false);
-  if (!entries) return entries;
-  net_.rpc(entries->size() * 32);
-  return entries;
+  return fs_.readdir(path, /*plus=*/false);
 }
 
 Status Mds::report_extents(InodeNo file, u64 extent_count) {
   // The MDS merges the newly grown part of the layout into its index; CPU
   // is paid per extent it has to process, i.e. the delta since the last
-  // report (plus the shipping bandwidth for it).
+  // report.
   obs::ScopedSpan span(spans_, "mds.report_extents", file.v, extent_count);
   mfs::Inode* node = fs_.find(file);
   if (!node) return Errc::kNotFound;
   const u64 before = node->last_synced_extents;
   const u64 delta = extent_count > before ? extent_count - before
                                           : before - extent_count;
-  charge_rpc(std::max<u64>(64, delta * 32));
   charge_extents(delta);
   return fs_.sync_file_layout(file, extent_count);
 }
@@ -113,7 +84,6 @@ void Mds::export_metrics(obs::MetricsRegistry& reg,
                          std::string_view prefix) const {
   obs::publish(reg, prefix, stats_);
   reg.gauge(obs::join_key(prefix, "cpu_utilization")).set(cpu_utilization());
-  obs::publish(reg, obs::join_key(prefix, "net"), net_.stats());
   fs_.export_metrics(reg, obs::join_key(prefix, "mfs"));
 }
 

@@ -3,17 +3,21 @@
 // Adds what the paper's evaluation measures beyond raw block traffic:
 //   * aggregated operation pairs (§II-A2): open-getlayout and readdir-stat
 //     (readdirplus) are single RPCs that touch co-located metadata;
-//   * per-RPC network cost (GbE model);
 //   * MDS CPU accounting — Table I correlates extent counts with MDS CPU
 //     utilisation ("the less extents … to be operated, such as merging and
 //     indexing, the less CPU load involved in MDS").
+//
+// Network cost is NOT charged here: every handler below is reached through
+// an rpc::Transport envelope (src/rpc/), and the transport charges
+// sim::Network from the envelope's actual wire size in one place.  The
+// transport calls account_rpc() once per delivered metadata envelope so RPC
+// counts and per-RPC CPU stay with the server they load.
 #pragma once
 
 #include <memory>
 #include <string_view>
 
 #include "mfs/mfs.hpp"
-#include "sim/network.hpp"
 
 namespace mif::obs {
 class MetricsRegistry;
@@ -24,7 +28,6 @@ namespace mif::mds {
 
 struct MdsConfig {
   mfs::MfsConfig mfs{};
-  sim::NetworkConfig net{};
   /// CPU microseconds charged per extent the MDS touches (merge/index/send).
   double cpu_us_per_extent{20.0};
   /// Fixed CPU microseconds per RPC (decode, dispatch, encode).
@@ -46,7 +49,7 @@ class Mds {
  public:
   explicit Mds(MdsConfig cfg = {});
 
-  // --- namespace RPCs -----------------------------------------------------
+  // --- namespace RPC handlers ----------------------------------------------
   Result<InodeNo> mkdir(std::string_view path);
   Result<InodeNo> create(std::string_view path);
   Status stat(std::string_view path);
@@ -69,12 +72,18 @@ class Mds {
   /// pays CPU for every extent it has to merge/index.
   Status report_extents(InodeNo file, u64 extent_count);
 
+  /// One delivered RPC envelope: count it and pay the fixed dispatch CPU.
+  /// Called by the transport, exactly once per (non-free) metadata op.
+  void account_rpc() {
+    ++stats_.rpcs;
+    stats_.cpu_ms += cfg_.cpu_us_per_rpc / 1000.0;
+  }
+
   // --- observability -------------------------------------------------------
   mfs::Mfs& fs() { return fs_; }
   const MdsStats& stats() const { return stats_; }
   MdsStats snapshot() const { return stats_; }
   void reset_stats() { stats_ = {}; }
-  const sim::Network& network() const { return net_; }
 
   /// Attach a trace sink to the metadata stack (journal, cache).
   void set_trace(obs::TraceBuffer* trace) { fs_.set_trace(trace); }
@@ -97,12 +106,10 @@ class Mds {
   void finish() { fs_.finish(); }
 
  private:
-  void charge_rpc(u64 payload_bytes);
   void charge_extents(u64 n);
 
   MdsConfig cfg_;
   mfs::Mfs fs_;
-  sim::Network net_;
   MdsStats stats_;
   obs::SpanCollector* spans_{nullptr};
 };

@@ -12,7 +12,14 @@ MdsCluster::MdsCluster(std::size_t servers, std::string dirname, MdsConfig cfg)
   servers_.reserve(servers);
   for (std::size_t i = 0; i < servers; ++i) {
     servers_.push_back(std::make_unique<Mds>(cfg));
-    auto r = servers_.back()->mkdir(dirname_);
+  }
+  rpc::Endpoints eps;
+  for (auto& s : servers_) eps.mds.push_back(s.get());
+  transport_ = std::make_unique<rpc::InprocTransport>(std::move(eps));
+  clients_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    clients_.emplace_back(*transport_, static_cast<u32>(i));
+    auto r = clients_.back().mkdir(dirname_);
     assert(r);
     (void)r;
   }
@@ -32,7 +39,7 @@ std::string MdsCluster::subpath(std::string_view name) const {
 Result<InodeNo> MdsCluster::create(std::string_view name) {
   const u64 h = mfs::name_hash(name);
   if (name_hashes_.contains(h)) return Errc::kExists;
-  auto r = servers_[owner_of(name)]->create(subpath(name));
+  auto r = clients_[owner_of(name)].create(subpath(name));
   if (r) {
     name_hashes_.insert(h);
     ++stats_.subordinate_rpcs;
@@ -51,13 +58,13 @@ Status MdsCluster::stat(std::string_view name) {
   }
   ++stats_.primary_hits;
   ++stats_.subordinate_rpcs;
-  return servers_[owner_of(name)]->stat(subpath(name));
+  return clients_[owner_of(name)].stat(subpath(name));
 }
 
 Status MdsCluster::unlink(std::string_view name) {
   const u64 h = mfs::name_hash(name);
   if (!name_hashes_.contains(h)) return Errc::kNotFound;
-  Status s = servers_[owner_of(name)]->unlink(subpath(name));
+  Status s = clients_[owner_of(name)].unlink(subpath(name));
   if (s.ok()) {
     name_hashes_.erase(h);
     ++stats_.subordinate_rpcs;

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "mds/mds.hpp"
+#include "rpc/client.hpp"
+#include "rpc/inproc.hpp"
 
 namespace mif::mds {
 
@@ -65,6 +67,10 @@ class MdsCluster {
 
   std::string dirname_;
   std::vector<std::unique_ptr<Mds>> servers_;
+  /// One transport spanning all member servers; routing picks the stub
+  /// bound to the owning server (Address{kMds, owner}).
+  std::unique_ptr<rpc::InprocTransport> transport_;
+  std::vector<rpc::Client> clients_;
   std::unordered_set<u64> name_hashes_;  // primary's collected hash set
   ClusterStats stats_;
 };

@@ -22,6 +22,12 @@ SubtreeCluster::SubtreeCluster(std::size_t servers, DistributionPolicy policy,
   servers_.reserve(servers);
   for (std::size_t i = 0; i < servers; ++i)
     servers_.push_back(std::make_unique<Mds>(cfg));
+  rpc::Endpoints eps;
+  for (auto& s : servers_) eps.mds.push_back(s.get());
+  transport_ = std::make_unique<rpc::InprocTransport>(std::move(eps));
+  clients_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i)
+    clients_.emplace_back(*transport_, static_cast<u32>(i));
 }
 
 std::size_t SubtreeCluster::home_of_dir(std::string_view dir_path) const {
@@ -52,15 +58,15 @@ Status SubtreeCluster::mkdir(std::string_view path) {
       delegation_.emplace(std::string(parts.front()),
                           next_delegate_++ % servers_.size());
     }
-    auto r = servers_[home_of_dir(path)]->mkdir(path);
+    auto r = clients_[home_of_dir(path)].mkdir(path);
     if (r) ++stats_.colocated_ops;
     return r ? Status{} : Status{r.error()};
   }
   // Hash policy: the directory skeleton must exist on every server, because
   // any server may be asked to create a child under it.
   Status out;
-  for (auto& s : servers_) {
-    auto r = s->mkdir(path);
+  for (auto& c : clients_) {
+    auto r = c.mkdir(path);
     if (!r && r.error() != Errc::kExists) out = r.error();
     ++stats_.fanout_requests;
   }
@@ -74,7 +80,7 @@ Result<InodeNo> SubtreeCluster::create(std::string_view path) {
       owner == home_of_dir(path)) {
     ++stats_.colocated_ops;
   }
-  return servers_[owner]->create(path);
+  return clients_[owner].create(path);
 }
 
 Status SubtreeCluster::stat(std::string_view path) {
@@ -84,17 +90,17 @@ Status SubtreeCluster::stat(std::string_view path) {
       owner == home_of_dir(path)) {
     ++stats_.colocated_ops;
   }
-  return servers_[owner]->stat(path);
+  return clients_[owner].stat(path);
 }
 
 Status SubtreeCluster::utime(std::string_view path) {
   ++stats_.ops;
-  return servers_[owner_of(path)]->utime(path);
+  return clients_[owner_of(path)].utime(path);
 }
 
 Status SubtreeCluster::unlink(std::string_view path) {
   ++stats_.ops;
-  return servers_[owner_of(path)]->unlink(path);
+  return clients_[owner_of(path)].unlink(path);
 }
 
 Result<std::vector<mfs::DirEntry>> SubtreeCluster::readdir_stats(
@@ -105,13 +111,13 @@ Result<std::vector<mfs::DirEntry>> SubtreeCluster::readdir_stats(
     // the aggregation stays a single contiguous sweep (§IV-D).
     ++stats_.colocated_ops;
     ++stats_.fanout_requests;
-    return servers_[home_of_dir(dir)]->readdir_stats(dir);
+    return clients_[home_of_dir(dir)].readdir_stats(dir);
   }
   // Hash policy: children are scattered; every server must list its share.
   std::vector<mfs::DirEntry> all;
-  for (auto& s : servers_) {
+  for (auto& c : clients_) {
     ++stats_.fanout_requests;
-    auto part = s->readdir_stats(dir);
+    auto part = c.readdir_stats(dir);
     if (!part) {
       if (part.error() == Errc::kNotFound) continue;
       return part;

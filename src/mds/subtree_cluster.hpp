@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "mds/mds.hpp"
+#include "rpc/client.hpp"
+#include "rpc/inproc.hpp"
 
 namespace mif::mds {
 
@@ -70,6 +72,9 @@ class SubtreeCluster {
 
   DistributionPolicy policy_;
   std::vector<std::unique_ptr<Mds>> servers_;
+  /// One transport over all members; per-server stubs carry the routing.
+  std::unique_ptr<rpc::InprocTransport> transport_;
+  std::vector<rpc::Client> clients_;
   /// Subtree policy: top-level directory name -> server.
   std::unordered_map<std::string, std::size_t> delegation_;
   std::size_t next_delegate_{0};

@@ -97,30 +97,46 @@ void StorageTarget::add_extent_counts(obs::Histo& h) const {
 
 Status StorageTarget::write(InodeNo inode, StreamId stream, FileBlock logical,
                             u64 count) {
+  const BlockRun run{logical, count};
+  return write_runs(inode, stream, std::span<const BlockRun>(&run, 1));
+}
+
+Status StorageTarget::write_runs(InodeNo inode, StreamId stream,
+                                 std::span<const BlockRun> runs) {
   if (fault_fires()) return Errc::kIo;
   FileState& f = file(inode);
   std::lock_guard lock(f.mu);
-  alloc::AllocContext ctx{inode, stream, logical, count};
-  {
-    obs::ScopedSpan span(spans_, "alloc.decide", inode.v, count);
-    if (Status s = alloc_->extend(ctx, f.map); !s) return s;
-  }
-  // Submit the data writes along the physical runs the placement produced —
-  // this is where fragmentation turns into positioning time.
-  std::lock_guard io_lock(io_mu_);
-  for (const block::BlockRange& r : f.map.map_range(logical, count)) {
-    io_.submit({sim::IoKind::kWrite, r.start, r.length});
+  for (const BlockRun& run : runs) {
+    alloc::AllocContext ctx{inode, stream, run.start, run.count};
+    {
+      obs::ScopedSpan span(spans_, "alloc.decide", inode.v, run.count);
+      if (Status s = alloc_->extend(ctx, f.map); !s) return s;
+    }
+    // Submit the data writes along the physical runs the placement produced
+    // — this is where fragmentation turns into positioning time.
+    std::lock_guard io_lock(io_mu_);
+    for (const block::BlockRange& r : f.map.map_range(run.start, run.count)) {
+      io_.submit({sim::IoKind::kWrite, r.start, r.length});
+    }
   }
   return {};
 }
 
 Status StorageTarget::read(InodeNo inode, FileBlock logical, u64 count) {
+  const BlockRun run{logical, count};
+  return read_runs(inode, std::span<const BlockRun>(&run, 1));
+}
+
+Status StorageTarget::read_runs(InodeNo inode,
+                                std::span<const BlockRun> runs) {
   if (fault_fires()) return Errc::kIo;
   FileState& f = file(inode);
   std::lock_guard lock(f.mu);
   std::lock_guard io_lock(io_mu_);
-  for (const block::BlockRange& r : f.map.map_range(logical, count)) {
-    io_.submit({sim::IoKind::kRead, r.start, r.length});
+  for (const BlockRun& run : runs) {
+    for (const block::BlockRange& r : f.map.map_range(run.start, run.count)) {
+      io_.submit({sim::IoKind::kRead, r.start, r.length});
+    }
   }
   return {};
 }

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 
 #include "alloc/allocator.hpp"
@@ -44,6 +45,16 @@ class StorageTarget {
 
   /// Read [logical, logical+count); unmapped holes read nothing (zeroes).
   Status read(InodeNo inode, FileBlock logical, u64 count);
+
+  /// Batched write: the runs of one rpc::BlockWriteRequest envelope, applied
+  /// in order.  One fault-injection check covers the whole envelope (a wire
+  /// message fails as a unit); each run still takes its own allocator
+  /// decision, so placement is identical to issuing the runs one by one.
+  Status write_runs(InodeNo inode, StreamId stream,
+                    std::span<const BlockRun> runs);
+
+  /// Batched read of several runs (one rpc::BlockReadRequest envelope).
+  Status read_runs(InodeNo inode, std::span<const BlockRun> runs);
 
   /// fallocate the local subfile to `total_blocks`.
   Status preallocate(InodeNo inode, u64 total_blocks);

@@ -1,0 +1,141 @@
+#include "rpc/batching.hpp"
+
+#include "obs/export.hpp"
+
+namespace mif::rpc {
+
+BatchingTransport::BatchingTransport(Transport& inner, BatchingConfig cfg)
+    : inner_(inner), cfg_(cfg) {}
+
+BatchingTransport::~BatchingTransport() {
+  // Leftovers a caller never flushed still have to reach the servers; their
+  // errors have nowhere to go at this point.
+  std::lock_guard lock(mu_);
+  flush_all_locked();
+}
+
+bool BatchingTransport::coalesce_locked(Queue& q, const BlockWriteRequest& w) {
+  if (q.reqs.empty()) return false;
+  auto* tail = std::get_if<BlockWriteRequest>(&q.reqs.back());
+  if (!tail || tail->ino != w.ino || tail->stream != w.stream) return false;
+  for (const BlockRun& run : w.runs) {
+    if (!tail->runs.empty() &&
+        tail->runs.back().start.v + tail->runs.back().count == run.start.v) {
+      tail->runs.back().count += run.count;  // contiguous: extend in place
+      ++stats_.coalesced_runs;
+    } else {
+      tail->runs.push_back(run);
+    }
+  }
+  return true;
+}
+
+Status BatchingTransport::flush_queue_locked(Queue& q) {
+  if (q.reqs.empty()) return {};
+  ++stats_.wire_messages;
+  Status s = inner_.call_batch(q.addr, std::move(q.reqs));
+  q.reqs.clear();
+  q.bytes = 0;
+  if (!s) {
+    ++stats_.deferred_errors;
+    if (sticky_.ok()) sticky_ = s;
+  }
+  return s;
+}
+
+void BatchingTransport::flush_all_locked() {
+  for (auto& [k, q] : queues_) (void)flush_queue_locked(q);
+  queues_.clear();
+}
+
+Status BatchingTransport::take_sticky_locked() {
+  Status s = sticky_;
+  sticky_ = {};
+  return s;
+}
+
+Result<Response> BatchingTransport::call(const Address& to,
+                                         const Request& req) {
+  const OpTraits& tr = traits(op_of(req));
+  if (tr.deferrable) {
+    std::lock_guard lock(mu_);
+    Queue& q = queues_[key(to)];
+    q.addr = to;
+    ++stats_.queued;
+    const auto* w = std::get_if<BlockWriteRequest>(&req);
+    if (w && coalesce_locked(q, *w)) {
+      // Only the merged body rides in the tail envelope's frame share.
+      q.bytes += wire_bytes(req) - kHeaderBytes;
+    } else {
+      q.bytes += wire_bytes(req);
+      q.reqs.push_back(req);
+    }
+    if (q.bytes >= cfg_.watermark_bytes ||
+        q.reqs.size() >= cfg_.max_queue_msgs) {
+      ++stats_.watermark_flushes;
+      (void)flush_queue_locked(q);
+    }
+    return Response{VoidResponse{}};  // deferred ack
+  }
+
+  // Non-deferrable: a barrier.  Everything queued anywhere must be on the
+  // servers before this op runs (a read must see queued writes, an unlink
+  // must follow queued utimes), and a deferred failure surfaces here.
+  {
+    std::lock_guard lock(mu_);
+    if (!queues_.empty()) {
+      ++stats_.barrier_flushes;
+      flush_all_locked();
+    }
+    if (Status s = take_sticky_locked(); !s) return s.error();
+  }
+  return inner_.call(to, req);
+}
+
+Status BatchingTransport::call_batch(const Address& to,
+                                     std::vector<Request> reqs) {
+  std::lock_guard lock(mu_);
+  if (!queues_.empty()) {
+    ++stats_.barrier_flushes;
+    flush_all_locked();
+  }
+  if (Status s = take_sticky_locked(); !s) return s;
+  ++stats_.wire_messages;
+  return inner_.call_batch(to, std::move(reqs));
+}
+
+Status BatchingTransport::flush() {
+  Status mine;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.flushes;
+    flush_all_locked();
+    mine = take_sticky_locked();
+  }
+  Status inner = inner_.flush();
+  return mine.ok() ? inner : mine;
+}
+
+u64 BatchingTransport::pending_bytes() const {
+  std::lock_guard lock(mu_);
+  u64 total = 0;
+  for (const auto& [k, q] : queues_) total += q.bytes;
+  return total;
+}
+
+void BatchingTransport::export_metrics(obs::MetricsRegistry& reg,
+                                       std::string_view prefix) const {
+  inner_.export_metrics(reg, prefix);
+  const BatchingStats s = stats();
+  const std::string base = obs::join_key(prefix, "batch");
+  reg.counter(obs::join_key(base, "queued")).inc(s.queued);
+  reg.counter(obs::join_key(base, "coalesced_runs")).inc(s.coalesced_runs);
+  reg.counter(obs::join_key(base, "wire_messages")).inc(s.wire_messages);
+  reg.counter(obs::join_key(base, "flushes")).inc(s.flushes);
+  reg.counter(obs::join_key(base, "watermark_flushes"))
+      .inc(s.watermark_flushes);
+  reg.counter(obs::join_key(base, "barrier_flushes")).inc(s.barrier_flushes);
+  reg.counter(obs::join_key(base, "deferred_errors")).inc(s.deferred_errors);
+}
+
+}  // namespace mif::rpc

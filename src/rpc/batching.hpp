@@ -1,0 +1,91 @@
+// BatchingTransport: coalesce deferrable envelopes into single wire frames.
+//
+// The paper's §II-A2 aggregation argument applied to the transport itself:
+// a logical operation's cost is dominated by how many wire messages it
+// becomes, so deferrable envelopes (block writes, utime, layout reports —
+// anything whose ack the caller does not need synchronously) are queued per
+// destination and shipped as ONE call_batch() frame.  Contiguous block-write
+// runs of the same (file, stream) are merged in place, so a streaming writer
+// sends one envelope with one long run instead of hundreds.
+//
+// Semantics:
+//   * deferrable ops return success immediately; a later failure is held
+//     sticky and surfaced by the next flush() or barrier;
+//   * non-deferrable ops are barriers: all queues flush first (preserving
+//     order), any sticky error surfaces as the barrier's result;
+//   * queues flush on their own once a destination holds watermark_bytes or
+//     max_queue_msgs envelopes (backpressure).
+//
+// Decorates any inner transport; cost accounting stays with the inner one.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "rpc/transport.hpp"
+
+namespace mif::rpc {
+
+struct BatchingConfig {
+  /// Flush a destination queue once its buffered wire bytes reach this.
+  u64 watermark_bytes{4ull << 20};
+  /// Flush once this many distinct envelopes are queued for one target.
+  std::size_t max_queue_msgs{512};
+};
+
+struct BatchingStats {
+  u64 queued{0};            // deferrable envelopes accepted
+  u64 coalesced_runs{0};    // block-write runs merged into a previous run
+  u64 wire_messages{0};     // frames pushed to the inner transport
+  u64 flushes{0};           // explicit flush() calls
+  u64 watermark_flushes{0}; // queue-full backpressure flushes
+  u64 barrier_flushes{0};   // flushes forced by a non-deferrable op
+  u64 deferred_errors{0};   // errors produced by deferred envelopes
+};
+
+class BatchingTransport final : public Transport {
+ public:
+  explicit BatchingTransport(Transport& inner, BatchingConfig cfg = {});
+  ~BatchingTransport() override;  // best-effort flush of leftovers
+
+  Result<Response> call(const Address& to, const Request& req) override;
+  Status call_batch(const Address& to, std::vector<Request> reqs) override;
+  Status flush() override;
+
+  void set_spans(obs::SpanCollector* spans) override {
+    inner_.set_spans(spans);
+  }
+  void export_metrics(obs::MetricsRegistry& reg,
+                      std::string_view prefix) const override;
+
+  BatchingStats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+  /// Buffered wire bytes across all destination queues.
+  u64 pending_bytes() const;
+
+ private:
+  struct Queue {
+    Address addr;
+    std::vector<Request> reqs;
+    u64 bytes{0};
+  };
+  static u64 key(const Address& a) {
+    return (static_cast<u64>(a.kind) << 32) | a.index;
+  }
+  /// Try to merge a block write into the queue's pending tail envelope.
+  bool coalesce_locked(Queue& q, const BlockWriteRequest& w);
+  Status flush_queue_locked(Queue& q);
+  void flush_all_locked();
+  Status take_sticky_locked();
+
+  Transport& inner_;
+  BatchingConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<u64, Queue> queues_;
+  Status sticky_{};
+  BatchingStats stats_;
+};
+
+}  // namespace mif::rpc

@@ -1,0 +1,339 @@
+#include "rpc/envelope.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace mif::rpc {
+
+namespace {
+
+// Op order!  Span names must be string literals (static storage) because
+// ScopedSpan keeps the pointer.
+constexpr std::array<OpTraits, kOpCount> kOpTraits{{
+    {"mkdir", "rpc.mkdir", true, false, false},
+    {"create", "rpc.create", true, false, false},
+    {"stat", "rpc.stat", true, false, false},
+    {"utime", "rpc.utime", true, false, true},
+    {"unlink", "rpc.unlink", true, false, false},
+    {"rename", "rpc.rename", true, false, false},
+    {"resolve", "rpc.resolve", true, true, false},
+    {"open_getlayout", "rpc.open_getlayout", true, false, false},
+    {"readdir", "rpc.readdir", true, false, false},
+    {"readdirplus", "rpc.readdirplus", true, false, false},
+    {"report_extents", "rpc.report_extents", true, false, true},
+    {"block_write", "rpc.block_write", false, false, true},
+    {"block_read", "rpc.block_read", false, false, false},
+    {"get_extents", "rpc.get_extents", false, false, false},
+    {"preallocate", "rpc.preallocate", false, false, false},
+    {"close_file", "rpc.close_file", false, false, false},
+    {"delete_file", "rpc.delete_file", false, false, false},
+}};
+
+// Little-endian field writer/reader for the byte-exact codec.
+class Writer {
+ public:
+  explicit Writer(std::vector<u8>& out) : out_(out) {}
+  void u8v(u8 v) { out_.push_back(v); }
+  void u32v(u32 v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void u64v(u64 v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    u32v(static_cast<u32>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void runs(const std::vector<BlockRun>& rs) {
+    u32v(static_cast<u32>(rs.size()));
+    for (const BlockRun& r : rs) {
+      u64v(r.start.v);
+      u64v(r.count);
+    }
+  }
+
+ private:
+  std::vector<u8>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<u8>& in) : in_(in) {}
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && pos_ == in_.size(); }
+  u8 u8v() {
+    if (pos_ + 1 > in_.size()) return fail<u8>();
+    return in_[pos_++];
+  }
+  u32 u32v() {
+    if (pos_ + 4 > in_.size()) return fail<u32>();
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(in_[pos_++]) << (8 * i);
+    return v;
+  }
+  u64 u64v() {
+    if (pos_ + 8 > in_.size()) return fail<u64>();
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(in_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::string str() {
+    const u32 n = u32v();
+    if (!ok_ || pos_ + n > in_.size()) return fail<std::string>();
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<BlockRun> runs() {
+    const u32 n = u32v();
+    std::vector<BlockRun> rs;
+    if (!ok_ || pos_ + static_cast<std::size_t>(n) * 16 > in_.size())
+      return fail<std::vector<BlockRun>>();
+    rs.reserve(n);
+    for (u32 i = 0; i < n; ++i) {
+      BlockRun r;
+      r.start.v = u64v();
+      r.count = u64v();
+      rs.push_back(r);
+    }
+    return rs;
+  }
+
+ private:
+  template <typename T>
+  T fail() {
+    ok_ = false;
+    return T{};
+  }
+  const std::vector<u8>& in_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+u64 dirent_bytes(const mfs::DirEntry& e) {
+  return kDirentFixedBytes + e.name.size();
+}
+
+}  // namespace
+
+const OpTraits& traits(Op op) { return kOpTraits[static_cast<std::size_t>(op)]; }
+
+std::string_view to_string(Op op) { return traits(op).name; }
+
+Op op_of(const Request& req) {
+  return std::visit([](const auto& r) { return std::decay_t<decltype(r)>::kOp; },
+                    req);
+}
+
+u64 wire_bytes(const Request& req) {
+  u64 bytes = kHeaderBytes +
+              std::visit([](const auto& r) { return r.body_bytes(); }, req);
+  // Block writes ship the data payload with the envelope.
+  if (const auto* w = std::get_if<BlockWriteRequest>(&req)) {
+    bytes += w->blocks() * kBlockSize;
+  }
+  return bytes;
+}
+
+u64 bulk_bytes(const Response& resp) {
+  if (const auto* l = std::get_if<OpenGetLayoutResponse>(&resp)) {
+    return l->extent_count * kExtentWireBytes;
+  }
+  if (const auto* d = std::get_if<ReaddirResponse>(&resp)) {
+    u64 bytes = 0;
+    for (const mfs::DirEntry& e : d->entries) {
+      bytes += dirent_bytes(e) + (d->plus ? kInodeAttrBytes : 0);
+    }
+    return bytes;
+  }
+  if (const auto* b = std::get_if<BlockDataResponse>(&resp)) {
+    return b->blocks * kBlockSize;
+  }
+  return 0;
+}
+
+std::vector<u8> encode(const Request& req) {
+  std::vector<u8> out;
+  Writer w(out);
+  w.u8v(static_cast<u8>(op_of(req)));
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, RenameRequest>) {
+          w.str(r.from);
+          w.str(r.to);
+        } else if constexpr (std::is_same_v<T, ReportExtentsRequest>) {
+          w.u64v(r.ino.v);
+          w.u64v(r.extent_count);
+        } else if constexpr (std::is_same_v<T, BlockWriteRequest>) {
+          w.u64v(r.ino.v);
+          w.u64v(r.stream.key());
+          w.runs(r.runs);
+        } else if constexpr (std::is_same_v<T, BlockReadRequest>) {
+          w.u64v(r.ino.v);
+          w.runs(r.runs);
+        } else if constexpr (std::is_same_v<T, GetExtentsRequest> ||
+                             std::is_same_v<T, CloseFileRequest> ||
+                             std::is_same_v<T, DeleteFileRequest>) {
+          w.u64v(r.ino.v);
+        } else if constexpr (std::is_same_v<T, PreallocateRequest>) {
+          w.u64v(r.ino.v);
+          w.u64v(r.total_blocks);
+        } else {
+          // All the path-only metadata requests.
+          w.str(r.path);
+        }
+      },
+      req);
+  return out;
+}
+
+Result<Request> decode_request(const std::vector<u8>& buf) {
+  Reader r(buf);
+  const u8 tag = r.u8v();
+  if (!r.ok() || tag >= kOpCount) return Errc::kInvalid;
+  Request req = [&]() -> Request {
+    switch (static_cast<Op>(tag)) {
+      case Op::kMkdir: return MkdirRequest{r.str()};
+      case Op::kCreate: return CreateRequest{r.str()};
+      case Op::kStat: return StatRequest{r.str()};
+      case Op::kUtime: return UtimeRequest{r.str()};
+      case Op::kUnlink: return UnlinkRequest{r.str()};
+      case Op::kRename: {
+        RenameRequest q;
+        q.from = r.str();
+        q.to = r.str();
+        return q;
+      }
+      case Op::kResolve: return ResolveRequest{r.str()};
+      case Op::kOpenGetLayout: return OpenGetLayoutRequest{r.str()};
+      case Op::kReaddir: return ReaddirRequest{r.str()};
+      case Op::kReaddirPlus: return ReaddirPlusRequest{r.str()};
+      case Op::kReportExtents: {
+        ReportExtentsRequest q;
+        q.ino.v = r.u64v();
+        q.extent_count = r.u64v();
+        return q;
+      }
+      case Op::kBlockWrite: {
+        BlockWriteRequest q;
+        q.ino.v = r.u64v();
+        const u64 key = r.u64v();
+        q.stream = StreamId{static_cast<u32>(key >> 32),
+                            static_cast<u32>(key & 0xffffffffu)};
+        q.runs = r.runs();
+        return q;
+      }
+      case Op::kBlockRead: {
+        BlockReadRequest q;
+        q.ino.v = r.u64v();
+        q.runs = r.runs();
+        return q;
+      }
+      case Op::kGetExtents: {
+        GetExtentsRequest q;
+        q.ino.v = r.u64v();
+        return q;
+      }
+      case Op::kPreallocate: {
+        PreallocateRequest q;
+        q.ino.v = r.u64v();
+        q.total_blocks = r.u64v();
+        return q;
+      }
+      case Op::kCloseFile: {
+        CloseFileRequest q;
+        q.ino.v = r.u64v();
+        return q;
+      }
+      case Op::kDeleteFile: {
+        DeleteFileRequest q;
+        q.ino.v = r.u64v();
+        return q;
+      }
+    }
+    return MkdirRequest{};
+  }();
+  if (!r.done()) return Errc::kInvalid;
+  return req;
+}
+
+std::vector<u8> encode(const Response& resp) {
+  std::vector<u8> out;
+  Writer w(out);
+  w.u8v(static_cast<u8>(resp.index()));
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, InodeResponse>) {
+          w.u64v(v.ino.v);
+        } else if constexpr (std::is_same_v<T, OpenGetLayoutResponse>) {
+          w.u64v(v.ino.v);
+          w.u64v(v.extent_count);
+        } else if constexpr (std::is_same_v<T, ReaddirResponse>) {
+          w.u8v(v.plus ? 1 : 0);
+          w.u32v(static_cast<u32>(v.entries.size()));
+          for (const mfs::DirEntry& e : v.entries) {
+            w.str(e.name);
+            w.u64v(e.ino.v);
+            w.u8v(static_cast<u8>(e.type));
+          }
+        } else if constexpr (std::is_same_v<T, ExtentCountResponse>) {
+          w.u64v(v.extent_count);
+        } else if constexpr (std::is_same_v<T, BlockDataResponse>) {
+          w.u64v(v.blocks);
+        }
+        // VoidResponse: tag only.
+      },
+      resp);
+  return out;
+}
+
+Result<Response> decode_response(const std::vector<u8>& buf) {
+  Reader r(buf);
+  const u8 tag = r.u8v();
+  if (!r.ok() || tag >= std::variant_size_v<Response>) return Errc::kInvalid;
+  Response resp = [&]() -> Response {
+    switch (tag) {
+      case 0: return VoidResponse{};
+      case 1: {
+        InodeResponse v;
+        v.ino.v = r.u64v();
+        return v;
+      }
+      case 2: {
+        OpenGetLayoutResponse v;
+        v.ino.v = r.u64v();
+        v.extent_count = r.u64v();
+        return v;
+      }
+      case 3: {
+        ReaddirResponse v;
+        v.plus = r.u8v() != 0;
+        const u32 n = r.u32v();
+        for (u32 i = 0; r.ok() && i < n; ++i) {
+          mfs::DirEntry e;
+          e.name = r.str();
+          e.ino.v = r.u64v();
+          e.type = static_cast<mfs::FileType>(r.u8v());
+          v.entries.push_back(std::move(e));
+        }
+        return v;
+      }
+      case 4: {
+        ExtentCountResponse v;
+        v.extent_count = r.u64v();
+        return v;
+      }
+      default: {
+        BlockDataResponse v;
+        v.blocks = r.u64v();
+        return v;
+      }
+    }
+  }();
+  if (!r.done()) return Errc::kInvalid;
+  return resp;
+}
+
+}  // namespace mif::rpc

@@ -1,0 +1,43 @@
+#include "rpc/fault.hpp"
+
+#include "obs/export.hpp"
+
+namespace mif::rpc {
+
+bool FaultTransport::fires() {
+  std::lock_guard lock(mu_);
+  ++stats_.calls;
+  if (!armed_) return false;
+  if (cfg_.drop_count > 0) {
+    if (cfg_.drop_after > 0) {
+      --cfg_.drop_after;
+    } else {
+      --cfg_.drop_count;
+      ++stats_.dropped;
+      return true;
+    }
+  }
+  if (cfg_.delay_ms > 0.0) {
+    if (cfg_.delay_ms >= cfg_.timeout_ms) {
+      ++stats_.dropped;
+      return true;
+    }
+    ++stats_.delayed;
+    stats_.delay_total_ms += cfg_.delay_ms;
+  }
+  return false;
+}
+
+void FaultTransport::export_metrics(obs::MetricsRegistry& reg,
+                                    std::string_view prefix) const {
+  inner_.export_metrics(reg, prefix);
+  const FaultStats s = stats();
+  if (s.dropped == 0 && s.delayed == 0) return;
+  const std::string base = obs::join_key(prefix, "fault");
+  reg.counter(obs::join_key(base, "calls")).inc(s.calls);
+  reg.counter(obs::join_key(base, "dropped")).inc(s.dropped);
+  reg.counter(obs::join_key(base, "delayed")).inc(s.delayed);
+  reg.stat(obs::join_key(base, "delay_total_ms")).add(s.delay_total_ms);
+}
+
+}  // namespace mif::rpc

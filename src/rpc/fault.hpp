@@ -1,0 +1,79 @@
+// FaultTransport: fault-injecting decorator — the outermost layer, so a
+// fault hits before any queueing or coalescing, exactly where a NIC or
+// switch would lose the message.
+//
+// Armed with a FaultConfig it can
+//   * drop envelopes: after `drop_after` further calls, the next
+//     `drop_count` calls fail with Errc::kIo without reaching the inner
+//     transport (the servers never see them — retries must be idempotent);
+//   * delay envelopes: every call is slowed by `delay_ms`; a delay at or
+//     beyond `timeout_ms` is a timeout and also surfaces as Errc::kIo.
+//
+// Disarmed (the default) it forwards everything untouched.
+#pragma once
+
+#include <mutex>
+
+#include "rpc/transport.hpp"
+
+namespace mif::rpc {
+
+struct FaultConfig {
+  u64 drop_after{0};      // calls to let through before dropping starts
+  u64 drop_count{0};      // how many calls to drop once started
+  double delay_ms{0.0};   // added latency per call
+  double timeout_ms{50.0};  // delays >= this are timeouts (kIo)
+};
+
+struct FaultStats {
+  u64 calls{0};
+  u64 dropped{0};  // drops + timeouts (the caller sees kIo either way)
+  u64 delayed{0};
+  double delay_total_ms{0.0};
+};
+
+class FaultTransport final : public Transport {
+ public:
+  explicit FaultTransport(Transport& inner) : inner_(inner) {}
+
+  void arm(FaultConfig cfg) {
+    std::lock_guard lock(mu_);
+    cfg_ = cfg;
+    armed_ = true;
+  }
+  void disarm() {
+    std::lock_guard lock(mu_);
+    armed_ = false;
+  }
+  FaultStats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+  Result<Response> call(const Address& to, const Request& req) override {
+    if (fires()) return Errc::kIo;
+    return inner_.call(to, req);
+  }
+  Status call_batch(const Address& to, std::vector<Request> reqs) override {
+    if (fires()) return Errc::kIo;  // the whole frame is lost as a unit
+    return inner_.call_batch(to, std::move(reqs));
+  }
+  Status flush() override { return inner_.flush(); }
+  void set_spans(obs::SpanCollector* spans) override {
+    inner_.set_spans(spans);
+  }
+  void export_metrics(obs::MetricsRegistry& reg,
+                      std::string_view prefix) const override;
+
+ private:
+  /// True when this call must fail with kIo (drop or timeout).
+  bool fires();
+
+  Transport& inner_;
+  mutable std::mutex mu_;
+  FaultConfig cfg_{};
+  bool armed_{false};
+  FaultStats stats_;
+};
+
+}  // namespace mif::rpc

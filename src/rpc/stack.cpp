@@ -1,0 +1,19 @@
+#include "rpc/stack.hpp"
+
+namespace mif::rpc {
+
+TransportStack::TransportStack(Endpoints eps, const TransportOptions& opt) {
+  inproc_ = std::make_unique<InprocTransport>(std::move(eps), opt.meta_net,
+                                              opt.data_net);
+  top_ = inproc_.get();
+  if (opt.kind == TransportOptions::Kind::kBatching) {
+    batching_ = std::make_unique<BatchingTransport>(*top_, opt.batching);
+    top_ = batching_.get();
+  }
+  if (opt.inject_faults) {
+    fault_ = std::make_unique<FaultTransport>(*top_);
+    top_ = fault_.get();
+  }
+}
+
+}  // namespace mif::rpc

@@ -1,0 +1,71 @@
+// TransportStack: owns and chains the transport decorators for one cluster.
+//
+//   top() == FaultTransport( [BatchingTransport(] InprocTransport [)] )
+//
+// InprocTransport is always present (it dispatches and charges); batching is
+// opt-in via TransportOptions::kind; the fault decorator is built only when
+// inject_faults is set, so the default request path has zero fault-check
+// overhead.  core::ParallelFileSystem holds one stack; tests build their own
+// around hand-made Endpoints.
+#pragma once
+
+#include <memory>
+
+#include "rpc/batching.hpp"
+#include "rpc/fault.hpp"
+#include "rpc/inproc.hpp"
+
+namespace mif::rpc {
+
+struct TransportOptions {
+  enum class Kind : u8 { kInproc, kBatching };
+  /// kInproc preserves the pre-RPC-layer figures exactly; kBatching trades
+  /// deferred acks for fewer wire messages.
+  Kind kind{Kind::kInproc};
+  sim::NetworkConfig meta_net{};
+  sim::NetworkConfig data_net{};
+  BatchingConfig batching{};
+  /// Build a FaultTransport on top (disarmed until FaultTransport::arm).
+  bool inject_faults{false};
+};
+
+class TransportStack {
+ public:
+  TransportStack() = default;
+  TransportStack(Endpoints eps, const TransportOptions& opt);
+
+  TransportStack(TransportStack&&) = default;
+  TransportStack& operator=(TransportStack&&) = default;
+
+  explicit operator bool() const { return top_ != nullptr; }
+
+  /// The transport callers should send through (outermost decorator).
+  Transport& top() { return *top_; }
+
+  /// The charging layer (always present).
+  InprocTransport& wire() { return *inproc_; }
+  const InprocTransport& wire() const { return *inproc_; }
+
+  /// Decorators, when configured (nullptr otherwise).
+  BatchingTransport* batching() { return batching_.get(); }
+  FaultTransport* fault() { return fault_.get(); }
+
+  const sim::Network& meta_network() const { return inproc_->meta_network(); }
+  const sim::Network& data_network() const { return inproc_->data_network(); }
+
+  void set_spans(obs::SpanCollector* spans) {
+    if (inproc_) inproc_->set_spans(spans);
+  }
+  void export_metrics(obs::MetricsRegistry& reg,
+                      std::string_view prefix) const {
+    if (top_) top_->export_metrics(reg, prefix);
+  }
+
+ private:
+  std::unique_ptr<InprocTransport> inproc_;
+  std::unique_ptr<BatchingTransport> batching_;
+  std::unique_ptr<FaultTransport> fault_;
+  Transport* top_{nullptr};
+};
+
+}  // namespace mif::rpc

@@ -1,0 +1,72 @@
+// Transport — the single seam every cross-node call passes through.
+//
+// A Transport takes (Address, Request) and produces a Response.  All network
+// charging, rpc.* metrics and rpc.<op> span phases live behind this
+// interface, so swapping the implementation (batching, async, a real socket)
+// changes cost and concurrency without touching client, MDS or OSD code.
+//
+// Implementations compose as decorators:
+//
+//   FaultTransport( BatchingTransport( InprocTransport ) )
+//
+// with InprocTransport always innermost (it owns dispatch + charging) and
+// FaultTransport outermost (faults hit before any queueing, like a NIC).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "rpc/envelope.hpp"
+#include "util/result.hpp"
+
+namespace mif::mds {
+class Mds;
+}
+namespace mif::osd {
+class StorageTarget;
+}
+namespace mif::obs {
+class MetricsRegistry;
+class SpanCollector;
+}  // namespace mif::obs
+
+namespace mif::rpc {
+
+/// The servers an in-process transport can deliver to.  Raw pointers: the
+/// cluster (core::ParallelFileSystem or a test fixture) owns the servers and
+/// outlives the transport.
+struct Endpoints {
+  std::vector<mds::Mds*> mds;
+  std::vector<osd::StorageTarget*> osds;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Deliver one envelope and wait for its response.
+  virtual Result<Response> call(const Address& to, const Request& req) = 0;
+
+  /// Deliver several envelopes to one destination as a single wire message.
+  /// The default unrolls into individual calls; InprocTransport overrides it
+  /// to charge one frame — that difference is the batching win.
+  virtual Status call_batch(const Address& to, std::vector<Request> reqs) {
+    for (const Request& r : reqs) {
+      if (Result<Response> resp = call(to, r); !resp) return resp.error();
+    }
+    return {};
+  }
+
+  /// Push out anything a buffering implementation is holding.  Returns the
+  /// first error any deferred envelope produced (sticky until reported).
+  virtual Status flush() { return {}; }
+
+  virtual void set_spans(obs::SpanCollector* spans) { (void)spans; }
+  virtual void export_metrics(obs::MetricsRegistry& reg,
+                              std::string_view prefix) const {
+    (void)reg;
+    (void)prefix;
+  }
+};
+
+}  // namespace mif::rpc

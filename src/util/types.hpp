@@ -70,6 +70,14 @@ struct DirId {
   constexpr auto operator<=>(const DirId&) const = default;
 };
 
+/// A contiguous run of logical file blocks — the unit of batched block I/O
+/// (rpc::BlockWriteRequest, osd::StorageTarget::write_runs).
+struct BlockRun {
+  FileBlock start{};
+  u64 count{0};
+  constexpr auto operator<=>(const BlockRun&) const = default;
+};
+
 constexpr u64 bytes_to_blocks(u64 bytes) {
   return (bytes + kBlockSize - 1) / kBlockSize;
 }

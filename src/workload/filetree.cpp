@@ -56,7 +56,7 @@ AppRunResult FileTreeWorkload::untar() {
   auto client = fs_.connect(ClientId{1});
   return timed(dirs_.size() + files_.size(), 0.0, [&] {
     for (const std::string& d : dirs_) {
-      auto r = fs_.mds().mkdir(d);
+      auto r = fs_.rpc().mkdir(d);
       assert(r);
       (void)r;
     }
@@ -109,10 +109,10 @@ AppRunResult FileTreeWorkload::make() {
 AppRunResult FileTreeWorkload::make_clean() {
   return timed(objects_.size(), 0.0, [&] {
     for (const TreeFile& obj : objects_) {
-      const Status st = fs_.mds().stat(obj.path);
+      const Status st = fs_.rpc().stat(obj.path);
       assert(st.ok());
       (void)st;
-      const Status s = fs_.mds().unlink(obj.path);
+      const Status s = fs_.rpc().unlink(obj.path);
       assert(s.ok());
       (void)s;
       fs_.delete_file(obj.ino);
@@ -125,7 +125,7 @@ AppRunResult FileTreeWorkload::tar_scan() {
   auto client = fs_.connect(ClientId{1});
   return timed(files_.size(), 0.0, [&] {
     for (const std::string& d : dirs_) {
-      auto entries = fs_.mds().readdir_stats(d);
+      auto entries = fs_.rpc().readdir_stats(d);
       assert(entries);
       (void)entries;
     }

@@ -37,12 +37,14 @@ class PhaseScope {
 
 }  // namespace
 
-MetaratesResult run_metarates(mds::Mds& mds, const MetaratesConfig& cfg) {
+MetaratesResult run_metarates(rpc::MdsNode& node, const MetaratesConfig& cfg) {
   MetaratesResult res;
+  mds::Mds& mds = node.mds();
+  rpc::Client& client = node.client();
 
   // Directories are part of the setup, not the timed create phase.
   for (u32 c = 0; c < cfg.clients; ++c) {
-    auto r = mds.mkdir(dir_name(c));
+    auto r = client.mkdir(dir_name(c));
     assert(r);
     (void)r;
   }
@@ -51,7 +53,7 @@ MetaratesResult run_metarates(mds::Mds& mds, const MetaratesConfig& cfg) {
     PhaseScope scope(mds, res.create, cfg.cold_phases);
     for (u32 f = 0; f < cfg.files_per_dir; ++f) {
       for (u32 c = 0; c < cfg.clients; ++c) {
-        auto r = mds.create(file_path(c, f));
+        auto r = client.create(file_path(c, f));
         assert(r);
         (void)r;
         ++res.create.ops;
@@ -63,7 +65,7 @@ MetaratesResult run_metarates(mds::Mds& mds, const MetaratesConfig& cfg) {
     PhaseScope scope(mds, res.utime, cfg.cold_phases);
     for (u32 f = 0; f < cfg.files_per_dir; ++f) {
       for (u32 c = 0; c < cfg.clients; ++c) {
-        const Status s = mds.utime(file_path(c, f));
+        const Status s = client.utime(file_path(c, f));
         assert(s.ok());
         (void)s;
         ++res.utime.ops;
@@ -74,7 +76,7 @@ MetaratesResult run_metarates(mds::Mds& mds, const MetaratesConfig& cfg) {
   {
     PhaseScope scope(mds, res.readdir_stat, cfg.cold_phases);
     for (u32 c = 0; c < cfg.clients; ++c) {
-      auto entries = mds.readdir_stats(dir_name(c));
+      auto entries = client.readdir_stats(dir_name(c));
       assert(entries);
       res.readdir_stat.ops += entries->size();
     }
@@ -84,7 +86,7 @@ MetaratesResult run_metarates(mds::Mds& mds, const MetaratesConfig& cfg) {
     PhaseScope scope(mds, res.remove, cfg.cold_phases);
     for (u32 f = 0; f < cfg.files_per_dir; ++f) {
       for (u32 c = 0; c < cfg.clients; ++c) {
-        const Status s = mds.unlink(file_path(c, f));
+        const Status s = client.unlink(file_path(c, f));
         assert(s.ok());
         (void)s;
         ++res.remove.ops;

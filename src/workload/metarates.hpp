@@ -8,7 +8,7 @@
 // tables across directories).
 #pragma once
 
-#include "mds/mds.hpp"
+#include "rpc/mds_node.hpp"
 
 namespace mif::workload {
 
@@ -37,6 +37,6 @@ struct MetaratesResult {
   PhaseResult remove;
 };
 
-MetaratesResult run_metarates(mds::Mds& mds, const MetaratesConfig& cfg);
+MetaratesResult run_metarates(rpc::MdsNode& node, const MetaratesConfig& cfg);
 
 }  // namespace mif::workload

@@ -24,7 +24,7 @@ PostmarkResult run_postmark(core::ParallelFileSystem& fs,
   const double data0 = fs.data_elapsed_ms();
 
   for (u32 d = 0; d < cfg.subdirectories; ++d) {
-    auto r = fs.mds().mkdir("s" + std::to_string(d));
+    auto r = fs.rpc().mkdir("s" + std::to_string(d));
     assert(r);
     (void)r;
   }
@@ -54,7 +54,7 @@ PostmarkResult run_postmark(core::ParallelFileSystem& fs,
   auto delete_file = [&]() {
     if (files.empty()) return;
     const std::size_t i = rng.uniform(0, files.size() - 1);
-    const Status s = fs.mds().unlink(files[i].path);
+    const Status s = fs.rpc().unlink(files[i].path);
     assert(s.ok());
     (void)s;
     fs.delete_file(files[i].ino);

@@ -137,7 +137,7 @@ ReplayResult replay(core::ParallelFileSystem& fs, const Trace& trace) {
           ino = it->second.ino;
           open_files.erase(it);
         }
-        if (!fs.mds().unlink(op.path).ok()) {
+        if (!fs.rpc().unlink(op.path).ok()) {
           ++res.errors;
         } else if (ino.valid()) {
           fs.delete_file(ino);

@@ -68,6 +68,31 @@ TEST(FaultInjection, ErrorPropagatesThroughClient) {
   EXPECT_TRUE(client.write(*fh, 0, 0, 5 * 16 * kBlockSize).ok());
 }
 
+// A fault in the transport itself (lost wire message, not a device error)
+// must surface the same way: kIo to the caller, servers untouched, clean
+// recovery on retry.
+TEST(FaultInjection, TransportDropSurfacesAsIoError) {
+  core::ClusterConfig cfg;
+  cfg.num_targets = 3;
+  cfg.rpc.inject_faults = true;
+  core::ParallelFileSystem fs(cfg);
+  auto client = fs.connect(ClientId{1});
+  auto fh = client.create("/f");
+  ASSERT_TRUE(fh);
+
+  rpc::FaultTransport* fault = fs.transport().fault();
+  ASSERT_NE(fault, nullptr);
+  fault->arm({.drop_count = 1});
+  EXPECT_EQ(client.write(*fh, 0, 0, 5 * 16 * kBlockSize).error(), Errc::kIo);
+  EXPECT_EQ(fault->stats().dropped, 1u);
+  // The dropped envelope never reached a target: the retry places the very
+  // same blocks without conflict and the targets verify clean.
+  EXPECT_TRUE(client.write(*fh, 0, 0, 5 * 16 * kBlockSize).ok());
+  for (std::size_t t = 0; t < fs.num_targets(); ++t) {
+    EXPECT_TRUE(fs.target(t).verify().ok()) << "target " << t;
+  }
+}
+
 class TargetVerify : public ::testing::TestWithParam<alloc::AllocatorMode> {};
 
 TEST_P(TargetVerify, CleanAfterChurn) {

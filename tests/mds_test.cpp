@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "mds/mds.hpp"
+#include "rpc/mds_node.hpp"
 
 namespace mif::mds {
 namespace {
@@ -25,14 +26,17 @@ TEST(Mds, NamespaceOpsWork) {
   EXPECT_TRUE(mds.unlink("d/g").ok());
 }
 
+// RPC/CPU accounting now lives in the transport: every metadata envelope
+// dispatched to the server bumps its rpc counter and charges the simulated
+// network exactly once.
 TEST(Mds, EveryOpChargesAnRpc) {
-  Mds mds(cfg_for(mfs::DirectoryMode::kNormal));
-  const u64 r0 = mds.stats().rpcs;
-  ASSERT_TRUE(mds.mkdir("d"));
-  ASSERT_TRUE(mds.create("d/f"));
-  EXPECT_TRUE(mds.stat("d/f").ok());
-  EXPECT_EQ(mds.stats().rpcs, r0 + 3);
-  EXPECT_GT(mds.network().stats().rpcs, 0u);
+  rpc::MdsNode node(cfg_for(mfs::DirectoryMode::kNormal));
+  const u64 r0 = node.mds().stats().rpcs;
+  ASSERT_TRUE(node.client().mkdir("d"));
+  ASSERT_TRUE(node.client().create("d/f"));
+  EXPECT_TRUE(node.client().stat("d/f").ok());
+  EXPECT_EQ(node.mds().stats().rpcs, r0 + 3);
+  EXPECT_GT(node.transport().meta_network().stats().rpcs, 0u);
 }
 
 TEST(Mds, OpenGetlayoutReturnsExtentCount) {

@@ -35,17 +35,17 @@ TEST(PfsIntegration, FullLifecycleAcrossSubsystems) {
   ParallelFileSystem fs(
       cluster(alloc::AllocatorMode::kOnDemand, mfs::DirectoryMode::kEmbedded));
   auto c = fs.connect(ClientId{1});
-  ASSERT_TRUE(fs.mds().mkdir("job"));
+  ASSERT_TRUE(fs.rpc().mkdir("job"));
   auto fh = c.create("job/out.odb");
   ASSERT_TRUE(fh);
   ASSERT_TRUE(c.write(*fh, 0, 0, 2 << 20).ok());
   ASSERT_TRUE(c.close(*fh).ok());
-  auto open = fs.mds().open_getlayout("job/out.odb");
+  auto open = fs.rpc().open_getlayout("job/out.odb");
   ASSERT_TRUE(open);
   EXPECT_GT(open->extent_count, 0u);
   fs.delete_file(fh->ino);
-  ASSERT_TRUE(fs.mds().unlink("job/out.odb").ok());
-  EXPECT_EQ(fs.mds().open_getlayout("job/out.odb").error(), Errc::kNotFound);
+  ASSERT_TRUE(fs.rpc().unlink("job/out.odb").ok());
+  EXPECT_EQ(fs.rpc().open_getlayout("job/out.odb").error(), Errc::kNotFound);
 }
 
 TEST(PfsIntegration, SharedFileWorkloadRunsOnEveryAllocator) {

@@ -86,14 +86,14 @@ TEST_P(SystemMatrix, BtioSmallCollectiveAndNot) {
 TEST_P(SystemMatrix, MetaratesSmall) {
   mds::MdsConfig cfg;
   cfg.mfs.mode = std::get<1>(GetParam());
-  mds::Mds mds(cfg);
+  rpc::MdsNode node(cfg);
   workload::MetaratesConfig wcfg;
   wcfg.clients = 3;
   wcfg.files_per_dir = 60;
-  const auto r = workload::run_metarates(mds, wcfg);
+  const auto r = workload::run_metarates(node, wcfg);
   EXPECT_EQ(r.create.ops, 180u);
   EXPECT_EQ(r.remove.ops, 180u);
-  EXPECT_TRUE(mds.fs().layout().verify().ok());
+  EXPECT_TRUE(node.mds().fs().layout().verify().ok());
 }
 
 TEST_P(SystemMatrix, PostmarkSmall) {

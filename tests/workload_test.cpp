@@ -82,11 +82,11 @@ TEST(BtioWorkload, CollectiveModeLiftsThroughput) {
 }
 
 TEST(MetaratesWorkload, AllPhasesComplete) {
-  mds::Mds mds(meta_cfg(mfs::DirectoryMode::kEmbedded));
+  rpc::MdsNode node(meta_cfg(mfs::DirectoryMode::kEmbedded));
   MetaratesConfig cfg;
   cfg.clients = 4;
   cfg.files_per_dir = 100;
-  const MetaratesResult r = run_metarates(mds, cfg);
+  const MetaratesResult r = run_metarates(node, cfg);
   EXPECT_EQ(r.create.ops, 400u);
   EXPECT_EQ(r.utime.ops, 400u);
   EXPECT_EQ(r.readdir_stat.ops, 400u);
@@ -100,8 +100,8 @@ TEST(MetaratesWorkload, EmbeddedNeedsFewerDiskAccesses) {
   MetaratesConfig cfg;
   cfg.clients = 4;
   cfg.files_per_dir = 2000;
-  mds::Mds normal(meta_cfg(mfs::DirectoryMode::kNormal));
-  mds::Mds embedded(meta_cfg(mfs::DirectoryMode::kEmbedded));
+  rpc::MdsNode normal(meta_cfg(mfs::DirectoryMode::kNormal));
+  rpc::MdsNode embedded(meta_cfg(mfs::DirectoryMode::kEmbedded));
   const MetaratesResult n = run_metarates(normal, cfg);
   const MetaratesResult e = run_metarates(embedded, cfg);
   EXPECT_LT(e.create.disk_accesses, n.create.disk_accesses);

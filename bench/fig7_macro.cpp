@@ -15,13 +15,29 @@
 namespace {
 
 mif::core::ParallelFileSystem make_fs(mif::alloc::AllocatorMode mode,
+                                      mif::u32 pipeline_depth,
                                       mif::obs::SpanCollector* spans) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 8;  // "all data are striped in eight disks"
   cfg.target.allocator = mode;
+  if (pipeline_depth >= 2) cfg.rpc.pipeline_depth = pipeline_depth;
   mif::core::ParallelFileSystem fs(cfg);
   fs.set_spans(spans);
   return fs;
+}
+
+/// Pipelined transport timings for one mounted fs; empty JSON (no keys) when
+/// the sync chain is mounted, so default output is untouched.
+void add_pipeline_fields(mif::obs::Json& results, const char* prefix,
+                         mif::core::ParallelFileSystem& fs) {
+  const mif::rpc::AsyncTransport* a = fs.transport().async();
+  if (!a) return;
+  const mif::rpc::AsyncReport r = a->report();
+  const std::string base(prefix);
+  results[base + "_pipeline_serial_ms"] = r.serial_ms;
+  results[base + "_pipeline_elapsed_ms"] = r.elapsed_ms;
+  results[base + "_pipeline_speedup"] =
+      r.elapsed_ms > 0 ? r.serial_ms / r.elapsed_ms : 1.0;
 }
 
 }  // namespace
@@ -45,14 +61,19 @@ int main(int argc, char** argv) {
            "improvement"});
 
   auto add_json = [&](const char* bench, bool collective, double res_mbps,
-                      double ond_mbps) {
+                      double ond_mbps, mif::core::ParallelFileSystem& rfs,
+                      mif::core::ParallelFileSystem& ofs) {
     if (!report.json_enabled()) return;
     mif::obs::Json config;
     config["benchmark"] = bench;
     config["collective"] = collective;
+    if (report.pipeline_depth() >= 2)
+      config["pipeline_depth"] = report.pipeline_depth();
     mif::obs::Json results;
     results["reservation_mbps"] = res_mbps;
     results["ondemand_mbps"] = ond_mbps;
+    add_pipeline_fields(results, "reservation", rfs);
+    add_pipeline_fields(results, "ondemand", ofs);
     report.add_run(std::string(bench) +
                        (collective ? " collective" : " non-collective"),
                    std::move(config), std::move(results));
@@ -65,14 +86,14 @@ int main(int argc, char** argv) {
     cfg.request_bytes = 64 * 1024;
     cfg.bytes_per_process = report.quick() ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
     cfg.collective = collective;
-    auto rfs = make_fs(AllocatorMode::kReservation, sp);
-    auto ofs = make_fs(AllocatorMode::kOnDemand, sp);
+    auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp);
+    auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp);
     const auto r = mif::workload::run_ior(rfs, cfg);
     const auto o = mif::workload::run_ior(ofs, cfg);
     t.add_row({"IOR2", collective ? "collective" : "non-collective",
                Table::num(r.total_mbps), Table::num(o.total_mbps),
                Table::pct(o.total_mbps / r.total_mbps - 1.0)});
-    add_json("IOR2", collective, r.total_mbps, o.total_mbps);
+    add_json("IOR2", collective, r.total_mbps, o.total_mbps, rfs, ofs);
   }
 
   // ---- BTIO: nested-strided small cells per timestep ---------------------
@@ -83,15 +104,15 @@ int main(int argc, char** argv) {
     cfg.cells_per_process = 16;
     cfg.cell_bytes = 8 * 1024;
     cfg.collective = collective;
-    auto rfs = make_fs(AllocatorMode::kReservation, sp);
-    auto ofs = make_fs(AllocatorMode::kOnDemand, sp);
+    auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp);
+    auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp);
     const auto r = mif::workload::run_btio(rfs, cfg);
     const auto o = mif::workload::run_btio(ofs, cfg);
     const double rt = 2.0 / (1.0 / r.write_mbps + 1.0 / r.read_mbps);
     const double ot = 2.0 / (1.0 / o.write_mbps + 1.0 / o.read_mbps);
     t.add_row({"BTIO", collective ? "collective" : "non-collective",
                Table::num(rt), Table::num(ot), Table::pct(ot / rt - 1.0)});
-    add_json("BTIO", collective, rt, ot);
+    add_json("BTIO", collective, rt, ot, rfs, ofs);
   }
 
   t.print();

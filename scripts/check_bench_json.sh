@@ -1,17 +1,25 @@
 #!/usr/bin/env sh
 # CI schema check for the bench harness's --json reports.
 #
-# Usage: check_bench_json.sh <path-to-fig6a_stream_count>
+# Usage: check_bench_json.sh <path-to-fig6a_stream_count> [more benches...]
 #
 # Runs the fastest figure bench in --quick mode, then validates the report:
 # schema envelope, per-run config/results, and — for the on-demand run — the
 # allocator counters, extent-count histogram and positioning-time stats the
-# paper's evaluation reads.  Registered as a ctest (see bench/CMakeLists.txt).
+# paper's evaluation reads.
+#
+# Then the async-transport equivalence gate: for EVERY bench passed,
+# `--pipeline-depth 1` must be byte-identical to the default run (depth 1 IS
+# the sync chain — no AsyncTransport is mounted), and for the first bench a
+# depth-8 run must report pipelined timings with an aggregate speedup > 1.
+# Registered as a ctest (see bench/CMakeLists.txt).
 set -eu
 
-BENCH="${1:?usage: check_bench_json.sh <fig6a_stream_count binary>}"
+BENCH="${1:?usage: check_bench_json.sh <fig6a_stream_count binary> [more...]}"
 OUT="$(mktemp /tmp/mif_bench_json.XXXXXX)"
-trap 'rm -f "$OUT"' EXIT
+DEPTH1="$(mktemp /tmp/mif_bench_json_d1.XXXXXX)"
+DEPTH8="$(mktemp /tmp/mif_bench_json_d8.XXXXXX)"
+trap 'rm -f "$OUT" "$DEPTH1" "$DEPTH8"' EXIT
 
 "$BENCH" --quick --json "$OUT" > /dev/null
 
@@ -58,4 +66,53 @@ require(stat.get("mean", 0) > 0, "positioning-time mean is zero")
 
 print(f"check_bench_json: OK ({len(runs)} runs, "
       f"layout_miss={counters['alloc.ondemand.layout_miss']})")
+EOF
+
+# ---- async-transport equivalence gate ------------------------------------
+# Depth 1 is the synchronous chain by construction; its report must be
+# byte-identical to the default run for every bench we are handed.
+for bench in "$@"; do
+  name="$(basename "$bench")"
+  "$bench" --quick --json "$OUT" > /dev/null 2>&1
+  "$bench" --quick --json "$DEPTH1" --pipeline-depth 1 > /dev/null 2>&1
+  if ! cmp -s "$OUT" "$DEPTH1"; then
+    echo "check_bench_json: FAIL: $name --pipeline-depth 1 is not" \
+         "byte-identical to the default (sync) report"
+    diff "$OUT" "$DEPTH1" | head -20 || true
+    exit 1
+  fi
+  echo "check_bench_json: OK ($name depth-1 report byte-identical to sync)"
+done
+
+# A deep pipeline must actually overlap: the depth-8 report carries the
+# pipelined timings and the modeled elapsed time beats the serial sum.
+"$BENCH" --quick --json "$DEPTH8" --pipeline-depth 8 > /dev/null 2>&1
+python3 - "$DEPTH8" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+runs = doc.get("runs", [])
+if not runs:
+    sys.exit("check_bench_json: FAIL: depth-8 report has no runs")
+speedups = []
+for run in runs:
+    cfg, res = run.get("config", {}), run.get("results", {})
+    if cfg.get("pipeline_depth") != 8:
+        sys.exit(f"check_bench_json: FAIL: run '{run.get('name')}' config "
+                 "lacks pipeline_depth=8")
+    for key in ("pipeline_serial_ms", "pipeline_elapsed_ms",
+                "pipeline_speedup"):
+        if not isinstance(res.get(key), (int, float)):
+            sys.exit(f"check_bench_json: FAIL: run '{run.get('name')}' "
+                     f"results lack '{key}'")
+    speedups.append(res["pipeline_speedup"])
+
+best = max(speedups)
+if best <= 1.0:
+    sys.exit(f"check_bench_json: FAIL: depth-8 pipeline_speedup <= 1 "
+             f"everywhere (best {best:.3f}) — no overlap")
+print(f"check_bench_json: OK (depth-8 overlap, best speedup {best:.2f}x "
+      f"across {len(runs)} runs)")
 EOF

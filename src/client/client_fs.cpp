@@ -42,18 +42,32 @@ Result<FileHandle> ClientFs::open(std::string_view path) {
 
 Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
                        u64 len_bytes) {
+  std::vector<rpc::Ticket> tickets;
+  Status issued = write_async(fh, pid, offset_bytes, len_bytes, tickets);
+  Status drained = drain(tickets);
+  return issued.ok() ? drained : issued;
+}
+
+Status ClientFs::write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
+                             u64 len_bytes, std::vector<rpc::Ticket>& out) {
   if (!fh.valid() || len_bytes == 0) return Errc::kInvalid;
   obs::ScopedSpan span(fs_->spans(), "client.write", fh.ino.v, len_bytes);
   const u64 first = offset_bytes / kBlockSize;
   const u64 last = (offset_bytes + len_bytes + kBlockSize - 1) / kBlockSize;
   const StreamId stream{id_.v, pid};
+  rpc::CompletionQueue& cq = fs_->rpc().completions();
   for (const osd::StripeSlice& s :
        osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
     obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
-    if (Status st = fs_->rpc().block_write(s.target, fh.ino, stream,
-                                           s.local_start, s.count);
-        !st)
-      return st;
+    rpc::Ticket t = fs_->rpc().block_write_async(s.target, fh.ino, stream,
+                                                 s.local_start, s.count);
+    if (auto r = cq.try_take(t)) {
+      // Completed at issue (the sync chain): a failure stops the loop
+      // before the next slice, exactly like the blocking path.
+      if (!*r) return r->error();
+    } else {
+      out.push_back(t);
+    }
   }
   ++stats_.writes;
   stats_.bytes_written += len_bytes;
@@ -67,6 +81,15 @@ Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
   return {};
 }
 
+Status ClientFs::drain(std::vector<rpc::Ticket>& tickets) {
+  Status first{};
+  for (const rpc::Ticket& t : tickets) {
+    if (Status st = fs_->rpc().wait(t); !st && first.ok()) first = st;
+  }
+  tickets.clear();
+  return first;
+}
+
 u64 ClientFs::remote_extents(InodeNo ino) {
   // Ask every target for its local subfile's extent count — what a client
   // really does before shipping a layout (it cannot read server memory).
@@ -78,15 +101,27 @@ u64 ClientFs::remote_extents(InodeNo ino) {
 }
 
 Status ClientFs::read_blocks(const FileHandle& fh, u64 first, u64 last) {
+  // Issue every slice before claiming any completion, so reads (including
+  // readahead top-ups) overlap across the striped targets too.
+  rpc::CompletionQueue& cq = fs_->rpc().completions();
+  std::vector<rpc::Ticket> pending;
+  Status issued{};
   for (const osd::StripeSlice& s :
        osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
     obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
-    if (Status st =
-            fs_->rpc().block_read(s.target, fh.ino, s.local_start, s.count);
-        !st)
-      return st;
+    rpc::Ticket t =
+        fs_->rpc().block_read_async(s.target, fh.ino, s.local_start, s.count);
+    if (auto r = cq.try_take(t)) {
+      if (!*r) {
+        issued = r->error();
+        break;
+      }
+    } else {
+      pending.push_back(t);
+    }
   }
-  return {};
+  Status drained = drain(pending);
+  return issued.ok() ? drained : issued;
 }
 
 Status ClientFs::fetch_range(const FileHandle& fh, u64 first, u64 last,

@@ -10,7 +10,9 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "rpc/transport.hpp"
 #include "util/result.hpp"
 #include "util/types.hpp"
 
@@ -53,9 +55,23 @@ class ClientFs {
 
   /// Write [offset, offset+len) bytes from the given thread.  Offsets and
   /// lengths are rounded outward to block granularity (the simulation
-  /// tracks placement, not payload).
+  /// tracks placement, not payload).  Internally issue-then-drain: every
+  /// striped slice is issued as a ticket before any completion is claimed,
+  /// so an async transport overlaps the slices across targets.
   Status write(const FileHandle& fh, u32 pid, u64 offset_bytes,
                u64 len_bytes);
+
+  /// Issue the striped writes for [offset, offset+len) WITHOUT draining;
+  /// outstanding tickets are appended to `out` for a later drain().  The
+  /// collective writer uses this to keep a whole round's chunks in flight.
+  /// Tickets that complete at issue (the sync chain) are claimed inline, so
+  /// a failure there stops issuing exactly like the blocking loop did.
+  Status write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
+                     u64 len_bytes, std::vector<rpc::Ticket>& out);
+
+  /// Claim every ticket in `tickets` (clearing it); returns the first error
+  /// in completion order — the sticky-error semantics of the sync path.
+  Status drain(std::vector<rpc::Ticket>& tickets);
 
   /// Read [offset, offset+len) bytes.  Sequential streams are detected and
   /// prefetched Lustre-client-style: the window doubles while the stream

@@ -34,6 +34,10 @@ Status CollectiveWriter::write_round(const FileHandle& fh,
   ++stats_.rounds;
   stats_.requests_in += requests.size();
   u32 next_aggregator = 0;
+  // Issue the whole round before draining: every aggregator chunk's striped
+  // slices go out as tickets, so an async transport keeps the round's
+  // requests in flight across all targets at once.
+  std::vector<rpc::Ticket> tickets;
   for (const Range& range : merge(std::move(requests))) {
     u64 pos = range.offset;
     const u64 end = range.offset + range.len;
@@ -42,16 +46,22 @@ Status CollectiveWriter::write_round(const FileHandle& fh,
       // Each chunk is one big write from one aggregator stream; aggregators
       // rotate so targets stay busy in parallel.
       const u32 pid = 1'000'000 + (next_aggregator++ % cfg_.aggregators);
-      if (Status s = client_.write(fh, pid, pos, chunk); !s) return s;
+      if (Status s = client_.write_async(fh, pid, pos, chunk, tickets); !s) {
+        (void)client_.drain(tickets);
+        return s;
+      }
       ++stats_.requests_out;
       stats_.bytes += chunk;
       pos += chunk;
     }
   }
   // A collective round is a synchronisation point (MPI_File_write_all
-  // returns only when every aggregator's data is on the servers): push out
-  // anything a batching transport still buffers and surface its errors.
-  return client_.fs().rpc().flush();
+  // returns only when every aggregator's data is on the servers): drain the
+  // round's tickets, then push out anything a batching transport still
+  // buffers; the first error in completion order wins.
+  Status drained = client_.drain(tickets);
+  Status flushed = client_.fs().rpc().flush();
+  return drained.ok() ? flushed : drained;
 }
 
 Status CollectiveWriter::read_round(const FileHandle& fh,

@@ -19,6 +19,9 @@ ParallelFileSystem::ParallelFileSystem(ClusterConfig cfg) : cfg_(cfg) {
   rpc::Endpoints eps;
   eps.mds.push_back(mds_.get());
   for (auto& t : targets_) eps.osds.push_back(t.get());
+  // The async transport prices per-envelope disk service from the spindle
+  // geometry the targets actually mount.
+  cfg_.rpc.geometry = cfg_.target.geometry;
   rpc_stack_ = rpc::TransportStack(std::move(eps), cfg_.rpc);
   rpc_client_ = std::make_unique<rpc::Client>(rpc_stack_.top());
 }
@@ -37,24 +40,45 @@ Status ParallelFileSystem::preallocate(InodeNo ino, u64 total_blocks) {
     local_end[s.target] =
         std::max(local_end[s.target], s.local_start.v + s.count);
   }
+  // Fan the per-target reservations out as tickets (one per OSD) and drain:
+  // under an async transport the targets reserve concurrently.
+  rpc::CompletionQueue& cq = rpc_client_->completions();
+  std::vector<rpc::Ticket> pending;
+  Status issued{};
   for (std::size_t t = 0; t < targets_.size(); ++t) {
     if (local_end[t] == 0) continue;
-    if (Status st = rpc_client_->preallocate(static_cast<u32>(t), ino,
-                                             local_end[t]);
-        !st)
-      return st;
+    rpc::Ticket tk =
+        rpc_client_->preallocate_async(static_cast<u32>(t), ino, local_end[t]);
+    if (auto r = cq.try_take(tk)) {
+      if (!*r) {
+        issued = r->error();
+        break;
+      }
+    } else {
+      pending.push_back(tk);
+    }
   }
-  return {};
+  Status drained{};
+  for (const rpc::Ticket& tk : pending) {
+    if (Status st = rpc_client_->wait(tk); !st && drained.ok()) drained = st;
+  }
+  return issued.ok() ? drained : issued;
 }
 
 void ParallelFileSystem::close_file(InodeNo ino) {
+  std::vector<rpc::Ticket> tickets;
+  tickets.reserve(targets_.size());
   for (u32 t = 0; t < targets_.size(); ++t)
-    (void)rpc_client_->close_file(t, ino);
+    tickets.push_back(rpc_client_->close_file_async(t, ino));
+  for (const rpc::Ticket& tk : tickets) (void)rpc_client_->wait(tk);
 }
 
 void ParallelFileSystem::delete_file(InodeNo ino) {
+  std::vector<rpc::Ticket> tickets;
+  tickets.reserve(targets_.size());
   for (u32 t = 0; t < targets_.size(); ++t)
-    (void)rpc_client_->delete_file(t, ino);
+    tickets.push_back(rpc_client_->delete_file_async(t, ino));
+  for (const rpc::Ticket& tk : tickets) (void)rpc_client_->wait(tk);
 }
 
 u64 ParallelFileSystem::file_extents(InodeNo ino) const {
@@ -65,8 +89,11 @@ u64 ParallelFileSystem::file_extents(InodeNo ino) const {
 
 void ParallelFileSystem::drain_data() {
   // Anything a batching transport still buffers has to reach the targets
-  // before their queues can drain.
+  // before their queues can drain, and every outstanding ticket must retire
+  // (drain-on-unmount: errors with no claimant are swallowed here, like a
+  // close(2) after failed writeback).
   (void)rpc_client_->flush();
+  (void)rpc_stack_.top().completions().wait_all();
   for (auto& t : targets_) t->drain();
 }
 

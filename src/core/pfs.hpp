@@ -36,11 +36,19 @@ struct ClusterConfig {
   mds::MdsConfig mds{};
   /// Transport between clients and servers.  The default (kInproc,
   /// synchronous) preserves the paper figures exactly; see rpc/stack.hpp.
+  /// rpc.pipeline_depth >= 2 mounts the async completion-queue transport
+  /// (issue-many-then-drain on the striped data path); its disk-service
+  /// model is wired to `target.geometry` automatically at mount.
   rpc::TransportOptions rpc{};
   /// Client sequential-read prefetch cap in blocks (Lustre-style per-file
   /// readahead; 2048 blocks = 8 MiB).  0 disables client readahead.
   u64 client_readahead_max_blocks{2048};
 };
+
+/// The mount-time knobs a deployment tunes (allocator mode, directory mode,
+/// stripe, transport pipeline depth).  Alias of ClusterConfig: the cluster
+/// IS its mount options in this in-process harness.
+using MountOptions = ClusterConfig;
 
 class ParallelFileSystem {
  public:

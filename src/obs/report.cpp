@@ -18,6 +18,11 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
       trace_path_ = arg.substr(8);
     } else if (arg == "--quick") {
       quick_ = true;
+    } else if (arg == "--pipeline-depth" && i + 1 < argc) {
+      pipeline_depth_ = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--pipeline-depth=", 0) == 0) {
+      pipeline_depth_ =
+          static_cast<u32>(std::atoi(std::string(arg.substr(17)).c_str()));
     }
   }
   doc_["schema_version"] = kReportSchemaVersion;

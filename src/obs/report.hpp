@@ -30,13 +30,18 @@ inline constexpr u64 kReportSchemaVersion = 1;
 
 class BenchReport {
  public:
-  /// Parses `--json <path>`, `--trace <path>` and `--quick` out of argv.
-  /// Unknown arguments are ignored (google-benchmark style flags pass
-  /// through).
+  /// Parses `--json <path>`, `--trace <path>`, `--quick` and
+  /// `--pipeline-depth <N>` out of argv.  Unknown arguments are ignored
+  /// (google-benchmark style flags pass through).
   BenchReport(std::string_view bench_name, int argc, char** argv);
 
   bool json_enabled() const { return !path_.empty(); }
   bool quick() const { return quick_; }
+
+  /// `--pipeline-depth <N>` / `--pipeline-depth=<N>`: in-flight window for
+  /// the async transport.  0 when absent; benches treat 0/1 as the default
+  /// synchronous chain (output stays byte-identical).
+  u32 pipeline_depth() const { return pipeline_depth_; }
 
   /// `--trace <path>` / `--trace=<path>`: where to write the Chrome-trace /
   /// Perfetto span dump; empty when tracing was not requested.  The bench
@@ -60,6 +65,7 @@ class BenchReport {
   std::string path_;
   std::string trace_path_;
   bool quick_{false};
+  u32 pipeline_depth_{0};
   Json doc_;
 };
 

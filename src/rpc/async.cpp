@@ -1,0 +1,99 @@
+#include "rpc/async.hpp"
+
+#include "obs/export.hpp"
+#include "obs/span.hpp"
+
+namespace mif::rpc {
+
+AsyncTransport::AsyncTransport(Transport& inner, AsyncConfig cfg)
+    : inner_(inner),
+      cfg_(cfg),
+      meta_model_(cfg.meta_net),
+      data_model_(cfg.data_net),
+      pipe_(cfg.depth) {}
+
+double AsyncTransport::price(const Address& to, const Request& req,
+                             const Result<Response>& resp) const {
+  const OpTraits& tr = traits(op_of(req));
+  if (tr.free) return 0.0;
+  const sim::Network& net =
+      to.kind == Address::Kind::kMds ? meta_model_ : data_model_;
+  double ms = net.cost(wire_bytes(req));
+  if (resp) {
+    if (const u64 bulk = bulk_bytes(*resp); bulk > 0) ms += net.cost(bulk);
+  }
+  // Block I/O also occupies the destination's spindle; the streaming floor
+  // is the portion that pipelining genuinely overlaps across targets.
+  if (const auto* w = std::get_if<BlockWriteRequest>(&req)) {
+    ms += sim::stream_transfer_ms(cfg_.geometry, w->blocks(),
+                                  sim::IoKind::kWrite);
+  } else if (const auto* r = std::get_if<BlockReadRequest>(&req)) {
+    ms += sim::stream_transfer_ms(cfg_.geometry, r->blocks(),
+                                  sim::IoKind::kRead);
+  }
+  return ms;
+}
+
+Ticket AsyncTransport::call_async(const Address& to, const Request& req) {
+  // Dispatch now: server-side effects happen in issue order, exactly as the
+  // sync chain, so placement and figures are independent of depth.  Only
+  // the caller-visible completion is deferred.
+  const Op op = op_of(req);
+  const u64 wire = wire_bytes(req);
+  Result<Response> resp = inner_.call(to, req);
+  const double service = price(to, req, resp);
+
+  const u32 channel = channel_of(to);
+  std::lock_guard lock(mu_);
+  const sim::Pipeline::Times t = pipe_.submit(channel, service);
+  inflight_.add(pipe_.inflight());
+  cq_.set_clock(pipe_.issue_clock_ms());
+  if (spans_) {
+    // One sim-clock span per ticket, issue → complete, on the destination's
+    // channel lane.  arg0 = op (decode with rpc::to_string), arg1 = wire
+    // bytes.  Distinct name from the inner host-clock rpc.<op> spans so the
+    // two clock families never share a phase-stats bucket.
+    spans_->record_sim("rpc.async", obs::make_track(track_ns_, channel),
+                       t.issue_ms, t.done_ms - t.issue_ms, spans_->ambient(),
+                       static_cast<u64>(op), wire);
+  }
+  return cq_.admit(to, op, std::move(resp), t.done_ms);
+}
+
+void AsyncTransport::set_spans(obs::SpanCollector* spans) {
+  spans_ = spans;
+  if (spans) track_ns_ = spans->reserve_track_namespace();
+  inner_.set_spans(spans);
+}
+
+AsyncReport AsyncTransport::report() const {
+  std::lock_guard lock(mu_);
+  const sim::PipelineStats& s = pipe_.stats();
+  AsyncReport r;
+  r.depth = pipe_.depth();
+  r.issued = s.issued;
+  r.stalls = s.stalls;
+  r.max_inflight = s.max_inflight;
+  r.stall_ms = s.stall_ms;
+  r.serial_ms = s.serial_ms;
+  r.elapsed_ms = pipe_.elapsed_ms();
+  return r;
+}
+
+void AsyncTransport::export_metrics(obs::MetricsRegistry& reg,
+                                    std::string_view prefix) const {
+  inner_.export_metrics(reg, prefix);
+  const AsyncReport r = report();
+  reg.histogram(obs::join_key(prefix, "inflight"), 16)
+      .merge_from(inflight_.snapshot());
+  const std::string base = obs::join_key(prefix, "pipeline");
+  reg.gauge(obs::join_key(base, "depth")).set(r.depth);
+  reg.counter(obs::join_key(base, "issued")).inc(r.issued);
+  reg.counter(obs::join_key(base, "stalls")).inc(r.stalls);
+  reg.counter(obs::join_key(base, "max_inflight")).inc(r.max_inflight);
+  reg.gauge(obs::join_key(base, "stall_ms")).set(r.stall_ms);
+  reg.gauge(obs::join_key(base, "serial_ms")).set(r.serial_ms);
+  reg.gauge(obs::join_key(base, "elapsed_ms")).set(r.elapsed_ms);
+}
+
+}  // namespace mif::rpc

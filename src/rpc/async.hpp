@@ -1,0 +1,112 @@
+// AsyncTransport: completion-queue decorator that retires tickets against a
+// pipelined simulated timeline.
+//
+// The base Transport's sync fallback completes every call_async() at issue —
+// the blocking chain's semantics.  This decorator is the layer that actually
+// DEFERS completion: an issued envelope is dispatched into the inner
+// transport immediately (server-side effects — allocation, disk service,
+// rpc.* charging — happen in issue order, exactly as the sync chain), but
+// its Result<Response> is admitted to the completion queue with a modeled
+// done time on a sim::Pipeline timeline:
+//
+//   service(envelope) = network(wire) [+ network(bulk reply)]
+//                       [+ disk streaming estimate for block I/O]
+//
+//   issue   — bounded by the pipeline window (`depth` in flight);
+//   start   — max(issue, destination channel clock): FIFO per destination;
+//   done    — start + service; distinct destinations overlap, so a window
+//             completes in max() of its members, not their sum.
+//
+// depth == 1 reproduces the blocking client exactly (elapsed == serial sum);
+// the stack only builds this decorator for depth >= 2, keeping the default
+// figures byte-identical.  The pipelined elapsed/serial times are exposed via
+// report() for the bench JSON (fig6a/fig7 --pipeline-depth) and exported as
+// rpc.pipeline.* metrics plus the rpc.inflight window-occupancy histogram.
+//
+// Placement in the chain: directly above InprocTransport —
+// Fault(Batching(Async(Inproc))) — so faults fail tickets before issue and
+// batching still coalesces frames underneath its own deferred acks.
+#pragma once
+
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "rpc/transport.hpp"
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "sim/pipeline.hpp"
+
+namespace mif::rpc {
+
+struct AsyncConfig {
+  /// Max in-flight envelopes per chain (the completion-queue window).
+  u32 depth{2};
+  sim::NetworkConfig meta_net{};
+  sim::NetworkConfig data_net{};
+  /// Geometry used for the per-envelope disk service estimate (streaming
+  /// floor; the OSDs still charge the real seek-aware cost internally).
+  sim::DiskGeometry geometry{};
+};
+
+/// Pipeline outcome snapshot for the bench JSON: serial_ms is what a
+/// depth-1 (blocking) client would have paid end-to-end, elapsed_ms is the
+/// pipelined end-to-end, so serial/elapsed is the overlap speedup.
+struct AsyncReport {
+  u32 depth{1};
+  u64 issued{0};
+  u64 stalls{0};
+  u64 max_inflight{0};
+  double stall_ms{0.0};
+  double serial_ms{0.0};
+  double elapsed_ms{0.0};
+};
+
+class AsyncTransport final : public Transport {
+ public:
+  AsyncTransport(Transport& inner, AsyncConfig cfg = {});
+
+  /// Sync calls stay synchronous — the metadata path is unchanged.
+  Result<Response> call(const Address& to, const Request& req) override {
+    return inner_.call(to, req);
+  }
+
+  /// Eager dispatch, deferred retirement (see file comment).
+  Ticket call_async(const Address& to, const Request& req) override;
+
+  CompletionQueue& completions() override { return cq_; }
+
+  Status call_batch(const Address& to, std::vector<Request> reqs) override {
+    return inner_.call_batch(to, std::move(reqs));
+  }
+  Status flush() override { return inner_.flush(); }
+
+  void set_spans(obs::SpanCollector* spans) override;
+  void export_metrics(obs::MetricsRegistry& reg,
+                      std::string_view prefix) const override;
+
+  u32 depth() const { return cfg_.depth; }
+  AsyncReport report() const;
+
+ private:
+  /// One pipeline channel per destination: OSDs on their own lanes, MDS
+  /// addresses offset past any realistic OSD count.
+  static u32 channel_of(const Address& to) {
+    return to.kind == Address::Kind::kOsd ? to.index : 128u + to.index;
+  }
+  /// Modeled end-to-end service time of one exchange (ms).
+  double price(const Address& to, const Request& req,
+               const Result<Response>& resp) const;
+
+  Transport& inner_;
+  AsyncConfig cfg_;
+  sim::Network meta_model_;  // cost() only — never charged
+  sim::Network data_model_;
+  obs::SpanCollector* spans_{nullptr};
+  u32 track_ns_{0};
+  mutable std::mutex mu_;
+  sim::Pipeline pipe_;
+  obs::Histo inflight_{16};  // window occupancy at each issue
+  CompletionQueue cq_;
+};
+
+}  // namespace mif::rpc

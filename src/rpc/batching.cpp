@@ -92,6 +92,28 @@ Result<Response> BatchingTransport::call(const Address& to,
   return inner_.call(to, req);
 }
 
+Ticket BatchingTransport::call_async(const Address& to, const Request& req) {
+  // Same split as call(): deferrable envelopes join their destination queue
+  // and the ticket is an immediate ack (a deferred failure stays sticky for
+  // the next barrier); non-deferrable envelopes are barriers and the issue
+  // itself flows to the inner transport's async path.
+  const OpTraits& tr = traits(op_of(req));
+  if (tr.deferrable) {
+    Result<Response> ack = call(to, req);  // enqueue + early ack
+    return completions().admit(to, op_of(req), std::move(ack));
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (!queues_.empty()) {
+      ++stats_.barrier_flushes;
+      flush_all_locked();
+    }
+    if (Status s = take_sticky_locked(); !s)
+      return completions().admit(to, op_of(req), s.error());
+  }
+  return inner_.call_async(to, req);
+}
+
 Status BatchingTransport::call_batch(const Address& to,
                                      std::vector<Request> reqs) {
   std::lock_guard lock(mu_);

@@ -49,6 +49,8 @@ class BatchingTransport final : public Transport {
   ~BatchingTransport() override;  // best-effort flush of leftovers
 
   Result<Response> call(const Address& to, const Request& req) override;
+  Ticket call_async(const Address& to, const Request& req) override;
+  CompletionQueue& completions() override { return inner_.completions(); }
   Status call_batch(const Address& to, std::vector<Request> reqs) override;
   Status flush() override;
 

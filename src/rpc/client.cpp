@@ -88,6 +88,42 @@ Status Client::block_read(u32 target, InodeNo ino, FileBlock start,
   return to_status(transport_->call(osd_at(target), std::move(req)));
 }
 
+Ticket Client::block_write_async(u32 target, InodeNo ino, StreamId stream,
+                                 FileBlock start, u64 count) {
+  BlockWriteRequest req;
+  req.ino = ino;
+  req.stream = stream;
+  req.runs.push_back(BlockRun{start, count});
+  return transport_->call_async(osd_at(target), std::move(req));
+}
+
+Ticket Client::block_read_async(u32 target, InodeNo ino, FileBlock start,
+                                u64 count) {
+  BlockReadRequest req;
+  req.ino = ino;
+  req.runs.push_back(BlockRun{start, count});
+  return transport_->call_async(osd_at(target), std::move(req));
+}
+
+Ticket Client::preallocate_async(u32 target, InodeNo ino, u64 total_blocks) {
+  PreallocateRequest req;
+  req.ino = ino;
+  req.total_blocks = total_blocks;
+  return transport_->call_async(osd_at(target), req);
+}
+
+Ticket Client::close_file_async(u32 target, InodeNo ino) {
+  CloseFileRequest req;
+  req.ino = ino;
+  return transport_->call_async(osd_at(target), req);
+}
+
+Ticket Client::delete_file_async(u32 target, InodeNo ino) {
+  DeleteFileRequest req;
+  req.ino = ino;
+  return transport_->call_async(osd_at(target), req);
+}
+
 Result<u64> Client::target_extents(u32 target, InodeNo ino) {
   GetExtentsRequest req;
   req.ino = ino;

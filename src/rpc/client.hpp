@@ -44,6 +44,25 @@ class Client {
   Status close_file(u32 target, InodeNo ino);
   Status delete_file(u32 target, InodeNo ino);
 
+  // --- async data ops: issue a ticket, drain via completions() -------------
+  // The striped data path issues many of these before claiming any result,
+  // so an async transport keeps a window in flight across the targets.
+  Ticket block_write_async(u32 target, InodeNo ino, StreamId stream,
+                           FileBlock start, u64 count);
+  Ticket block_read_async(u32 target, InodeNo ino, FileBlock start, u64 count);
+  Ticket preallocate_async(u32 target, InodeNo ino, u64 total_blocks);
+  Ticket close_file_async(u32 target, InodeNo ino);
+  Ticket delete_file_async(u32 target, InodeNo ino);
+
+  /// The transport chain's completion queue (drain point for the tickets
+  /// above).
+  CompletionQueue& completions() { return transport_->completions(); }
+  /// Claim one ticket's result as a Status, blocking the modeled timeline.
+  Status wait(const Ticket& t) {
+    Result<Response> r = completions().wait(t);
+    return to_status(r);
+  }
+
   /// Push out anything a buffering transport still holds; surfaces deferred
   /// errors.
   Status flush() { return transport_->flush(); }

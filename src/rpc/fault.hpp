@@ -54,6 +54,13 @@ class FaultTransport final : public Transport {
     if (fires()) return Errc::kIo;
     return inner_.call(to, req);
   }
+  Ticket call_async(const Address& to, const Request& req) override {
+    // A dropped issue still yields a ticket: the loss surfaces as kIo when
+    // the caller drains, on exactly the envelope that was lost.
+    if (fires()) return completions().admit(to, op_of(req), Errc::kIo);
+    return inner_.call_async(to, req);
+  }
+  CompletionQueue& completions() override { return inner_.completions(); }
   Status call_batch(const Address& to, std::vector<Request> reqs) override {
     if (fires()) return Errc::kIo;  // the whole frame is lost as a unit
     return inner_.call_batch(to, std::move(reqs));

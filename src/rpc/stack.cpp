@@ -6,6 +6,15 @@ TransportStack::TransportStack(Endpoints eps, const TransportOptions& opt) {
   inproc_ = std::make_unique<InprocTransport>(std::move(eps), opt.meta_net,
                                               opt.data_net);
   top_ = inproc_.get();
+  if (opt.pipeline_depth >= 2) {
+    AsyncConfig acfg;
+    acfg.depth = opt.pipeline_depth;
+    acfg.meta_net = opt.meta_net;
+    acfg.data_net = opt.data_net;
+    acfg.geometry = opt.geometry;
+    async_ = std::make_unique<AsyncTransport>(*top_, acfg);
+    top_ = async_.get();
+  }
   if (opt.kind == TransportOptions::Kind::kBatching) {
     batching_ = std::make_unique<BatchingTransport>(*top_, opt.batching);
     top_ = batching_.get();

@@ -1,16 +1,18 @@
 // TransportStack: owns and chains the transport decorators for one cluster.
 //
-//   top() == FaultTransport( [BatchingTransport(] InprocTransport [)] )
+//   top() == Fault( [Batching(] [Async(] Inproc [)] [)] )
 //
-// InprocTransport is always present (it dispatches and charges); batching is
-// opt-in via TransportOptions::kind; the fault decorator is built only when
-// inject_faults is set, so the default request path has zero fault-check
-// overhead.  core::ParallelFileSystem holds one stack; tests build their own
-// around hand-made Endpoints.
+// InprocTransport is always present (it dispatches and charges); the async
+// pipeline is built only for pipeline_depth >= 2 (depth 1 IS the sync
+// chain); batching is opt-in via TransportOptions::kind; the fault decorator
+// is built only when inject_faults is set, so the default request path has
+// zero fault-check overhead.  core::ParallelFileSystem holds one stack;
+// tests build their own around hand-made Endpoints.
 #pragma once
 
 #include <memory>
 
+#include "rpc/async.hpp"
 #include "rpc/batching.hpp"
 #include "rpc/fault.hpp"
 #include "rpc/inproc.hpp"
@@ -25,6 +27,13 @@ struct TransportOptions {
   sim::NetworkConfig meta_net{};
   sim::NetworkConfig data_net{};
   BatchingConfig batching{};
+  /// In-flight window for the async completion-queue transport; depth <= 1
+  /// keeps the fully synchronous chain (no AsyncTransport is built, so the
+  /// default figures stay byte-identical).
+  u32 pipeline_depth{1};
+  /// Disk geometry for AsyncTransport's per-envelope service estimate
+  /// (should match the OSDs' spindle geometry).
+  sim::DiskGeometry geometry{};
   /// Build a FaultTransport on top (disarmed until FaultTransport::arm).
   bool inject_faults{false};
 };
@@ -47,6 +56,8 @@ class TransportStack {
   const InprocTransport& wire() const { return *inproc_; }
 
   /// Decorators, when configured (nullptr otherwise).
+  AsyncTransport* async() { return async_.get(); }
+  const AsyncTransport* async() const { return async_.get(); }
   BatchingTransport* batching() { return batching_.get(); }
   FaultTransport* fault() { return fault_.get(); }
 
@@ -54,7 +65,9 @@ class TransportStack {
   const sim::Network& data_network() const { return inproc_->data_network(); }
 
   void set_spans(obs::SpanCollector* spans) {
-    if (inproc_) inproc_->set_spans(spans);
+    // Decorators forward set_spans inward; the async layer also claims its
+    // sim-track namespace on the way through.
+    if (top_) top_->set_spans(spans);
   }
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const {
@@ -63,6 +76,7 @@ class TransportStack {
 
  private:
   std::unique_ptr<InprocTransport> inproc_;
+  std::unique_ptr<AsyncTransport> async_;
   std::unique_ptr<BatchingTransport> batching_;
   std::unique_ptr<FaultTransport> fault_;
   Transport* top_{nullptr};

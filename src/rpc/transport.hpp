@@ -7,12 +7,31 @@
 //
 // Implementations compose as decorators:
 //
-//   FaultTransport( BatchingTransport( InprocTransport ) )
+//   FaultTransport( BatchingTransport( AsyncTransport( InprocTransport )))
 //
 // with InprocTransport always innermost (it owns dispatch + charging) and
 // FaultTransport outermost (faults hit before any queueing, like a NIC).
+//
+// Two call shapes share the seam:
+//
+//   * call()        — synchronous request/response, used by metadata ops;
+//   * call_async()  — issue an envelope and get a Ticket back; its
+//                     Result<Response> retires later through the chain's
+//                     CompletionQueue.  The data path (striped block I/O)
+//                     issues many tickets and drains them, so an async
+//                     implementation can keep a window of requests in
+//                     flight across the storage targets.
+//
+// The base class provides a correct-by-default sync fallback: call_async()
+// performs the call immediately and admits an already-completed ticket, so
+// every existing transport composes without knowing about tickets.  Each
+// decorator forwards completions() to its inner transport — ONE queue per
+// chain, owned by the innermost transport that actually defers completion.
 #pragma once
 
+#include <deque>
+#include <mutex>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -40,12 +59,105 @@ struct Endpoints {
   std::vector<osd::StorageTarget*> osds;
 };
 
+/// Handle to one in-flight envelope.  Its Result<Response> is claimed from
+/// the chain's CompletionQueue (wait/try_take); id 0 = invalid.
+struct Ticket {
+  u64 id{0};
+  Address to{};
+  Op op{Op::kMkdir};
+  bool valid() const { return id != 0; }
+};
+
+/// One retired envelope: the ticket plus its result and the simulated time
+/// (ms on the transport's pipeline timeline) at which it completed.
+struct Completion {
+  Ticket ticket;
+  Result<Response> result{Errc::kInvalid};
+  double done_ms{0.0};
+};
+
+/// The chain's completion side: every call_async() admits a ticket here and
+/// callers retire tickets out of it.
+///
+/// Ordering semantics (exercised by rpc_async_test):
+///   * retirement order is modeled-completion order (done_ms, then admit
+///     sequence) — envelopes to DISTINCT destinations may retire out of
+///     issue order when a later, cheaper exchange completes first;
+///   * envelopes to ONE destination always retire FIFO: the transport's
+///     per-destination channel clocks are monotonic, so a destination's
+///     done_ms never reorders against its issue order.
+///
+/// poll() only surfaces tickets whose modeled completion lies at or before
+/// the issue clock (what a non-blocking client would see); wait()/wait_all()
+/// block the modeled timeline forward and retire regardless.
+///
+/// Thread-safety: one mutex; concurrent clients admit and retire their own
+/// tickets by id without observing each other's results.
+class CompletionQueue {
+ public:
+  /// Admit a ticket.  `done_ms` < 0 ⇒ completed-at-issue (sync fallback);
+  /// otherwise the ticket retires once the clock reaches done_ms.
+  Ticket admit(const Address& to, Op op, Result<Response> result,
+               double done_ms = -1.0);
+
+  /// Advance the retirement horizon (the async transport's issue clock).
+  void set_clock(double now_ms);
+
+  /// Next ticket already complete at the current clock, oldest completion
+  /// first; nullopt when everything still in flight is ahead of the clock.
+  std::optional<Completion> poll();
+
+  /// Non-blocking claim of one specific ticket: its result if it has
+  /// completed by the current clock, nullopt otherwise (ticket stays).
+  std::optional<Result<Response>> try_take(const Ticket& t);
+
+  /// Claim one specific ticket, blocking the modeled timeline forward to
+  /// its completion.  Unknown tickets (already claimed) return kInvalid.
+  Result<Response> wait(const Ticket& t);
+
+  /// Retire everything outstanding in completion order; returns the first
+  /// error encountered (sticky until reported).  The drain-on-unmount path.
+  Status wait_all();
+
+  /// Tickets admitted but not yet retired.
+  std::size_t in_flight() const;
+
+ private:
+  struct Entry {
+    Ticket ticket;
+    Result<Response> result{Errc::kInvalid};
+    double done_ms{-1.0};
+    u64 seq{0};
+  };
+  /// True when `e` retires no later than `f` (completion order).
+  static bool before(const Entry& e, const Entry& f);
+
+  mutable std::mutex mu_;
+  u64 next_id_{1};
+  u64 next_seq_{0};
+  double clock_ms_{0.0};
+  std::deque<Entry> entries_;  // admit order; scanned in completion order
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Deliver one envelope and wait for its response.
   virtual Result<Response> call(const Address& to, const Request& req) = 0;
+
+  /// Issue one envelope without waiting; the Result<Response> retires
+  /// through completions().  Default = sync fallback: perform the call now
+  /// and admit an already-completed ticket, preserving synchronous
+  /// semantics exactly.  Decorators forward to their inner transport so the
+  /// deferring layer (AsyncTransport) sees every issue.
+  virtual Ticket call_async(const Address& to, const Request& req) {
+    return completions().admit(to, op_of(req), call(to, req));
+  }
+
+  /// The chain's single completion queue.  Decorators forward to the inner
+  /// transport; the innermost (or the async decorator) owns the real one.
+  virtual CompletionQueue& completions() { return cq_; }
 
   /// Deliver several envelopes to one destination as a single wire message.
   /// The default unrolls into individual calls; InprocTransport overrides it
@@ -67,6 +179,9 @@ class Transport {
     (void)reg;
     (void)prefix;
   }
+
+ private:
+  CompletionQueue cq_;
 };
 
 }  // namespace mif::rpc

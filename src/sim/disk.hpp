@@ -67,6 +67,18 @@ struct DiskStats {
   }
 };
 
+/// Pure streaming transfer time for `blocks` at the geometry's sequential
+/// rate — the head-position-independent floor of a request's service time.
+/// The async transport prices per-envelope disk service with this (it cannot
+/// know head position: the real charge still happens inside the OSD).
+inline double stream_transfer_ms(const DiskGeometry& g, u64 blocks,
+                                 IoKind kind) {
+  const double rate_mbps =
+      kind == IoKind::kRead ? g.seq_read_mbps : g.seq_write_mbps;
+  return static_cast<double>(blocks_to_bytes(blocks)) / (rate_mbps * 1e6) *
+         1e3;
+}
+
 class Disk {
  public:
   explicit Disk(DiskGeometry geometry = {});

@@ -4,10 +4,14 @@ namespace mif::sim {
 
 Network::Network(NetworkConfig cfg) : cfg_(cfg) {}
 
-double Network::rpc(u64 payload_bytes) {
+double Network::cost(u64 payload_bytes) const {
   const double xfer =
       static_cast<double>(payload_bytes) / (cfg_.bandwidth_mbps * 1e6) * 1e3;
-  const double t = cfg_.rtt_ms + xfer;
+  return cfg_.rtt_ms + xfer;
+}
+
+double Network::rpc(u64 payload_bytes) {
+  const double t = cost(payload_bytes);
   ++stats_.rpcs;
   stats_.bytes += payload_bytes;
   stats_.time_ms += t;

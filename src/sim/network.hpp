@@ -24,7 +24,13 @@ class Network {
  public:
   explicit Network(NetworkConfig cfg = {});
 
-  /// Cost of one request/response exchange carrying `payload_bytes`.
+  /// Cost of one request/response exchange carrying `payload_bytes`,
+  /// without charging it (no stats).  The async transport prices envelopes
+  /// with this to build its pipelined timeline.
+  double cost(u64 payload_bytes) const;
+
+  /// Cost of one request/response exchange carrying `payload_bytes`,
+  /// charged to the stats.
   double rpc(u64 payload_bytes);
 
   const NetworkStats& stats() const { return stats_; }

@@ -1,0 +1,37 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+
+namespace mif::sim {
+
+Pipeline::Pipeline(u32 depth) : depth_(std::max<u32>(depth, 1)) {}
+
+Pipeline::Times Pipeline::submit(u32 channel, double service_ms) {
+  // Window backpressure: with `depth` outstanding, the issue clock waits
+  // for the oldest in-flight exchange to complete (a slot in the
+  // completion queue).
+  if (inflight_.size() >= depth_) {
+    const double freed_at = inflight_.top();
+    inflight_.pop();
+    if (freed_at > issue_ms_) {
+      ++stats_.stalls;
+      stats_.stall_ms += freed_at - issue_ms_;
+      issue_ms_ = freed_at;
+    }
+  }
+  Times t;
+  t.issue_ms = issue_ms_;
+  // FIFO per destination: the channel serves one exchange at a time.
+  double& ch = channel_ms_[channel];
+  t.start_ms = std::max(issue_ms_, ch);
+  t.done_ms = t.start_ms + service_ms;
+  ch = t.done_ms;
+  inflight_.push(t.done_ms);
+  elapsed_ms_ = std::max(elapsed_ms_, t.done_ms);
+  ++stats_.issued;
+  stats_.serial_ms += service_ms;
+  stats_.max_inflight = std::max<u64>(stats_.max_inflight, inflight_.size());
+  return t;
+}
+
+}  // namespace mif::sim

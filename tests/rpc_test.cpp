@@ -329,6 +329,56 @@ TEST(Fault, DropsSurfaceAsIoThenRecover) {
   EXPECT_EQ(faulty.stats().dropped, 2u);
 }
 
+// The full decorator chain — Fault(Batching(Async(Inproc))) — composes:
+// every pass-through (call, call_async, completions, flush, metrics)
+// reaches the right layer, and the whole chain shares ONE completion queue.
+TEST(Stack, FullChainComposesAndSharesOneCompletionQueue) {
+  core::ClusterConfig cfg = one_target_cfg();
+  cfg.num_targets = 2;
+  cfg.stripe = osd::StripeLayout{2, 16};
+  cfg.rpc.kind = TransportOptions::Kind::kBatching;
+  cfg.rpc.pipeline_depth = 4;
+  cfg.rpc.inject_faults = true;
+  core::ParallelFileSystem fs(cfg);
+  ASSERT_NE(fs.transport().async(), nullptr);
+  ASSERT_NE(fs.transport().batching(), nullptr);
+  ASSERT_NE(fs.transport().fault(), nullptr);
+  // completions() forwards through every decorator to the async layer's
+  // queue: a ticket issued at the top retires from the same queue the
+  // client drains.
+  EXPECT_EQ(&fs.transport().top().completions(),
+            &fs.transport().async()->completions());
+
+  auto c = fs.connect(ClientId{1});
+  auto fh = c.create("chain.odb");
+  ASSERT_TRUE(fh);
+  for (u64 i = 0; i < 16; ++i)
+    ASSERT_TRUE(c.write(*fh, 0, i * 4 * kBlockSize, 4 * kBlockSize).ok());
+  ASSERT_TRUE(c.read(*fh, 0, 16 * 4 * kBlockSize).ok());
+  ASSERT_TRUE(fs.rpc().flush().ok());
+  EXPECT_EQ(fs.transport().top().completions().in_flight(), 0u);
+
+  // Each layer did its job: batching coalesced, inproc charged the wire,
+  // the async layer retired tickets.
+  EXPECT_GT(fs.transport().batching()->stats().queued, 0u);
+  EXPECT_GT(fs.transport().wire().op_counters(Op::kBlockWrite).count, 0u);
+  EXPECT_GT(fs.transport().async()->report().issued, 0u);
+
+  // A fault armed at the top still surfaces through the chain, then clears.
+  fs.transport().fault()->arm({.drop_after = 0, .drop_count = 1});
+  EXPECT_EQ(c.create("dropped.odb").error(), Errc::kIo);
+  fs.transport().fault()->disarm();
+  ASSERT_TRUE(c.create("recovered.odb"));
+
+  // export_metrics walks the whole chain: every layer's families show up.
+  obs::MetricsRegistry reg;
+  fs.transport().export_metrics(reg, "rpc");
+  const std::string dump = reg.to_json().dump(0);
+  EXPECT_NE(dump.find("rpc.batch"), std::string::npos);
+  EXPECT_NE(dump.find("rpc.pipeline.depth"), std::string::npos);
+  EXPECT_NE(dump.find("rpc.fault"), std::string::npos);
+}
+
 TEST(Fault, DelaysBelowTimeoutPassAboveFail) {
   mds::Mds mds{{}};
   InprocTransport inner(Endpoints{{&mds}, {}});

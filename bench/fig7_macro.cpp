@@ -5,9 +5,11 @@
 // non-collective outright (~40 MB aggregated requests) and shrinks the
 // allocator's influence.
 #include <cstdio>
+#include <string>
 
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "shard/transport.hpp"
 #include "util/table.hpp"
 #include "workload/btio.hpp"
 #include "workload/ior.hpp"
@@ -16,14 +18,68 @@ namespace {
 
 mif::core::ParallelFileSystem make_fs(mif::alloc::AllocatorMode mode,
                                       mif::u32 pipeline_depth,
-                                      mif::obs::SpanCollector* spans) {
+                                      mif::obs::SpanCollector* spans,
+                                      mif::u32 mds_shards = 0,
+                                      mif::shard::Policy placement =
+                                          mif::shard::Policy::kSubtree) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 8;  // "all data are striped in eight disks"
   cfg.target.allocator = mode;
   if (pipeline_depth >= 2) cfg.rpc.pipeline_depth = pipeline_depth;
+  if (mds_shards >= 2) {
+    cfg.mds.shards = mds_shards;
+    cfg.mds.placement = placement;
+  }
   mif::core::ParallelFileSystem fs(cfg);
   fs.set_spans(spans);
   return fs;
+}
+
+/// With `--mds-shards N` (N >= 2): a dedicated namespace workload per
+/// placement policy.  IOR/BTIO hammer a single shared file at the root, so
+/// they say nothing about metadata spread; this run builds 2N directories of
+/// small files and list-sweeps them, then reports the router's balance and
+/// fan-out counters.  Absent the flag nothing runs and the report is
+/// byte-identical to the single-MDS output.
+void run_shard_namespace(mif::obs::BenchReport& report,
+                         mif::obs::SpanCollector* spans) {
+  const mif::u32 shards = report.mds_shards();
+  if (shards < 2) return;
+  std::printf("\nmds-shards=%u namespace sweep (%u dirs x 24 files each)\n",
+              shards, 2 * shards);
+  for (auto policy : {mif::shard::Policy::kSubtree, mif::shard::Policy::kHash}) {
+    auto fs = make_fs(mif::alloc::AllocatorMode::kOnDemand,
+                      report.pipeline_depth(), spans, shards, policy);
+    auto* sharded = fs.transport().sharded();
+    for (mif::u32 d = 0; d < 2 * shards; ++d) {
+      const std::string dir = "ns" + std::to_string(d);
+      (void)fs.rpc().mkdir(dir);
+      for (int f = 0; f < 24; ++f) {
+        (void)fs.rpc().create(dir + "/f" + std::to_string(f));
+      }
+    }
+    const mif::u64 fanout_before = sharded->stats().fanout_requests;
+    for (mif::u32 d = 0; d < 2 * shards; ++d) {
+      (void)fs.rpc().readdir_stats("ns" + std::to_string(d));
+    }
+    const mif::shard::ShardStats s = sharded->stats();
+    const std::string policy_name{mif::shard::to_string(policy)};
+    std::printf("  %-8s imbalance=%.3f readdir_fanout=%llu\n",
+                policy_name.c_str(), s.imbalance(),
+                static_cast<unsigned long long>(s.fanout_requests -
+                                                fanout_before));
+    if (!report.json_enabled()) continue;
+    mif::obs::Json config;
+    config["benchmark"] = "shard-namespace";
+    config["mds_shards"] = shards;
+    config["placement"] = policy_name;
+    mif::obs::Json results;
+    results["shard_imbalance"] = s.imbalance();
+    results["shard_fanout"] = s.fanout_requests - fanout_before;
+    results["renames_cross"] = s.renames_cross;
+    report.add_run("shard-namespace " + policy_name, std::move(config),
+                   std::move(results));
+  }
 }
 
 /// Pipelined transport timings for one mounted fs; empty JSON (no keys) when
@@ -69,6 +125,7 @@ int main(int argc, char** argv) {
     config["collective"] = collective;
     if (report.pipeline_depth() >= 2)
       config["pipeline_depth"] = report.pipeline_depth();
+    if (report.mds_shards() >= 2) config["mds_shards"] = report.mds_shards();
     mif::obs::Json results;
     results["reservation_mbps"] = res_mbps;
     results["ondemand_mbps"] = ond_mbps;
@@ -86,8 +143,10 @@ int main(int argc, char** argv) {
     cfg.request_bytes = 64 * 1024;
     cfg.bytes_per_process = report.quick() ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
     cfg.collective = collective;
-    auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp);
-    auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp);
+    auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp,
+                       report.mds_shards());
+    auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp,
+                       report.mds_shards());
     const auto r = mif::workload::run_ior(rfs, cfg);
     const auto o = mif::workload::run_ior(ofs, cfg);
     t.add_row({"IOR2", collective ? "collective" : "non-collective",
@@ -104,8 +163,10 @@ int main(int argc, char** argv) {
     cfg.cells_per_process = 16;
     cfg.cell_bytes = 8 * 1024;
     cfg.collective = collective;
-    auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp);
-    auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp);
+    auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp,
+                       report.mds_shards());
+    auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp,
+                       report.mds_shards());
     const auto r = mif::workload::run_btio(rfs, cfg);
     const auto o = mif::workload::run_btio(ofs, cfg);
     const double rt = 2.0 / (1.0 / r.write_mbps + 1.0 / r.read_mbps);
@@ -116,6 +177,7 @@ int main(int argc, char** argv) {
   }
 
   t.print();
+  run_shard_namespace(report, sp);
   report.write();
   if (sp) mif::obs::write_chrome_trace(spans, report.trace_path());
   return 0;

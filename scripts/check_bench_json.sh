@@ -12,6 +12,11 @@
 # `--pipeline-depth 1` must be byte-identical to the default run (depth 1 IS
 # the sync chain — no AsyncTransport is mounted), and for the first bench a
 # depth-8 run must report pipelined timings with an aggregate speedup > 1.
+#
+# Then the metadata-sharding gate: `--mds-shards 1` must likewise be
+# byte-identical for every bench (a single shard mounts no ShardedTransport),
+# and a fig7_macro `--mds-shards 4` run must carry balanced shard-namespace
+# runs: subtree listing with no fan-out, hash listing with fan-out.
 # Registered as a ctest (see bench/CMakeLists.txt).
 set -eu
 
@@ -19,7 +24,9 @@ BENCH="${1:?usage: check_bench_json.sh <fig6a_stream_count binary> [more...]}"
 OUT="$(mktemp /tmp/mif_bench_json.XXXXXX)"
 DEPTH1="$(mktemp /tmp/mif_bench_json_d1.XXXXXX)"
 DEPTH8="$(mktemp /tmp/mif_bench_json_d8.XXXXXX)"
-trap 'rm -f "$OUT" "$DEPTH1" "$DEPTH8"' EXIT
+SHARD1="$(mktemp /tmp/mif_bench_json_s1.XXXXXX)"
+SHARD4="$(mktemp /tmp/mif_bench_json_s4.XXXXXX)"
+trap 'rm -f "$OUT" "$DEPTH1" "$DEPTH8" "$SHARD1" "$SHARD4"' EXIT
 
 "$BENCH" --quick --json "$OUT" > /dev/null
 
@@ -116,3 +123,60 @@ if best <= 1.0:
 print(f"check_bench_json: OK (depth-8 overlap, best speedup {best:.2f}x "
       f"across {len(runs)} runs)")
 EOF
+
+# ---- metadata-sharding equivalence gate ----------------------------------
+# A single shard mounts no ShardedTransport by construction; `--mds-shards 1`
+# must be byte-identical to the default report for every bench we are handed.
+for bench in "$@"; do
+  name="$(basename "$bench")"
+  "$bench" --quick --json "$OUT" > /dev/null 2>&1
+  "$bench" --quick --json "$SHARD1" --mds-shards 1 > /dev/null 2>&1
+  if ! cmp -s "$OUT" "$SHARD1"; then
+    echo "check_bench_json: FAIL: $name --mds-shards 1 is not" \
+         "byte-identical to the default (single-MDS) report"
+    diff "$OUT" "$SHARD1" | head -20 || true
+    exit 1
+  fi
+  echo "check_bench_json: OK ($name shards-1 report byte-identical to single-MDS)"
+done
+
+# A 4-shard fig7 mount must route for real: the shard-namespace runs report
+# a balanced load (imbalance < 2.0), subtree listings that touch ONE shard
+# (fan-out 0) and hash listings that fan out to every shard.
+for bench in "$@"; do
+  [ "$(basename "$bench")" = "fig7_macro" ] || continue
+  "$bench" --quick --json "$SHARD4" --mds-shards 4 > /dev/null 2>&1
+  python3 - "$SHARD4" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+ns = {r["config"].get("placement"): r for r in doc.get("runs", [])
+      if r["config"].get("benchmark") == "shard-namespace"}
+for placement in ("subtree", "hash"):
+    require(placement in ns, f"shards-4 report lacks the {placement} "
+            "shard-namespace run")
+    res = ns[placement]["results"]
+    require(ns[placement]["config"].get("mds_shards") == 4,
+            f"{placement} namespace run config lacks mds_shards=4")
+    imb = res.get("shard_imbalance")
+    require(isinstance(imb, (int, float)) and imb < 2.0,
+            f"{placement} shard_imbalance {imb} not < 2.0")
+fanout_subtree = ns["subtree"]["results"].get("shard_fanout")
+fanout_hash = ns["hash"]["results"].get("shard_fanout")
+require(fanout_subtree == 0,
+        f"subtree listings fanned out ({fanout_subtree} requests) — "
+        "children left their directory's shard")
+require(isinstance(fanout_hash, int) and fanout_hash > 0,
+        f"hash listings recorded no fan-out ({fanout_hash})")
+print(f"check_bench_json: OK (shards-4 namespace: subtree fanout 0, "
+      f"hash fanout {fanout_hash}, imbalance "
+      f"{ns['subtree']['results']['shard_imbalance']:.2f}/"
+      f"{ns['hash']['results']['shard_imbalance']:.2f})")
+EOF
+done

@@ -40,6 +40,17 @@ Result<FileHandle> ClientFs::open(std::string_view path) {
   return FileHandle{r->ino, key};
 }
 
+Result<FileHandle> ClientFs::rename(std::string_view from,
+                                    std::string_view to) {
+  obs::ScopedSpan span(fs_->spans(), "client.rename", id_.v);
+  auto ino = fs_->rpc().rename(from, to);
+  if (!ino) return ino.error();
+  // A cross-shard rename mints a new inode; drop the stale cached layout so
+  // the next open re-fetches under the new name.
+  layout_cache_.erase(std::string(from));
+  return FileHandle{*ino, std::string(to)};
+}
+
 Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
                        u64 len_bytes) {
   std::vector<rpc::Ticket> tickets;

@@ -53,6 +53,11 @@ class ClientFs {
   /// already holds the layout.
   Result<FileHandle> open(std::string_view path);
 
+  /// Rename `from` to `to` through the MDS.  Under a sharded mount a rename
+  /// that crosses shard boundaries runs the two-phase protocol inside the
+  /// transport; either way the returned handle is the entry at `to`.
+  Result<FileHandle> rename(std::string_view from, std::string_view to);
+
   /// Write [offset, offset+len) bytes from the given thread.  Offsets and
   /// lengths are rounded outward to block granularity (the simulation
   /// tracks placement, not payload).  Internally issue-then-drain: every

@@ -11,17 +11,24 @@ namespace mif::core {
 ParallelFileSystem::ParallelFileSystem(ClusterConfig cfg) : cfg_(cfg) {
   assert(cfg_.num_targets >= 1);
   cfg_.stripe.width = static_cast<u32>(cfg_.num_targets);
-  mds_ = std::make_unique<mds::Mds>(cfg_.mds);
+  const std::size_t shards = std::max<u32>(cfg_.mds.shards, 1);
+  mds_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    mds_.push_back(std::make_unique<mds::Mds>(cfg_.mds));
+  }
   targets_.reserve(cfg_.num_targets);
   for (std::size_t i = 0; i < cfg_.num_targets; ++i) {
     targets_.push_back(std::make_unique<osd::StorageTarget>(cfg_.target));
   }
   rpc::Endpoints eps;
-  eps.mds.push_back(mds_.get());
+  for (auto& m : mds_) eps.mds.push_back(m.get());
   for (auto& t : targets_) eps.osds.push_back(t.get());
   // The async transport prices per-envelope disk service from the spindle
-  // geometry the targets actually mount.
+  // geometry the targets actually mount; the shard router mirrors the
+  // metadata config (shards <= 1 builds no router at all).
   cfg_.rpc.geometry = cfg_.target.geometry;
+  cfg_.rpc.mds_shards = cfg_.mds.shards;
+  cfg_.rpc.placement = cfg_.mds.placement;
   rpc_stack_ = rpc::TransportStack(std::move(eps), cfg_.rpc);
   rpc_client_ = std::make_unique<rpc::Client>(rpc_stack_.top());
 }
@@ -130,13 +137,13 @@ void ParallelFileSystem::reset_data_stats() {
 }
 
 void ParallelFileSystem::set_trace(obs::TraceBuffer* trace) {
-  mds_->set_trace(trace);
+  for (auto& m : mds_) m->set_trace(trace);
   for (auto& t : targets_) t->set_trace(trace);
 }
 
 void ParallelFileSystem::set_spans(obs::SpanCollector* spans) {
   spans_ = spans;
-  mds_->set_spans(spans);
+  for (auto& m : mds_) m->set_spans(spans);
   rpc_stack_.set_spans(spans);
   // One track namespace per attachment: a bench sweeping configurations
   // recreates the cluster against a shared collector, and each mount's
@@ -148,7 +155,15 @@ void ParallelFileSystem::set_spans(obs::SpanCollector* spans) {
 }
 
 void ParallelFileSystem::export_metrics(obs::MetricsRegistry& reg) const {
-  mds_->export_metrics(reg, "mds");
+  // Single-MDS mounts keep the historical "mds" prefix (byte-identity with
+  // the pre-sharding reports); multi-shard mounts export per shard.
+  if (mds_.size() == 1) {
+    mds_[0]->export_metrics(reg, "mds");
+  } else {
+    for (std::size_t i = 0; i < mds_.size(); ++i) {
+      mds_[i]->export_metrics(reg, "mds." + std::to_string(i));
+    }
+  }
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     targets_[i]->export_metrics(reg, "osd." + std::to_string(i));
   }

@@ -58,7 +58,17 @@ class ParallelFileSystem {
   client::ClientFs connect(ClientId id);
 
   // --- namespace (proxied to the MDS) -------------------------------------
-  mds::Mds& mds() { return *mds_; }
+  /// Shard 0 — THE metadata server of a classic single-MDS mount.
+  mds::Mds& mds() { return *mds_[0]; }
+  /// Metadata shard `i` (mds.shards of them; see mds(i) for i >= 1 only
+  /// when mounted with shards >= 2).
+  mds::Mds& mds(std::size_t i) { return *mds_[i]; }
+  std::size_t mds_shards() const { return mds_.size(); }
+  /// Unmount-style finish of every metadata shard (journal flush + disk
+  /// idle); what workloads call instead of mds().finish().
+  void finish_mds() {
+    for (auto& m : mds_) m->finish();
+  }
 
   // --- RPC layer ------------------------------------------------------------
   /// The typed stub every cross-node call goes through (clients, workloads).
@@ -124,7 +134,8 @@ class ParallelFileSystem {
 
  private:
   ClusterConfig cfg_;
-  std::unique_ptr<mds::Mds> mds_;
+  /// One Mds per metadata shard; size 1 unless cfg.mds.shards >= 2.
+  std::vector<std::unique_ptr<mds::Mds>> mds_;
   std::vector<std::unique_ptr<osd::StorageTarget>> targets_;
   rpc::TransportStack rpc_stack_;
   std::unique_ptr<rpc::Client> rpc_client_;

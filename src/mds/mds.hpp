@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "mfs/mfs.hpp"
+#include "shard/map.hpp"
 
 namespace mif::obs {
 class MetricsRegistry;
@@ -32,6 +33,13 @@ struct MdsConfig {
   double cpu_us_per_extent{20.0};
   /// Fixed CPU microseconds per RPC (decode, dispatch, encode).
   double cpu_us_per_rpc{2.0};
+  /// Metadata servers the cluster mounts.  1 = the classic single-MDS stack
+  /// (no shard routing is built at all); >= 2 mounts one full Mds per shard
+  /// behind shard::ShardedTransport.
+  u32 shards{1};
+  /// How the sharded namespace is placed across servers (ignored for
+  /// shards == 1).
+  shard::Policy placement{shard::Policy::kSubtree};
 };
 
 struct MdsStats {

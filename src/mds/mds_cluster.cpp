@@ -2,31 +2,17 @@
 
 #include <cassert>
 
-#include "mfs/name_index.hpp"
-
 namespace mif::mds {
 
 MdsCluster::MdsCluster(std::size_t servers, std::string dirname, MdsConfig cfg)
-    : dirname_(std::move(dirname)) {
-  assert(servers >= 1);
-  servers_.reserve(servers);
-  for (std::size_t i = 0; i < servers; ++i) {
-    servers_.push_back(std::make_unique<Mds>(cfg));
-  }
-  rpc::Endpoints eps;
-  for (auto& s : servers_) eps.mds.push_back(s.get());
-  transport_ = std::make_unique<rpc::InprocTransport>(std::move(eps));
-  clients_.reserve(servers);
-  for (std::size_t i = 0; i < servers; ++i) {
-    clients_.emplace_back(*transport_, static_cast<u32>(i));
-    auto r = clients_.back().mkdir(dirname_);
+    : dirname_(std::move(dirname)),
+      group_(servers, cfg),
+      map_(static_cast<u32>(servers), shard::Policy::kHash) {
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    auto r = group_.client(i).mkdir(dirname_);
     assert(r);
     (void)r;
   }
-}
-
-std::size_t MdsCluster::owner_of(std::string_view name) const {
-  return mfs::name_hash(name) % servers_.size();
 }
 
 std::string MdsCluster::subpath(std::string_view name) const {
@@ -37,9 +23,9 @@ std::string MdsCluster::subpath(std::string_view name) const {
 }
 
 Result<InodeNo> MdsCluster::create(std::string_view name) {
-  const u64 h = mfs::name_hash(name);
+  const u64 h = shard::hash_of(name);
   if (name_hashes_.contains(h)) return Errc::kExists;
-  auto r = clients_[owner_of(name)].create(subpath(name));
+  auto r = group_.client(map_.owner_by_hash(name)).create(subpath(name));
   if (r) {
     name_hashes_.insert(h);
     ++stats_.subordinate_rpcs;
@@ -49,7 +35,7 @@ Result<InodeNo> MdsCluster::create(std::string_view name) {
 
 Status MdsCluster::stat(std::string_view name) {
   ++stats_.lookups;
-  const u64 h = mfs::name_hash(name);
+  const u64 h = shard::hash_of(name);
   if (!name_hashes_.contains(h)) {
     // Primary answers the negative straight from its hash set — no
     // subordinate interaction (§IV-C).
@@ -58,13 +44,13 @@ Status MdsCluster::stat(std::string_view name) {
   }
   ++stats_.primary_hits;
   ++stats_.subordinate_rpcs;
-  return clients_[owner_of(name)].stat(subpath(name));
+  return group_.client(map_.owner_by_hash(name)).stat(subpath(name));
 }
 
 Status MdsCluster::unlink(std::string_view name) {
-  const u64 h = mfs::name_hash(name);
+  const u64 h = shard::hash_of(name);
   if (!name_hashes_.contains(h)) return Errc::kNotFound;
-  Status s = clients_[owner_of(name)].unlink(subpath(name));
+  Status s = group_.client(map_.owner_by_hash(name)).unlink(subpath(name));
   if (s.ok()) {
     name_hashes_.erase(h);
     ++stats_.subordinate_rpcs;

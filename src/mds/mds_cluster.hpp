@@ -8,19 +8,18 @@
 // avoiding extra interactions with the subordinate servers."
 //
 // We model one giant directory striped across N servers by name hash; every
-// member runs its own full MDS stack.  The interesting counter is
-// `avoided_rpcs`: negative lookups the primary answered from its hash set
+// member runs its own full MDS stack (shard::MdsGroup), and the owner of a
+// subfile is decided by the cluster-wide shard::Map — the same placement
+// function the whole-stack ShardedTransport uses.  The interesting counter
+// is `avoided_rpcs`: negative lookups the primary answered from its hash set
 // without touching any subordinate.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <unordered_set>
-#include <vector>
 
-#include "mds/mds.hpp"
-#include "rpc/client.hpp"
-#include "rpc/inproc.hpp"
+#include "shard/group.hpp"
+#include "shard/map.hpp"
 
 namespace mif::mds {
 
@@ -50,27 +49,22 @@ class MdsCluster {
   /// Entries across the whole cluster (scatter-gather readdir).
   u64 total_entries() const;
 
-  Mds& server(std::size_t i) { return *servers_[i]; }
-  std::size_t size() const { return servers_.size(); }
+  Mds& server(std::size_t i) { return group_.server(i); }
+  std::size_t size() const { return group_.size(); }
   const ClusterStats& stats() const { return stats_; }
 
   /// Attach a span collector to every member server (nullptr detaches).
   /// Member metadata disks share one span track; the per-server lookup /
   /// create phases still separate by span args.
-  void set_spans(obs::SpanCollector* spans) {
-    for (auto& s : servers_) s->set_spans(spans);
-  }
+  void set_spans(obs::SpanCollector* spans) { group_.set_spans(spans); }
 
  private:
-  std::size_t owner_of(std::string_view name) const;
   std::string subpath(std::string_view name) const;
 
   std::string dirname_;
-  std::vector<std::unique_ptr<Mds>> servers_;
-  /// One transport spanning all member servers; routing picks the stub
-  /// bound to the owning server (Address{kMds, owner}).
-  std::unique_ptr<rpc::InprocTransport> transport_;
-  std::vector<rpc::Client> clients_;
+  shard::MdsGroup group_;
+  /// Name-hash placement over the members (shard::hash_of everywhere).
+  shard::Map map_;
   std::unordered_set<u64> name_hashes_;  // primary's collected hash set
   ClusterStats stats_;
 };

@@ -1,72 +1,31 @@
 #include "mds/subtree_cluster.hpp"
 
-#include <cassert>
-
 #include "mfs/mfs.hpp"
-#include "mfs/name_index.hpp"
 
 namespace mif::mds {
 
-std::string_view to_string(DistributionPolicy p) {
-  switch (p) {
-    case DistributionPolicy::kSubtree: return "subtree";
-    case DistributionPolicy::kHash: return "hash";
-  }
-  return "?";
-}
-
 SubtreeCluster::SubtreeCluster(std::size_t servers, DistributionPolicy policy,
                                MdsConfig cfg)
-    : policy_(policy) {
-  assert(servers >= 1);
-  servers_.reserve(servers);
-  for (std::size_t i = 0; i < servers; ++i)
-    servers_.push_back(std::make_unique<Mds>(cfg));
-  rpc::Endpoints eps;
-  for (auto& s : servers_) eps.mds.push_back(s.get());
-  transport_ = std::make_unique<rpc::InprocTransport>(std::move(eps));
-  clients_.reserve(servers);
-  for (std::size_t i = 0; i < servers; ++i)
-    clients_.emplace_back(*transport_, static_cast<u32>(i));
-}
-
-std::size_t SubtreeCluster::home_of_dir(std::string_view dir_path) const {
-  const auto parts = mfs::split_path(dir_path);
-  if (parts.empty()) return 0;  // the root itself
-  const auto it = delegation_.find(std::string(parts.front()));
-  return it == delegation_.end() ? 0 : it->second;
-}
-
-std::size_t SubtreeCluster::owner_of(std::string_view path) const {
-  switch (policy_) {
-    case DistributionPolicy::kSubtree:
-      return home_of_dir(path);
-    case DistributionPolicy::kHash:
-      return mfs::name_hash(path) % servers_.size();
-  }
-  return 0;
-}
+    : group_(servers, cfg), map_(static_cast<u32>(servers), policy) {}
 
 Status SubtreeCluster::mkdir(std::string_view path) {
   ++stats_.ops;
   const auto parts = mfs::split_path(path);
   if (parts.empty()) return Errc::kInvalid;
-  if (policy_ == DistributionPolicy::kSubtree) {
+  if (map_.policy() == DistributionPolicy::kSubtree) {
     // Delegate top-level directories round-robin; deeper ones stay in the
     // subtree they belong to.
-    if (parts.size() == 1) {
-      delegation_.emplace(std::string(parts.front()),
-                          next_delegate_++ % servers_.size());
-    }
-    auto r = clients_[home_of_dir(path)].mkdir(path);
+    const u32 home = parts.size() == 1 ? map_.delegate(parts.front())
+                                       : map_.home_of(path);
+    auto r = group_.client(home).mkdir(path);
     if (r) ++stats_.colocated_ops;
     return r ? Status{} : Status{r.error()};
   }
   // Hash policy: the directory skeleton must exist on every server, because
   // any server may be asked to create a child under it.
   Status out;
-  for (auto& c : clients_) {
-    auto r = c.mkdir(path);
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    auto r = group_.client(i).mkdir(path);
     if (!r && r.error() != Errc::kExists) out = r.error();
     ++stats_.fanout_requests;
   }
@@ -75,49 +34,43 @@ Status SubtreeCluster::mkdir(std::string_view path) {
 
 Result<InodeNo> SubtreeCluster::create(std::string_view path) {
   ++stats_.ops;
-  const std::size_t owner = owner_of(path);
-  if (policy_ == DistributionPolicy::kSubtree ||
-      owner == home_of_dir(path)) {
-    ++stats_.colocated_ops;
-  }
-  return clients_[owner].create(path);
+  const u32 owner = map_.owner_of(path);
+  if (owner == map_.home_of(path)) ++stats_.colocated_ops;
+  return group_.client(owner).create(path);
 }
 
 Status SubtreeCluster::stat(std::string_view path) {
   ++stats_.ops;
-  const std::size_t owner = owner_of(path);
-  if (policy_ == DistributionPolicy::kSubtree ||
-      owner == home_of_dir(path)) {
-    ++stats_.colocated_ops;
-  }
-  return clients_[owner].stat(path);
+  const u32 owner = map_.owner_of(path);
+  if (owner == map_.home_of(path)) ++stats_.colocated_ops;
+  return group_.client(owner).stat(path);
 }
 
 Status SubtreeCluster::utime(std::string_view path) {
   ++stats_.ops;
-  return clients_[owner_of(path)].utime(path);
+  return group_.client(map_.owner_of(path)).utime(path);
 }
 
 Status SubtreeCluster::unlink(std::string_view path) {
   ++stats_.ops;
-  return clients_[owner_of(path)].unlink(path);
+  return group_.client(map_.owner_of(path)).unlink(path);
 }
 
 Result<std::vector<mfs::DirEntry>> SubtreeCluster::readdir_stats(
     std::string_view dir) {
   ++stats_.ops;
-  if (policy_ == DistributionPolicy::kSubtree) {
+  if (map_.policy() == DistributionPolicy::kSubtree) {
     // One server holds the directory AND every child's embedded metadata:
     // the aggregation stays a single contiguous sweep (§IV-D).
     ++stats_.colocated_ops;
     ++stats_.fanout_requests;
-    return clients_[home_of_dir(dir)].readdir_stats(dir);
+    return group_.client(map_.home_of(dir)).readdir_stats(dir);
   }
   // Hash policy: children are scattered; every server must list its share.
   std::vector<mfs::DirEntry> all;
-  for (auto& c : clients_) {
+  for (std::size_t i = 0; i < group_.size(); ++i) {
     ++stats_.fanout_requests;
-    auto part = c.readdir_stats(dir);
+    auto part = group_.client(i).readdir_stats(dir);
     if (!part) {
       if (part.error() == Errc::kNotFound) continue;
       return part;
@@ -129,15 +82,17 @@ Result<std::vector<mfs::DirEntry>> SubtreeCluster::readdir_stats(
 
 u64 SubtreeCluster::total_disk_accesses() const {
   u64 n = 0;
-  for (const auto& s : servers_)
-    n += const_cast<Mds&>(*s).fs().disk_accesses();
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    n += const_cast<shard::MdsGroup&>(group_).server(i).fs().disk_accesses();
+  }
   return n;
 }
 
 double SubtreeCluster::total_elapsed_ms() const {
   double t = 0.0;
-  for (const auto& s : servers_)
-    t += const_cast<Mds&>(*s).fs().elapsed_ms();
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    t += const_cast<shard::MdsGroup&>(group_).server(i).fs().elapsed_ms();
+  }
   return t;
 }
 

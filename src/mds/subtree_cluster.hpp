@@ -12,25 +12,18 @@
 // claim is measurable: under subtree partitioning, a directory and all its
 // children live on one server (readdirplus = one server's one contiguous
 // region); under hash partitioning, children scatter and an aggregated
-// listing must fan out.
+// listing must fan out.  Placement itself is shard::Map — the same
+// delegation/hash logic the whole-stack ShardedTransport routes by.
 #pragma once
 
-#include <memory>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "mds/mds.hpp"
-#include "rpc/client.hpp"
-#include "rpc/inproc.hpp"
+#include "shard/group.hpp"
+#include "shard/map.hpp"
 
 namespace mif::mds {
 
-enum class DistributionPolicy {
-  kSubtree,  // a directory's files live with the directory
-  kHash,     // every path is placed by hash of its full name
-};
-std::string_view to_string(DistributionPolicy p);
+/// Placement policy, shared with the shard subsystem (`to_string` comes
+/// along via ADL).
+using DistributionPolicy = shard::Policy;
 
 struct SubtreeClusterStats {
   u64 ops{0};
@@ -58,8 +51,8 @@ class SubtreeCluster {
   /// directory.  Hash: every server owning any child must be asked.
   Result<std::vector<mfs::DirEntry>> readdir_stats(std::string_view dir);
 
-  Mds& server(std::size_t i) { return *servers_[i]; }
-  std::size_t size() const { return servers_.size(); }
+  Mds& server(std::size_t i) { return group_.server(i); }
+  std::size_t size() const { return group_.size(); }
   const SubtreeClusterStats& stats() const { return stats_; }
 
   /// Aggregate disk requests across the cluster (the Fig. 8-style metric).
@@ -67,17 +60,8 @@ class SubtreeCluster {
   double total_elapsed_ms() const;
 
  private:
-  std::size_t home_of_dir(std::string_view dir_path) const;
-  std::size_t owner_of(std::string_view path) const;
-
-  DistributionPolicy policy_;
-  std::vector<std::unique_ptr<Mds>> servers_;
-  /// One transport over all members; per-server stubs carry the routing.
-  std::unique_ptr<rpc::InprocTransport> transport_;
-  std::vector<rpc::Client> clients_;
-  /// Subtree policy: top-level directory name -> server.
-  std::unordered_map<std::string, std::size_t> delegation_;
-  std::size_t next_delegate_{0};
+  shard::MdsGroup group_;
+  shard::Map map_;
   SubtreeClusterStats stats_;
 };
 

@@ -23,6 +23,11 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
     } else if (arg.rfind("--pipeline-depth=", 0) == 0) {
       pipeline_depth_ =
           static_cast<u32>(std::atoi(std::string(arg.substr(17)).c_str()));
+    } else if (arg == "--mds-shards" && i + 1 < argc) {
+      mds_shards_ = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--mds-shards=", 0) == 0) {
+      mds_shards_ =
+          static_cast<u32>(std::atoi(std::string(arg.substr(13)).c_str()));
     }
   }
   doc_["schema_version"] = kReportSchemaVersion;

@@ -30,9 +30,9 @@ inline constexpr u64 kReportSchemaVersion = 1;
 
 class BenchReport {
  public:
-  /// Parses `--json <path>`, `--trace <path>`, `--quick` and
-  /// `--pipeline-depth <N>` out of argv.  Unknown arguments are ignored
-  /// (google-benchmark style flags pass through).
+  /// Parses `--json <path>`, `--trace <path>`, `--quick`,
+  /// `--pipeline-depth <N>` and `--mds-shards <N>` out of argv.  Unknown
+  /// arguments are ignored (google-benchmark style flags pass through).
   BenchReport(std::string_view bench_name, int argc, char** argv);
 
   bool json_enabled() const { return !path_.empty(); }
@@ -42,6 +42,11 @@ class BenchReport {
   /// the async transport.  0 when absent; benches treat 0/1 as the default
   /// synchronous chain (output stays byte-identical).
   u32 pipeline_depth() const { return pipeline_depth_; }
+
+  /// `--mds-shards <N>` / `--mds-shards=<N>`: metadata shards to mount.
+  /// 0 when absent; benches treat 0/1 as the classic single-MDS stack
+  /// (output stays byte-identical).
+  u32 mds_shards() const { return mds_shards_; }
 
   /// `--trace <path>` / `--trace=<path>`: where to write the Chrome-trace /
   /// Perfetto span dump; empty when tracing was not requested.  The bench
@@ -66,6 +71,7 @@ class BenchReport {
   std::string trace_path_;
   bool quick_{false};
   u32 pipeline_depth_{0};
+  u32 mds_shards_{0};
   Json doc_;
 };
 

@@ -23,6 +23,11 @@ TransportStack::TransportStack(Endpoints eps, const TransportOptions& opt) {
     fault_ = std::make_unique<FaultTransport>(*top_);
     top_ = fault_.get();
   }
+  if (opt.mds_shards >= 2) {
+    sharded_ = std::make_unique<shard::ShardedTransport>(*top_, opt.mds_shards,
+                                                         opt.placement);
+    top_ = sharded_.get();
+  }
 }
 
 }  // namespace mif::rpc

@@ -1,13 +1,16 @@
 // TransportStack: owns and chains the transport decorators for one cluster.
 //
-//   top() == Fault( [Batching(] [Async(] Inproc [)] [)] )
+//   top() == Sharded( [Fault(] [Batching(] [Async(] Inproc [)] [)] [)] )
 //
 // InprocTransport is always present (it dispatches and charges); the async
 // pipeline is built only for pipeline_depth >= 2 (depth 1 IS the sync
 // chain); batching is opt-in via TransportOptions::kind; the fault decorator
 // is built only when inject_faults is set, so the default request path has
-// zero fault-check overhead.  core::ParallelFileSystem holds one stack;
-// tests build their own around hand-made Endpoints.
+// zero fault-check overhead; the shard router is built only for
+// mds_shards >= 2 — above the fault layer, because multi-MDS routing is
+// client-library logic and each of its sub-envelopes (fan-out legs, rename
+// phases) must individually cross the "NIC".  core::ParallelFileSystem
+// holds one stack; tests build their own around hand-made Endpoints.
 #pragma once
 
 #include <memory>
@@ -16,6 +19,7 @@
 #include "rpc/batching.hpp"
 #include "rpc/fault.hpp"
 #include "rpc/inproc.hpp"
+#include "shard/transport.hpp"
 
 namespace mif::rpc {
 
@@ -36,6 +40,11 @@ struct TransportOptions {
   sim::DiskGeometry geometry{};
   /// Build a FaultTransport on top (disarmed until FaultTransport::arm).
   bool inject_faults{false};
+  /// Metadata shards to route across; <= 1 keeps the single-MDS chain (no
+  /// ShardedTransport is built, so the default figures stay byte-identical).
+  u32 mds_shards{1};
+  /// Namespace placement across shards (ignored for mds_shards <= 1).
+  shard::Policy placement{shard::Policy::kSubtree};
 };
 
 class TransportStack {
@@ -60,6 +69,8 @@ class TransportStack {
   const AsyncTransport* async() const { return async_.get(); }
   BatchingTransport* batching() { return batching_.get(); }
   FaultTransport* fault() { return fault_.get(); }
+  shard::ShardedTransport* sharded() { return sharded_.get(); }
+  const shard::ShardedTransport* sharded() const { return sharded_.get(); }
 
   const sim::Network& meta_network() const { return inproc_->meta_network(); }
   const sim::Network& data_network() const { return inproc_->data_network(); }
@@ -79,6 +90,7 @@ class TransportStack {
   std::unique_ptr<AsyncTransport> async_;
   std::unique_ptr<BatchingTransport> batching_;
   std::unique_ptr<FaultTransport> fault_;
+  std::unique_ptr<shard::ShardedTransport> sharded_;
   Transport* top_{nullptr};
 };
 

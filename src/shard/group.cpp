@@ -1,0 +1,22 @@
+#include "shard/group.hpp"
+
+#include <cassert>
+
+namespace mif::shard {
+
+MdsGroup::MdsGroup(std::size_t servers, const mds::MdsConfig& cfg) {
+  assert(servers >= 1);
+  servers_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    servers_.push_back(std::make_unique<mds::Mds>(cfg));
+  }
+  rpc::Endpoints eps;
+  for (auto& s : servers_) eps.mds.push_back(s.get());
+  transport_ = std::make_unique<rpc::InprocTransport>(std::move(eps));
+  clients_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    clients_.emplace_back(*transport_, static_cast<u32>(i));
+  }
+}
+
+}  // namespace mif::shard

@@ -1,0 +1,42 @@
+// shard::MdsGroup — N metadata servers behind one in-process transport.
+//
+// The member-vector plumbing both §IV-C/§IV-D cluster models used to carry
+// privately (server ownership, Endpoints wiring, one typed stub per member):
+// now in one place, shared by MdsCluster, SubtreeCluster and any fixture
+// that needs a standalone shard set without the full core stack.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mds/mds.hpp"
+#include "rpc/client.hpp"
+#include "rpc/inproc.hpp"
+
+namespace mif::shard {
+
+class MdsGroup {
+ public:
+  explicit MdsGroup(std::size_t servers, const mds::MdsConfig& cfg = {});
+
+  std::size_t size() const { return servers_.size(); }
+  mds::Mds& server(std::size_t i) { return *servers_[i]; }
+  const mds::Mds& server(std::size_t i) const { return *servers_[i]; }
+
+  /// Typed stub bound to member `i` (Address{kMds, i}).
+  rpc::Client& client(std::size_t i) { return clients_[i]; }
+
+  rpc::InprocTransport& transport() { return *transport_; }
+
+  /// Attach a span collector to every member server (nullptr detaches).
+  void set_spans(obs::SpanCollector* spans) {
+    for (auto& s : servers_) s->set_spans(spans);
+  }
+
+ private:
+  std::vector<std::unique_ptr<mds::Mds>> servers_;
+  std::unique_ptr<rpc::InprocTransport> transport_;
+  std::vector<rpc::Client> clients_;
+};
+
+}  // namespace mif::shard

@@ -1,0 +1,74 @@
+// shard::Map — the one placement policy every multi-MDS component uses.
+//
+// The paper's §IV-C/§IV-D clusters place metadata two ways:
+//   * kSubtree — a directory and everything beneath it live on the shard its
+//     top-level directory was delegated to (round-robin at mkdir time).
+//     Locality preserved: an aggregated readdirplus touches ONE shard.
+//   * kHash   — every path is placed by a stable name hash.  Load spread
+//     evenly, locality sacrificed: aggregates must fan out to every shard
+//     (the limitation Sears & van Ingen call out for hashed placement).
+//
+// This used to live twice (MdsCluster's name-hash routing, SubtreeCluster's
+// delegation map); both routers and the whole-stack shard::ShardedTransport
+// now share this map, so a placement change lands everywhere at once.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace mif::shard {
+
+enum class Policy : u8 {
+  kSubtree,  // a directory's files live with the directory
+  kHash,     // every path is placed by hash of its full name
+};
+std::string_view to_string(Policy p);
+
+/// The cluster-wide placement hash (FNV-1a, stable across runs and
+/// processes).  Every shard-owner decision — giant-directory striping,
+/// pathname-hash distribution, the primary's negative-lookup set — uses this
+/// one function, so two components never disagree about an owner.
+u64 hash_of(std::string_view key);
+
+class Map {
+ public:
+  Map(u32 shards, Policy policy) : shards_(shards), policy_(policy) {}
+
+  u32 shards() const { return shards_; }
+  Policy policy() const { return policy_; }
+
+  /// Owner of a flat key (subfile name, full pathname) by hash placement.
+  u32 owner_by_hash(std::string_view key) const {
+    return static_cast<u32>(hash_of(key) % shards_);
+  }
+
+  /// Delegate a top-level directory round-robin (idempotent: re-delegating
+  /// an assigned name keeps its shard).  Returns the home shard.
+  u32 delegate(std::string_view top_level);
+
+  /// Home shard of the subtree containing `path`: the delegation of its
+  /// top-level component, shard 0 for the root and undelegated names.
+  u32 home_of(std::string_view path) const;
+
+  /// Placement of `path` under the configured policy.
+  u32 owner_of(std::string_view path) const {
+    return policy_ == Policy::kSubtree ? home_of(path)
+                                       : owner_by_hash(path);
+  }
+
+  bool delegated(std::string_view top_level) const {
+    return delegation_.find(std::string(top_level)) != delegation_.end();
+  }
+
+ private:
+  u32 shards_;
+  Policy policy_;
+  /// Subtree policy: top-level directory name -> shard.
+  std::unordered_map<std::string, u32> delegation_;
+  u32 next_delegate_{0};
+};
+
+}  // namespace mif::shard

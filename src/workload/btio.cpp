@@ -93,7 +93,7 @@ BtioResult run_btio(core::ParallelFileSystem& fs, const BtioConfig& cfg) {
   res.read_mbps = mb / (res.read_ms * 1e-3);
   res.mds_cpu = fs.mds().stats().cpu_ms / (res.write_ms + res.read_ms);
   // Unmount-style metadata sync after measurement (commit + checkpoint).
-  fs.mds().finish();
+  fs.finish_mds();
   return res;
 }
 

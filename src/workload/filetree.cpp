@@ -36,13 +36,13 @@ AppRunResult FileTreeWorkload::timed(u64 ops, double cpu_ms,
                                      const std::function<void()>& body) {
   // Each application starts with a cold metadata cache — untar, make and
   // clean are separate program runs with other activity in between.
-  fs_.mds().finish();
+  fs_.finish_mds();
   fs_.mds().fs().cache().invalidate_all();
   const double meta0 = fs_.mds().fs().elapsed_ms();
   const double data0 = fs_.data_elapsed_ms();
   body();
   fs_.drain_data();
-  fs_.mds().finish();
+  fs_.finish_mds();
   AppRunResult r;
   r.ops = ops;
   r.cpu_ms = cpu_ms;

@@ -109,7 +109,7 @@ IorResult run_ior(core::ParallelFileSystem& fs, const IorConfig& cfg) {
   res.mds_cpu = fs.mds().stats().cpu_ms / (res.write_ms + res.read_ms);
   // Unmount-style metadata sync after measurement: forces the batched
   // journal out so even short runs commit + checkpoint.
-  fs.mds().finish();
+  fs.finish_mds();
   return res;
 }
 

@@ -97,7 +97,7 @@ PostmarkResult run_postmark(core::ParallelFileSystem& fs,
   }
 
   fs.drain_data();
-  fs.mds().finish();
+  fs.finish_mds();
   res.metadata_ms = fs.mds().fs().elapsed_ms() - meta0;
   res.data_ms = fs.data_elapsed_ms() - data0;
   res.elapsed_ms = res.metadata_ms + res.data_ms;

@@ -89,7 +89,7 @@ SharedFileResult run_shared_file(core::ParallelFileSystem& fs,
   // Unmount-style metadata sync: force the batched journal transactions out
   // (commit + checkpoint) so short runs still reach stable storage.  All
   // result fields are measured above; this only settles the MDS disk.
-  fs.mds().finish();
+  fs.finish_mds();
   return res;
 }
 

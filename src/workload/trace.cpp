@@ -150,7 +150,7 @@ ReplayResult replay(core::ParallelFileSystem& fs, const Trace& trace) {
     }
   }
   fs.drain_data();
-  fs.mds().finish();
+  fs.finish_mds();
   res.data_elapsed_ms = fs.data_elapsed_ms() - data0;
   res.metadata_elapsed_ms = fs.mds().fs().elapsed_ms() - meta0;
   return res;

@@ -16,13 +16,14 @@
 namespace mif {
 namespace {
 
-using Config = std::tuple<alloc::AllocatorMode, mfs::DirectoryMode>;
+using Config = std::tuple<alloc::AllocatorMode, mfs::DirectoryMode, u32>;
 
 std::string config_name(const ::testing::TestParamInfo<Config>& info) {
   std::string s{alloc::to_string(std::get<0>(info.param))};
   for (auto& c : s)
     if (c == '-') c = '_';
-  return s + "_" + std::string(to_string(std::get<1>(info.param)));
+  return s + "_" + std::string(to_string(std::get<1>(info.param))) + "_s" +
+         std::to_string(std::get<2>(info.param));
 }
 
 class SystemMatrix : public ::testing::TestWithParam<Config> {
@@ -33,11 +34,14 @@ class SystemMatrix : public ::testing::TestWithParam<Config> {
     cfg.target.allocator = std::get<0>(GetParam());
     cfg.mds.mfs.mode = std::get<1>(GetParam());
     cfg.mds.mfs.cache_blocks = 1024;
+    cfg.mds.shards = std::get<2>(GetParam());
     return cfg;
   }
 
   void verify_everything(core::ParallelFileSystem& fs) {
-    EXPECT_TRUE(fs.mds().fs().layout().verify().ok());
+    for (std::size_t s = 0; s < fs.mds_shards(); ++s) {
+      EXPECT_TRUE(fs.mds(s).fs().layout().verify().ok()) << "shard " << s;
+    }
     for (std::size_t t = 0; t < fs.num_targets(); ++t) {
       const auto report = fs.target(t).verify();
       EXPECT_TRUE(report.ok())
@@ -141,7 +145,10 @@ INSTANTIATE_TEST_SUITE_P(
                           alloc::AllocatorMode::kReservation,
                           alloc::AllocatorMode::kOnDemand),
         ::testing::Values(mfs::DirectoryMode::kNormal,
-                          mfs::DirectoryMode::kEmbedded)),
+                          mfs::DirectoryMode::kEmbedded),
+        // Metadata shards: the classic single-MDS stack and a 3-shard mount
+        // routed through shard::ShardedTransport.
+        ::testing::Values(1u, 3u)),
     config_name);
 
 }  // namespace

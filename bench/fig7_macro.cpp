@@ -5,10 +5,13 @@
 // non-collective outright (~40 MB aggregated requests) and shrinks the
 // allocator's influence.
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "shard/transport.hpp"
 #include "util/table.hpp"
 #include "workload/btio.hpp"
@@ -108,6 +111,18 @@ int main(int argc, char** argv) {
   mif::obs::SpanCollector spans;
   mif::obs::SpanCollector* sp = report.trace_enabled() ? &spans : nullptr;
 
+  // One flight recorder per measured on-demand mount (`--timeseries`); the
+  // series land in the JSON report and, with `--trace`, as Perfetto counter
+  // tracks alongside the spans.
+  std::vector<std::unique_ptr<mif::obs::Timeline>> timelines;
+  auto new_timeline = [&](const std::string& label) -> mif::obs::Timeline* {
+    if (!report.timeseries_enabled()) return nullptr;
+    timelines.push_back(
+        std::make_unique<mif::obs::Timeline>(report.timeline_config()));
+    timelines.back()->set_label(label);
+    return timelines.back().get();
+  };
+
   std::printf(
       "Fig 7 — macro benchmarks on a 16-node/64-process cluster, 8-disk "
       "stripe\n(paper: on-demand > reservation, BTIO non-collective +19%%; "
@@ -118,7 +133,8 @@ int main(int argc, char** argv) {
 
   auto add_json = [&](const char* bench, bool collective, double res_mbps,
                       double ond_mbps, mif::core::ParallelFileSystem& rfs,
-                      mif::core::ParallelFileSystem& ofs) {
+                      mif::core::ParallelFileSystem& ofs,
+                      mif::obs::Timeline* tl) {
     if (!report.json_enabled()) return;
     mif::obs::Json config;
     config["benchmark"] = bench;
@@ -133,7 +149,8 @@ int main(int argc, char** argv) {
     add_pipeline_fields(results, "ondemand", ofs);
     report.add_run(std::string(bench) +
                        (collective ? " collective" : " non-collective"),
-                   std::move(config), std::move(results));
+                   std::move(config), std::move(results), mif::obs::Json{},
+                   tl ? tl->to_json() : mif::obs::Json{});
   };
 
   // ---- IOR: each process owns a contiguous 1/m share, 32 KiB requests ----
@@ -147,12 +164,16 @@ int main(int argc, char** argv) {
                        report.mds_shards());
     auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp,
                        report.mds_shards());
+    mif::obs::Timeline* tl = new_timeline(
+        std::string("IOR2 ") + (collective ? "collective" : "non-collective"));
+    ofs.set_timeline(tl);
     const auto r = mif::workload::run_ior(rfs, cfg);
     const auto o = mif::workload::run_ior(ofs, cfg);
+    if (tl) tl->mark_epoch("end");
     t.add_row({"IOR2", collective ? "collective" : "non-collective",
                Table::num(r.total_mbps), Table::num(o.total_mbps),
                Table::pct(o.total_mbps / r.total_mbps - 1.0)});
-    add_json("IOR2", collective, r.total_mbps, o.total_mbps, rfs, ofs);
+    add_json("IOR2", collective, r.total_mbps, o.total_mbps, rfs, ofs, tl);
   }
 
   // ---- BTIO: nested-strided small cells per timestep ---------------------
@@ -167,18 +188,26 @@ int main(int argc, char** argv) {
                        report.mds_shards());
     auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp,
                        report.mds_shards());
+    mif::obs::Timeline* tl = new_timeline(
+        std::string("BTIO ") + (collective ? "collective" : "non-collective"));
+    ofs.set_timeline(tl);
     const auto r = mif::workload::run_btio(rfs, cfg);
     const auto o = mif::workload::run_btio(ofs, cfg);
+    if (tl) tl->mark_epoch("end");
     const double rt = 2.0 / (1.0 / r.write_mbps + 1.0 / r.read_mbps);
     const double ot = 2.0 / (1.0 / o.write_mbps + 1.0 / o.read_mbps);
     t.add_row({"BTIO", collective ? "collective" : "non-collective",
                Table::num(rt), Table::num(ot), Table::pct(ot / rt - 1.0)});
-    add_json("BTIO", collective, rt, ot, rfs, ofs);
+    add_json("BTIO", collective, rt, ot, rfs, ofs, tl);
   }
 
   t.print();
   run_shard_namespace(report, sp);
   report.write();
-  if (sp) mif::obs::write_chrome_trace(spans, report.trace_path());
+  if (sp) {
+    std::vector<const mif::obs::Timeline*> tls;
+    for (const auto& tl : timelines) tls.push_back(tl.get());
+    mif::obs::write_chrome_trace(spans, tls, report.trace_path());
+  }
   return 0;
 }

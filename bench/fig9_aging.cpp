@@ -6,9 +6,13 @@
 //   * Lustre (ext4/Htree lookup) beats ext3 Redbud, but embedded
 //     directories still lead both by >26 %.
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/timeline.hpp"
 #include "util/table.hpp"
 #include "workload/aging.hpp"
 
@@ -29,15 +33,30 @@ mif::mds::MdsConfig cfg_for(mif::mfs::DirectoryMode mode,
 }
 
 mif::workload::AgingResult age(mif::mfs::DirectoryMode mode,
-                               mif::mfs::LookupDiscipline disc,
-                               double target) {
+                               mif::mfs::LookupDiscipline disc, double target,
+                               mif::obs::Timeline* tl = nullptr,
+                               mif::obs::Json* metrics_out = nullptr) {
   mif::mds::Mds mds(cfg_for(mode, disc));
+  if (tl) mds.set_timeline(tl);
   mif::workload::AgingConfig acfg;
   acfg.target_utilisation = target;
   acfg.files_per_round = 10000;  // large aged directories
   acfg.measure_files = 1000;
   acfg.measure_dirs = 4;
-  return mif::workload::run_aging(mds, acfg);
+  const auto r = mif::workload::run_aging(mds, acfg);
+  if (tl) {
+    // Final epoch refreshes the fragmentation lens, so the series' last
+    // sample and the exported end-of-run gauges are the SAME snapshot —
+    // the invariant scripts/check_bench_json.sh asserts.
+    tl->mark_epoch("end");
+    if (metrics_out) {
+      mif::obs::MetricsRegistry reg;
+      mds.export_metrics(reg, "mds");
+      mds.frag_lens()->export_metrics(reg, "frag");
+      *metrics_out = reg.to_json();
+    }
+  }
+  return r;
 }
 
 }  // namespace
@@ -70,7 +89,16 @@ int main(int argc, char** argv) {
       report.quick() ? std::vector<double>{0.1} : std::vector<double>{0.1, 0.4, 0.6, 0.8};
   for (double target : targets) {
     for (const auto& s : systems) {
-      const auto r = age(s.mode, s.disc, target);
+      const std::string run_name =
+          std::string(s.name) + " @" + std::to_string(target);
+      std::unique_ptr<mif::obs::Timeline> tl;
+      if (report.timeseries_enabled()) {
+        tl = std::make_unique<mif::obs::Timeline>(report.timeline_config());
+        tl->set_label(run_name);
+      }
+      mif::obs::Json metrics;
+      const auto r = age(s.mode, s.disc, target, tl.get(),
+                         report.json_enabled() ? &metrics : nullptr);
       t.add_row({Table::num(100.0 * r.utilisation_reached, 0) + "%", s.name,
                  Table::num(r.create_ops_per_sec, 0),
                  Table::num(r.delete_ops_per_sec, 0)});
@@ -82,9 +110,9 @@ int main(int argc, char** argv) {
         results["utilisation_reached"] = r.utilisation_reached;
         results["create_ops_per_sec"] = r.create_ops_per_sec;
         results["delete_ops_per_sec"] = r.delete_ops_per_sec;
-        report.add_run(std::string(s.name) + " @" +
-                           std::to_string(target),
-                       std::move(config), std::move(results));
+        report.add_run(run_name, std::move(config), std::move(results),
+                       tl ? std::move(metrics) : mif::obs::Json{},
+                       tl ? tl->to_json() : mif::obs::Json{});
       }
     }
   }

@@ -17,6 +17,12 @@
 # byte-identical for every bench (a single shard mounts no ShardedTransport),
 # and a fig7_macro `--mds-shards 4` run must carry balanced shard-namespace
 # runs: subtree listing with no fan-out, hash listing with fan-out.
+#
+# Then the flight-recorder gate: without `--timeseries` no run carries a
+# timeseries section; a fig9_aging `--timeseries` run must emit strictly
+# monotone sim timestamps, a non-empty and non-decreasing frag.extent_count
+# series whose final sample equals the end-of-run frag.extent_count registry
+# gauge exactly, and the workload's epoch marks.
 # Registered as a ctest (see bench/CMakeLists.txt).
 set -eu
 
@@ -26,7 +32,8 @@ DEPTH1="$(mktemp /tmp/mif_bench_json_d1.XXXXXX)"
 DEPTH8="$(mktemp /tmp/mif_bench_json_d8.XXXXXX)"
 SHARD1="$(mktemp /tmp/mif_bench_json_s1.XXXXXX)"
 SHARD4="$(mktemp /tmp/mif_bench_json_s4.XXXXXX)"
-trap 'rm -f "$OUT" "$DEPTH1" "$DEPTH8" "$SHARD1" "$SHARD4"' EXIT
+TS="$(mktemp /tmp/mif_bench_json_ts.XXXXXX)"
+trap 'rm -f "$OUT" "$DEPTH1" "$DEPTH8" "$SHARD1" "$SHARD4" "$TS"' EXIT
 
 "$BENCH" --quick --json "$OUT" > /dev/null
 
@@ -178,5 +185,91 @@ print(f"check_bench_json: OK (shards-4 namespace: subtree fanout 0, "
       f"hash fanout {fanout_hash}, imbalance "
       f"{ns['subtree']['results']['shard_imbalance']:.2f}/"
       f"{ns['hash']['results']['shard_imbalance']:.2f})")
+EOF
+done
+
+# ---- flight-recorder (--timeseries) gate ----------------------------------
+# Off by default: no run of any bench carries a "timeseries" section.
+for bench in "$@"; do
+  name="$(basename "$bench")"
+  "$bench" --quick --json "$OUT" > /dev/null 2>&1
+  python3 - "$OUT" "$name" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for run in doc.get("runs", []):
+    if "timeseries" in run:
+        sys.exit(f"check_bench_json: FAIL: {sys.argv[2]} run "
+                 f"'{run.get('name')}' carries a timeseries section "
+                 "without --timeseries")
+EOF
+done
+echo "check_bench_json: OK (no timeseries section without --timeseries)"
+
+# An invalid interval must fail fast, not mount a broken recorder.
+for bench in "$@"; do
+  [ "$(basename "$bench")" = "fig9_aging" ] || continue
+  if "$bench" --quick --json "$TS" --timeseries=0 > /dev/null 2>&1; then
+    echo "check_bench_json: FAIL: fig9_aging --timeseries=0 did not fail"
+    exit 1
+  fi
+  echo "check_bench_json: OK (fig9_aging --timeseries=0 rejected)"
+done
+
+# The aging bench under the recorder: strictly monotone sim time axis, a
+# non-empty, non-decreasing frag.extent_count series whose final sample
+# equals the end-of-run registry gauge EXACTLY (same scan, same doubles),
+# and the aging workload's epoch marks.
+for bench in "$@"; do
+  [ "$(basename "$bench")" = "fig9_aging" ] || continue
+  "$bench" --quick --json "$TS" --timeseries > /dev/null 2>&1
+  python3 - "$TS" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+runs = doc.get("runs", [])
+require(runs, "fig9 --timeseries report has no runs")
+samples = 0
+for run in runs:
+    name = run.get("name")
+    ts = run.get("timeseries")
+    require(isinstance(ts, dict), f"run '{name}' has no timeseries")
+    require(ts.get("interval_ms", 0) > 0, f"run '{name}' interval_ms <= 0")
+    times = ts.get("times_ms")
+    require(isinstance(times, list) and times, f"run '{name}' times_ms empty")
+    for a, b in zip(times, times[1:]):
+        require(a < b, f"run '{name}' sim timestamps not strictly "
+                f"increasing ({a} then {b})")
+    frag = ts.get("series", {}).get("frag.extent_count")
+    require(isinstance(frag, dict), f"run '{name}' lacks frag.extent_count")
+    values = frag.get("values")
+    require(isinstance(values, list) and values,
+            f"run '{name}' frag.extent_count series empty")
+    require(len(values) == len(times),
+            f"run '{name}' series length != time axis length")
+    require(any(v > 0 for v in values),
+            f"run '{name}' frag.extent_count never rose above zero")
+    for a, b in zip(values, values[1:]):
+        require(b >= a, f"run '{name}' frag.extent_count decreased under "
+                f"churn ({a} then {b})")
+    gauge = run.get("metrics", {}).get("gauges", {}).get("frag.extent_count")
+    require(gauge is not None, f"run '{name}' metrics lack frag.extent_count")
+    require(values[-1] == gauge and frag.get("last") == gauge,
+            f"run '{name}' final timeline sample {values[-1]} != end-of-run "
+            f"registry gauge {gauge}")
+    labels = {e.get("label") for e in ts.get("epochs", [])}
+    for epoch in ("churn", "measure.create", "measure.delete", "end"):
+        require(epoch in labels, f"run '{name}' missing epoch '{epoch}' "
+                f"(got {sorted(labels)})")
+    samples += len(times)
+
+print(f"check_bench_json: OK (fig9 --timeseries: {len(runs)} runs, "
+      f"{samples} samples, final frag.extent_count matches registry)")
 EOF
 done

@@ -14,7 +14,7 @@ set -eu
 SRC="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
 BUILD="$SRC/build-tsan"
 SANITIZERS="thread"
-TESTS="rpc_test rpc_async_test concurrency_test client_test collective_test shard_test"
+TESTS="rpc_test rpc_async_test concurrency_test client_test collective_test shard_test timeline_test"
 
 # Probe: can this toolchain link a TSan binary at all?
 PROBE_DIR="$(mktemp -d /tmp/mif_tsan_probe.XXXXXX)"

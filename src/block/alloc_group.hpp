@@ -49,6 +49,14 @@ class AllocGroup {
   bool contains(DiskBlock b) const;
   const GroupStats& stats() const { return stats_; }
 
+  /// Free-space run lengths of this group's bitmap appended into `h`;
+  /// returns the run count.  Takes the group lock (timeline-safe against
+  /// concurrent allocation).
+  u64 add_free_runs(Histogram& h) const {
+    std::lock_guard lock(mu_);
+    return bitmap_.add_free_runs(h);
+  }
+
  private:
   u64 to_local(DiskBlock b) const { return b.v - base_.v; }
   BlockRange to_global(u64 local, u64 len) const {

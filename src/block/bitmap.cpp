@@ -108,6 +108,20 @@ std::optional<u64> Bitmap::find_run(u64 goal, u64 len) const {
   return std::nullopt;
 }
 
+u64 Bitmap::add_free_runs(Histogram& h) const {
+  u64 runs = 0;
+  u64 b = 0;
+  while (b < size_) {
+    b = next_free(b);
+    if (b >= size_) break;
+    const u64 run_end = next_used(b);
+    h.add(run_end - b);
+    ++runs;
+    b = run_end;
+  }
+  return runs;
+}
+
 std::optional<BlockRange> Bitmap::find_run_best(u64 goal, u64 min_len,
                                                 u64 want_len) const {
   if (min_len == 0) min_len = 1;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "block/block_types.hpp"
+#include "util/stats.hpp"
 #include "util/types.hpp"
 
 namespace mif::block {
@@ -43,6 +44,11 @@ class Bitmap {
   /// to degrade gracefully when the disk fills.
   std::optional<BlockRange> find_run_best(u64 goal, u64 min_len,
                                           u64 want_len) const;
+
+  /// Append the length of every maximal free run into `h` (the free-space
+  /// run-length distribution the fragmentation lens samples).  Returns the
+  /// number of runs seen.
+  u64 add_free_runs(Histogram& h) const;
 
  private:
   u64 next_free(u64 from) const;  // first free bit >= from, or size_

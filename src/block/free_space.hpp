@@ -44,6 +44,15 @@ class FreeSpace {
 
   Status free_range(BlockRange r);
 
+  /// Free-space run lengths across every group appended into `h`; returns
+  /// the total run count.  A run never spans groups (PAG boundaries are
+  /// allocation boundaries), so summing per-group scans is exact.
+  u64 add_free_runs(Histogram& h) const {
+    u64 runs = 0;
+    for (const auto& g : groups_) runs += g->add_free_runs(h);
+    return runs;
+  }
+
  private:
   std::vector<std::unique_ptr<AllocGroup>> groups_;
   DiskBlock first_block_;

@@ -57,6 +57,15 @@ class Journal {
   JournalStats snapshot() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Blocks the journal still owes the disk: the running compound
+  /// transaction plus every logged-but-not-yet-checkpointed home block.
+  /// Timeline gauge — shows commit/checkpoint sawtooth over sim time.
+  u64 backlog_blocks() const {
+    u64 pending = 0;
+    for (const BlockRange& r : pending_) pending += r.length;
+    return uncommitted_blocks_ + pending;
+  }
+
   /// Attach a trace sink for commit/checkpoint events (nullptr disables).
   void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "obs/export.hpp"
+#include "obs/fraglens.hpp"
+#include "obs/timeline.hpp"
 
 namespace mif::core {
 
@@ -102,6 +104,8 @@ void ParallelFileSystem::drain_data() {
   (void)rpc_client_->flush();
   (void)rpc_stack_.top().completions().wait_all();
   for (auto& t : targets_) t->drain();
+  // Phase boundary in every workload — a natural safe point to sample.
+  tick_timeline();
 }
 
 double ParallelFileSystem::data_elapsed_ms() const {
@@ -134,6 +138,108 @@ void ParallelFileSystem::reset_data_stats() {
     t->disk().reset_stats();
     t->io().reset_stats();
   }
+}
+
+void ParallelFileSystem::tick_timeline() {
+  if (timeline_) timeline_->tick();
+}
+
+void ParallelFileSystem::set_timeline(obs::Timeline* tl) {
+  timeline_ = tl;
+  frag_lens_.reset();
+  // The shards drive sampling from their handler boundaries; the cluster
+  // registers all gauges itself (per-shard Mds::set_timeline would collide
+  // on the lens names).
+  for (auto& m : mds_) m->set_timeline_ticker(tl);
+  if (!tl) return;
+
+  // Gauge closures capture raw pointers to the heap-pinned servers/targets
+  // (unique_ptr-held), NOT `this` — benches move the PFS value around.
+  std::vector<osd::StorageTarget*> tgts;
+  for (auto& t : targets_) tgts.push_back(t.get());
+  std::vector<mds::Mds*> servers;
+  for (auto& m : mds_) servers.push_back(m.get());
+
+  // Cluster clock: the furthest-ahead simulated timeline — a sample is
+  // stamped with the time the cluster as a whole has reached.
+  tl->set_clock([tgts, servers] {
+    double now = 0.0;
+    for (osd::StorageTarget* t : tgts) now = std::max(now, t->sim_now_ms());
+    for (mds::Mds* m : servers) now = std::max(now, m->fs().elapsed_ms());
+    return now;
+  });
+
+  for (std::size_t i = 0; i < tgts.size(); ++i) {
+    osd::StorageTarget* t = tgts[i];
+    const std::string p = "osd." + std::to_string(i);
+    tl->add_gauge(p + ".queue_depth", [t] {
+      return static_cast<double>(t->queue_depth());
+    });
+    tl->add_gauge(p + ".busy_frac", [t] { return t->busy_fraction(); });
+    tl->add_gauge(p + ".head_block", [t] {
+      return static_cast<double>(t->head_block());
+    });
+  }
+
+  if (rpc::AsyncTransport* async = rpc_stack_.async()) {
+    tl->add_gauge("rpc.pipeline.inflight", [async] {
+      return static_cast<double>(async->inflight());
+    });
+    tl->add_gauge("rpc.pipeline.stalls", [async] {
+      return static_cast<double>(async->report().stalls);
+    });
+    tl->add_gauge("rpc.pipeline.stall_ms",
+                  [async] { return async->report().stall_ms; });
+  }
+
+  if (shard::ShardedTransport* sharded = rpc_stack_.sharded()) {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      tl->add_gauge("shard." + std::to_string(i) + ".ops", [sharded, i] {
+        const shard::ShardStats s = sharded->stats();
+        return i < s.ops_per_shard.size()
+                   ? static_cast<double>(s.ops_per_shard[i])
+                   : 0.0;
+      });
+    }
+  }
+
+  const bool single = servers.size() == 1;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    mds::Mds* m = servers[i];
+    const std::string p = single ? "mds" : "mds." + std::to_string(i);
+    tl->add_gauge(p + ".rpcs", [m] {
+      return static_cast<double>(m->stats().rpcs);
+    });
+    tl->add_gauge(p + ".journal.backlog_blocks", [m] {
+      return static_cast<double>(m->fs().journal().backlog_blocks());
+    });
+    tl->add_gauge(p + ".cache.resident_blocks", [m] {
+      return static_cast<double>(m->fs().cache().resident_blocks());
+    });
+    tl->add_gauge(p + ".disk.queue_depth", [m] {
+      return static_cast<double>(m->fs().io().queue_depth());
+    });
+  }
+
+  // Cluster fragmentation lens: the data-side per-subfile extent
+  // distribution and free-space runs (the paper's Table I view), plus the
+  // namespace's per-directory degree from every shard.
+  frag_lens_ = std::make_unique<obs::FragLens>();
+  for (osd::StorageTarget* t : tgts) {
+    frag_lens_->add_source([t](obs::FragSnapshot& s) {
+      t->for_each_extent_count([&s](u64 extents) { s.add_file(extents); });
+      s.free_run_count += t->space().add_free_runs(s.free_runs);
+      s.free_blocks += t->space().free_blocks();
+    });
+  }
+  for (mds::Mds* m : servers) {
+    frag_lens_->add_source([m](obs::FragSnapshot& s) {
+      m->fs().layout().scan_fragmentation(
+          [](u64) {},  // files counted on the data side (subfile extents)
+          [&s](double degree, u64 files) { s.add_dir(degree, files); });
+    });
+  }
+  frag_lens_->bind(*tl);
 }
 
 void ParallelFileSystem::set_trace(obs::TraceBuffer* trace) {
@@ -199,6 +305,12 @@ void ParallelFileSystem::export_metrics(obs::MetricsRegistry& reg) const {
   // Per-phase request-span latency distributions (span.<phase>), when a
   // collector is attached.
   if (spans_) spans_->export_metrics(reg);
+
+  // End-of-run fragmentation snapshot, when a timeline is attached (the
+  // lens caches the last sample, so this equals the final series values —
+  // the invariant the bench-JSON CI gate checks).  Guarded so default
+  // reports stay byte-identical.
+  if (frag_lens_) frag_lens_->export_metrics(reg, "frag");
 }
 
 obs::Json ParallelFileSystem::metrics_json() const {

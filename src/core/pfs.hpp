@@ -121,10 +121,28 @@ class ParallelFileSystem {
   /// The attached collector (nullptr when none); clients read this per op.
   obs::SpanCollector* spans() const { return spans_; }
 
+  /// Attach a flight recorder (obs/timeline.hpp) to the whole cluster:
+  /// cluster-max sim clock, per-OSD disk gauges (queue depth, busy
+  /// fraction, head position), async-pipeline inflight/stall gauges when
+  /// the completion-queue transport is mounted, per-shard op counts when
+  /// sharded, per-MDS journal/cache gauges, and a fragmentation lens
+  /// (OSD subfile extent distribution + data free-space runs + namespace
+  /// degree).  Sampling is driven from MDS handler boundaries and from
+  /// tick_timeline() — never from threaded data-path internals.  nullptr
+  /// detaches.
+  void set_timeline(obs::Timeline* tl);
+  obs::Timeline* timeline() const { return timeline_; }
+  /// Safe-point sample hook for single-threaded drivers (workload loops,
+  /// phase boundaries).  Cheap when no timeline is attached or none is due.
+  void tick_timeline();
+  /// The cluster fragmentation lens (nullptr until set_timeline).
+  const obs::FragLens* frag_lens() const { return frag_lens_.get(); }
+
   /// Publish the entire stack into `reg`: per-instance metrics
   /// (`osd.<i>.…`, `mds.…`) plus cluster-wide aggregates
   /// (`alloc.<mode>.layout_miss`, `alloc.extents_per_file`,
-  /// `sim.disk.position_ms`, …).
+  /// `sim.disk.position_ms`, …).  With a timeline attached, also the
+  /// lens's end-of-run `frag.*` snapshot.
   void export_metrics(obs::MetricsRegistry& reg) const;
 
   /// One-shot convenience: fresh registry → export_metrics → to_json().
@@ -140,6 +158,8 @@ class ParallelFileSystem {
   rpc::TransportStack rpc_stack_;
   std::unique_ptr<rpc::Client> rpc_client_;
   obs::SpanCollector* spans_{nullptr};
+  obs::Timeline* timeline_{nullptr};
+  std::unique_ptr<obs::FragLens> frag_lens_;
 };
 
 }  // namespace mif::core

@@ -4,38 +4,56 @@
 
 #include "obs/export.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
 
 namespace mif::mds {
 
 Mds::Mds(MdsConfig cfg) : cfg_(cfg), fs_(cfg.mfs) {}
+
+Mds::TimelineTick::~TimelineTick() {
+  if (m.timeline_) m.timeline_->tick();
+}
 
 void Mds::charge_extents(u64 n) {
   stats_.extent_ops += n;
   stats_.cpu_ms += static_cast<double>(n) * cfg_.cpu_us_per_extent / 1000.0;
 }
 
-Result<InodeNo> Mds::mkdir(std::string_view path) { return fs_.mkdir(path); }
+Result<InodeNo> Mds::mkdir(std::string_view path) {
+  TimelineTick tick(*this);
+  return fs_.mkdir(path);
+}
 
 Result<InodeNo> Mds::create(std::string_view path) {
+  TimelineTick tick(*this);
   obs::ScopedSpan span(spans_, "mds.create");
   return fs_.create(path);
 }
 
 Status Mds::stat(std::string_view path) {
+  TimelineTick tick(*this);
   // A stat is a pure namespace lookup: one path walk, no layout work.
   obs::ScopedSpan span(spans_, "mds.lookup");
   return fs_.stat(path);
 }
 
-Status Mds::utime(std::string_view path) { return fs_.utime(path); }
+Status Mds::utime(std::string_view path) {
+  TimelineTick tick(*this);
+  return fs_.utime(path);
+}
 
-Status Mds::unlink(std::string_view path) { return fs_.unlink(path); }
+Status Mds::unlink(std::string_view path) {
+  TimelineTick tick(*this);
+  return fs_.unlink(path);
+}
 
 Result<InodeNo> Mds::rename(std::string_view from, std::string_view to) {
+  TimelineTick tick(*this);
   return fs_.rename(from, to);
 }
 
 Result<OpenResult> Mds::open_getlayout(std::string_view path) {
+  TimelineTick tick(*this);
   obs::ScopedSpan span(spans_, "mds.open_getlayout");
   auto ino = [&] {
     obs::ScopedSpan lookup(spans_, "mds.lookup");
@@ -54,14 +72,17 @@ Result<OpenResult> Mds::open_getlayout(std::string_view path) {
 }
 
 Result<std::vector<mfs::DirEntry>> Mds::readdir_stats(std::string_view path) {
+  TimelineTick tick(*this);
   return fs_.readdir(path, /*plus=*/true);
 }
 
 Result<std::vector<mfs::DirEntry>> Mds::readdir(std::string_view path) {
+  TimelineTick tick(*this);
   return fs_.readdir(path, /*plus=*/false);
 }
 
 Status Mds::report_extents(InodeNo file, u64 extent_count) {
+  TimelineTick tick(*this);
   // The MDS merges the newly grown part of the layout into its index; CPU
   // is paid per extent it has to process, i.e. the delta since the last
   // report.
@@ -73,6 +94,42 @@ Status Mds::report_extents(InodeNo file, u64 extent_count) {
                                           : before - extent_count;
   charge_extents(delta);
   return fs_.sync_file_layout(file, extent_count);
+}
+
+void Mds::set_timeline(obs::Timeline* tl) {
+  timeline_ = tl;
+  frag_lens_.reset();
+  if (!tl) return;
+  tl->set_clock([this] { return fs_.elapsed_ms(); });
+  tl->add_gauge("mds.rpcs",
+                [this] { return static_cast<double>(stats_.rpcs); });
+  tl->add_gauge("mds.journal.backlog_blocks", [this] {
+    return static_cast<double>(fs_.journal().backlog_blocks());
+  });
+  tl->add_gauge("mds.cache.resident_blocks", [this] {
+    return static_cast<double>(fs_.cache().resident_blocks());
+  });
+  tl->add_gauge("mds.disk.queue_depth", [this] {
+    return static_cast<double>(fs_.io().queue_depth());
+  });
+  tl->add_gauge("mds.disk.busy_frac", [this] {
+    const double now = fs_.disk().now_ms();
+    return now > 0.0 ? fs_.disk().stats().busy_ms() / now : 0.0;
+  });
+  tl->add_gauge("mds.disk.head_block", [this] {
+    return static_cast<double>(fs_.disk().head().v);
+  });
+  frag_lens_ = std::make_unique<obs::FragLens>();
+  frag_lens_->add_source([this](obs::FragSnapshot& s) {
+    fs_.layout().scan_fragmentation(
+        [&s](u64 extents) { s.add_file(extents); },
+        [&s](double degree, u64 files) { s.add_dir(degree, files); });
+  });
+  frag_lens_->add_source([this](obs::FragSnapshot& s) {
+    s.free_run_count += fs_.space().add_free_runs(s.free_runs);
+    s.free_blocks += fs_.space().free_blocks();
+  });
+  frag_lens_->bind(*tl);
 }
 
 double Mds::cpu_utilization() const {

@@ -18,11 +18,13 @@
 #include <string_view>
 
 #include "mfs/mfs.hpp"
+#include "obs/fraglens.hpp"
 #include "shard/map.hpp"
 
 namespace mif::obs {
 class MetricsRegistry;
 class SpanCollector;
+class Timeline;
 }
 
 namespace mif::mds {
@@ -108,6 +110,22 @@ class Mds {
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const;
 
+  /// Attach a flight recorder (obs/timeline.hpp): wires this server's own
+  /// gauges — journal backlog, cache occupancy, metadata-disk queue depth /
+  /// busy fraction / head position, RPC count — plus a fragmentation lens
+  /// over the namespace and the metadata free space, and ticks the timeline
+  /// at the end of every handler.  nullptr detaches.
+  void set_timeline(obs::Timeline* tl);
+
+  /// Tick-only attachment: the owner (core::ParallelFileSystem) registers
+  /// cluster-level gauges itself; this server merely drives sampling from
+  /// its handler boundaries — the safe points where no block operation is
+  /// mid-flight.
+  void set_timeline_ticker(obs::Timeline* tl) { timeline_ = tl; }
+
+  obs::Timeline* timeline() { return timeline_; }
+  const obs::FragLens* frag_lens() const { return frag_lens_.get(); }
+
   /// CPU utilisation over the run so far: CPU time ÷ elapsed (disk) time.
   double cpu_utilization() const;
 
@@ -116,10 +134,20 @@ class Mds {
  private:
   void charge_extents(u64 n);
 
+  /// RAII handler hook: declared before any ScopedSpan so the sample is
+  /// taken after the span closed and the handler's block traffic settled.
+  struct TimelineTick {
+    Mds& m;
+    explicit TimelineTick(Mds& mds) : m(mds) {}
+    ~TimelineTick();
+  };
+
   MdsConfig cfg_;
   mfs::Mfs fs_;
   MdsStats stats_;
   obs::SpanCollector* spans_{nullptr};
+  obs::Timeline* timeline_{nullptr};
+  std::unique_ptr<obs::FragLens> frag_lens_;
 };
 
 }  // namespace mif::mds

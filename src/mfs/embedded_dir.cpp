@@ -425,6 +425,23 @@ Inode* EmbeddedDirLayout::find(InodeNo ino) {
   return it == inodes_.end() ? nullptr : &it->second;
 }
 
+void EmbeddedDirLayout::scan_fragmentation(
+    const std::function<void(u64)>& file_cb,
+    const std::function<void(double, u64)>& dir_cb) const {
+  for (const auto& [num, node] : inodes_) {
+    if (!node.is_dir()) file_cb(node.last_synced_extents);
+  }
+  // Degree comes straight from the per-directory accumulators the layout
+  // already maintains for eager preallocation (§IV-A).
+  for (const auto& [id, d] : dirs_) {
+    const double degree = d.file_count == 0
+                              ? 0.0
+                              : static_cast<double>(d.extent_units) /
+                                    static_cast<double>(d.file_count);
+    dir_cb(degree, d.file_count);
+  }
+}
+
 double EmbeddedDirLayout::fragmentation_degree(InodeNo dir) const {
   const DirState* d = dir_state(dir);
   if (!d || d->file_count == 0) return 0.0;

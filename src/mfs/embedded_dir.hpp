@@ -59,6 +59,9 @@ class EmbeddedDirLayout final : public DirLayout {
   Inode* find(InodeNo ino) override;
   InodeNo root() const override { return root_; }
   NamespaceVerifyReport verify() const override;
+  void scan_fragmentation(
+      const std::function<void(u64)>& file_cb,
+      const std::function<void(double, u64)>& dir_cb) const override;
 
   // --- introspection for tests, examples and benches --------------------
   const DirectoryTable& dir_table() const { return dir_table_; }

@@ -14,6 +14,7 @@
 // underlying disk/scheduler/journal counters.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -124,6 +125,16 @@ class DirLayout {
   /// uniqueness, entry↔inode consistency).  Cheap enough to run inside
   /// tests after every scenario.
   virtual NamespaceVerifyReport verify() const = 0;
+
+  /// Visit the live namespace for the fragmentation lens (obs/fraglens.hpp):
+  /// `file_cb` receives every live regular file's last-synced extent count;
+  /// `dir_cb` receives every directory's fragmentation degree (§III —
+  /// extents per live child file) and its live file count.  Pure in-memory
+  /// walk: no block traffic, no clock movement, so sampling cannot perturb
+  /// the modeled timeline.
+  virtual void scan_fragmentation(
+      const std::function<void(u64)>& file_cb,
+      const std::function<void(double, u64)>& dir_cb) const = 0;
 
   const LayoutOpStats& op_stats() const { return stats_; }
 

@@ -345,6 +345,31 @@ Inode* NormalDirLayout::find(InodeNo ino) {
   return it == inodes_.end() ? nullptr : &it->second;
 }
 
+void NormalDirLayout::scan_fragmentation(
+    const std::function<void(u64)>& file_cb,
+    const std::function<void(double, u64)>& dir_cb) const {
+  for (const auto& [num, node] : inodes_) {
+    if (!node.is_dir()) file_cb(node.last_synced_extents);
+  }
+  // No per-directory accumulator in this layout (the traditional scheme has
+  // no use for the degree); derive it from the live dirents.
+  for (const auto& [ino, d] : dirs_) {
+    u64 files = 0;
+    u64 extents = 0;
+    for (const auto& slot : d.slots) {
+      if (!slot || slot->type != FileType::kFile) continue;
+      auto it = inodes_.find(slot->ino.v);
+      if (it == inodes_.end()) continue;
+      ++files;
+      extents += it->second.last_synced_extents;
+    }
+    dir_cb(files == 0 ? 0.0
+                      : static_cast<double>(extents) /
+                            static_cast<double>(files),
+           files);
+  }
+}
+
 NamespaceVerifyReport NormalDirLayout::verify() const {
   NamespaceVerifyReport report;
   report.inodes = inodes_.size();

@@ -39,6 +39,9 @@ class NormalDirLayout final : public DirLayout {
   Inode* find(InodeNo ino) override;
   InodeNo root() const override { return root_; }
   NamespaceVerifyReport verify() const override;
+  void scan_fragmentation(
+      const std::function<void(u64)>& file_cb,
+      const std::function<void(double, u64)>& dir_cb) const override;
 
  private:
   struct Slot {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace mif::obs {
 
@@ -25,6 +26,29 @@ struct Config {
   /// at or above this quantile of all root durations seen so far (e.g. 0.99
   /// keeps only the tail).  0 disables the quantile gate.
   double slow_quantile{0.0};
+  /// Timeline (obs/timeline.hpp) sampling interval in *simulated*
+  /// milliseconds; a sample is taken at the first tick after this much sim
+  /// time has passed since the previous one.  Must be > 0.
+  double sample_interval_ms{50.0};
+  /// Rows retained per timeline before the deterministic downsampler
+  /// decimates by two and doubles the interval.  Must be >= 2.
+  std::size_t timeline_capacity{4096};
 };
+
+/// Knob sanity check: empty string when `cfg` is usable, otherwise a
+/// human-readable description of the first offending knob.  Benches call
+/// this on flag-derived configs so a bad `--timeseries=0` fails loudly
+/// instead of being silently clamped.
+inline std::string validate(const Config& cfg) {
+  if (!(cfg.sample_interval_ms > 0.0)) {
+    return "obs.sample_interval_ms must be > 0 (got " +
+           std::to_string(cfg.sample_interval_ms) + ")";
+  }
+  if (cfg.timeline_capacity < 2) {
+    return "obs.timeline_capacity must be >= 2 (got " +
+           std::to_string(cfg.timeline_capacity) + ")";
+  }
+  return "";
+}
 
 }  // namespace mif::obs

@@ -1,0 +1,55 @@
+#include "obs/fraglens.hpp"
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace mif::obs {
+
+FragSnapshot FragLens::scan() const {
+  FragSnapshot snap;
+  for (const Source& src : sources_) src(snap);
+  return snap;
+}
+
+void FragLens::bind(Timeline& tl, std::string prefix) {
+  tl.add_prepare([this] { refresh(); });
+  auto gauge = [&](const char* leaf, double (*get)(const FragSnapshot&)) {
+    tl.add_gauge(prefix + "." + leaf, [this, get] { return get(last_); });
+  };
+  gauge("extent_count",
+        +[](const FragSnapshot& s) { return s.extent_count_mean(); });
+  gauge("degree", +[](const FragSnapshot& s) { return s.degree_mean(); });
+  gauge("degree_max", +[](const FragSnapshot& s) { return s.degree_max; });
+  gauge("files", +[](const FragSnapshot& s) {
+    return static_cast<double>(s.files);
+  });
+  gauge("extents_total", +[](const FragSnapshot& s) {
+    return static_cast<double>(s.extents_total);
+  });
+  gauge("free_runs", +[](const FragSnapshot& s) {
+    return static_cast<double>(s.free_run_count);
+  });
+  gauge("free_blocks", +[](const FragSnapshot& s) {
+    return static_cast<double>(s.free_blocks);
+  });
+}
+
+void FragLens::export_metrics(MetricsRegistry& reg,
+                              std::string_view prefix) const {
+  const FragSnapshot& s = last_;
+  reg.gauge(join_key(prefix, "extent_count")).set(s.extent_count_mean());
+  reg.gauge(join_key(prefix, "degree")).set(s.degree_mean());
+  reg.gauge(join_key(prefix, "degree_max")).set(s.degree_max);
+  reg.gauge(join_key(prefix, "files")).set(static_cast<double>(s.files));
+  reg.gauge(join_key(prefix, "extents_total"))
+      .set(static_cast<double>(s.extents_total));
+  reg.gauge(join_key(prefix, "free_runs"))
+      .set(static_cast<double>(s.free_run_count));
+  reg.gauge(join_key(prefix, "free_blocks"))
+      .set(static_cast<double>(s.free_blocks));
+  reg.histogram(join_key(prefix, "extent_counts")).merge_from(s.extent_counts);
+  reg.histogram(join_key(prefix, "free_runs_hist")).merge_from(s.free_runs);
+}
+
+}  // namespace mif::obs

@@ -105,10 +105,12 @@ Json MetricsRegistry::to_json() const {
     const Histogram snap = h->snapshot();
     Json entry;
     entry["count"] = snap.count();
-    entry["p50"] = snap.quantile(0.50);
-    entry["p90"] = snap.quantile(0.90);
-    entry["p95"] = snap.quantile(0.95);
-    entry["p99"] = snap.quantile(0.99);
+    for (const QuantileSpec& qs : kQuantiles)
+      entry[qs.key] = snap.quantile(qs.q);
+    if (h->tail_quantiles()) {
+      for (const QuantileSpec& qs : kTailQuantiles)
+        entry[qs.key] = snap.quantile(qs.q);
+    }
     Json::Array buckets;
     for (std::size_t i = 0; i < snap.buckets(); ++i) {
       if (snap.bucket(i) == 0) continue;
@@ -152,9 +154,13 @@ std::string MetricsRegistry::to_text() const {
   for (const auto& [name, h] : histograms_) {
     const Histogram snap = h->snapshot();
     std::ostringstream os;
-    os << name << " (n=" << snap.count() << ") p50=" << snap.quantile(0.5)
-       << " p90=" << snap.quantile(0.9) << " p95=" << snap.quantile(0.95)
-       << " p99=" << snap.quantile(0.99);
+    os << name << " (n=" << snap.count() << ")";
+    for (const QuantileSpec& qs : kQuantiles)
+      os << " " << qs.key << "=" << snap.quantile(qs.q);
+    if (h->tail_quantiles()) {
+      for (const QuantileSpec& qs : kTailQuantiles)
+        os << " " << qs.key << "=" << snap.quantile(qs.q);
+    }
     line(name, os.str());
   }
   for (const auto& [name, s] : stats_) {

@@ -58,6 +58,21 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+/// One exported quantile: JSON/text key plus the q it reads.
+struct QuantileSpec {
+  const char* key;
+  double q;
+};
+
+/// Quantiles every histogram exports (to_json "p50"… keys and the to_text
+/// lines read the same table, so adding one here changes both).
+inline constexpr QuantileSpec kQuantiles[] = {
+    {"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95}, {"p99", 0.99}};
+/// Extra tail quantiles, exported only by histograms that opted in via
+/// `enable_tail_quantiles()` (span latencies want the p999 story; block-size
+/// distributions do not need the key churn).
+inline constexpr QuantileSpec kTailQuantiles[] = {{"p999", 0.999}};
+
 /// Registry-owned log2 histogram; thread-safe via a per-object mutex (the
 /// paths that feed it are not per-block hot).
 class Histo {
@@ -81,6 +96,15 @@ class Histo {
     std::lock_guard lock(mu_);
     return h_.quantile(q);
   }
+  /// Opt this histogram into the kTailQuantiles exports (p999 …).
+  void enable_tail_quantiles() {
+    std::lock_guard lock(mu_);
+    tail_ = true;
+  }
+  bool tail_quantiles() const {
+    std::lock_guard lock(mu_);
+    return tail_;
+  }
   void reset() {
     std::lock_guard lock(mu_);
     h_ = Histogram(h_.buckets());
@@ -89,6 +113,7 @@ class Histo {
  private:
   mutable std::mutex mu_;
   Histogram h_;
+  bool tail_{false};
 };
 
 /// Registry-owned RunningStats with the same locking discipline.

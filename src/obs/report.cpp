@@ -1,6 +1,8 @@
 #include "obs/report.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <string_view>
 
 namespace mif::obs {
@@ -18,6 +20,21 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
       trace_path_ = arg.substr(8);
     } else if (arg == "--quick") {
       quick_ = true;
+    } else if (arg == "--timeseries") {
+      timeseries_ = true;
+    } else if (arg.rfind("--timeseries=", 0) == 0) {
+      timeseries_ = true;
+      const std::string value(arg.substr(13));
+      char* end = nullptr;
+      timeline_cfg_.sample_interval_ms = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || (end && *end != '\0'))
+        timeline_cfg_.sample_interval_ms = 0.0;  // force validate() to fail
+      if (const std::string err = validate(timeline_cfg_); !err.empty()) {
+        std::fprintf(stderr, "%s: bad --timeseries interval '%s': %s\n",
+                     std::string(bench_name).c_str(), value.c_str(),
+                     err.c_str());
+        std::exit(2);
+      }
     } else if (arg == "--pipeline-depth" && i + 1 < argc) {
       pipeline_depth_ = static_cast<u32>(std::atoi(argv[++i]));
     } else if (arg.rfind("--pipeline-depth=", 0) == 0) {
@@ -36,12 +53,13 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
 }
 
 void BenchReport::add_run(std::string_view name, Json config, Json results,
-                          Json metrics) {
+                          Json metrics, Json timeseries) {
   Json run;
   run["name"] = name;
   run["config"] = std::move(config);
   run["results"] = std::move(results);
   if (!metrics.is_null()) run["metrics"] = std::move(metrics);
+  if (!timeseries.is_null()) run["timeseries"] = std::move(timeseries);
   doc_["runs"].as_array().push_back(std::move(run));
 }
 

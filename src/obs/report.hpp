@@ -22,6 +22,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/config.hpp"
 #include "obs/json.hpp"
 
 namespace mif::obs {
@@ -31,8 +32,11 @@ inline constexpr u64 kReportSchemaVersion = 1;
 class BenchReport {
  public:
   /// Parses `--json <path>`, `--trace <path>`, `--quick`,
-  /// `--pipeline-depth <N>` and `--mds-shards <N>` out of argv.  Unknown
-  /// arguments are ignored (google-benchmark style flags pass through).
+  /// `--timeseries[=<interval_ms>]`, `--pipeline-depth <N>` and
+  /// `--mds-shards <N>` out of argv.  Unknown arguments are ignored
+  /// (google-benchmark style flags pass through).  An invalid
+  /// `--timeseries` interval fails fast: obs::validate's message goes to
+  /// stderr and the process exits with status 2.
   BenchReport(std::string_view bench_name, int argc, char** argv);
 
   bool json_enabled() const { return !path_.empty(); }
@@ -54,9 +58,21 @@ class BenchReport {
   bool trace_enabled() const { return !trace_path_.empty(); }
   const std::string& trace_path() const { return trace_path_; }
 
+  /// `--timeseries` / `--timeseries=<interval_ms>`: attach a flight
+  /// recorder (obs/timeline.hpp) and embed each run's sampled series as a
+  /// "timeseries" object in the JSON report.  Off by default — reports stay
+  /// byte-identical without the flag.
+  bool timeseries_enabled() const { return timeseries_; }
+
+  /// The validated obs::Config for timelines this invocation should mount
+  /// (sample_interval_ms carries the `--timeseries=<X>` override).
+  const Config& timeline_config() const { return timeline_cfg_; }
+
   /// Append one run row.  `name` identifies the configuration point.
+  /// `timeseries` (a Timeline::to_json() document) is embedded only when
+  /// non-null, so runs without a recorder serialise exactly as before.
   void add_run(std::string_view name, Json config, Json results,
-               Json metrics = Json{});
+               Json metrics = Json{}, Json timeseries = Json{});
 
   /// Root document (already carrying schema_version/bench/runs); open for
   /// benches that want extra top-level fields.
@@ -70,6 +86,8 @@ class BenchReport {
   std::string path_;
   std::string trace_path_;
   bool quick_{false};
+  bool timeseries_{false};
+  Config timeline_cfg_{};
   u32 pipeline_depth_{0};
   u32 mds_shards_{0};
   Json doc_;

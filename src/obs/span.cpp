@@ -169,7 +169,10 @@ SpanCollector::phase_stats() const {
 void SpanCollector::export_metrics(MetricsRegistry& reg) const {
   std::lock_guard lock(mu_);
   for (const auto& [name, ps] : phases_) {
-    reg.histogram("span." + name).merge_from(ps.hist_ns);
+    Histo& h = reg.histogram("span." + name);
+    h.merge_from(ps.hist_ns);
+    // Latency distributions carry the tail story: export p999 too.
+    h.enable_tail_quantiles();
     reg.stat("span." + name + ".us").merge_from(ps.us);
   }
   reg.counter("span.total").inc(total_);

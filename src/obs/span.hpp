@@ -169,8 +169,9 @@ class SpanCollector {
   std::map<std::string, PhaseStats, std::less<>> phase_stats() const;
 
   /// Publish per-phase latency distributions into `reg` as
-  /// `span.<phase>` histograms (nanoseconds; p50/p95/p99 in every exporter)
-  /// and `span.<phase>.us` stats, plus `span.dropped` / `span.total`.
+  /// `span.<phase>` histograms (nanoseconds; kQuantiles plus the opt-in
+  /// p999 tail) and `span.<phase>.us` stats, plus `span.dropped` /
+  /// `span.total`.
   void export_metrics(MetricsRegistry& reg) const;
 
   /// {"slow_traces": [{trace_id, root, dur_us, spans: [...]}, ...]}

@@ -95,6 +95,36 @@ void StorageTarget::add_extent_counts(obs::Histo& h) const {
   }
 }
 
+std::size_t StorageTarget::queue_depth() const {
+  std::lock_guard lock(io_mu_);
+  return io_.queue_depth();
+}
+
+double StorageTarget::sim_now_ms() const {
+  std::lock_guard lock(io_mu_);
+  return disk_.now_ms();
+}
+
+double StorageTarget::busy_fraction() const {
+  std::lock_guard lock(io_mu_);
+  const double now = disk_.now_ms();
+  return now > 0.0 ? disk_.stats().busy_ms() / now : 0.0;
+}
+
+u64 StorageTarget::head_block() const {
+  std::lock_guard lock(io_mu_);
+  return disk_.head().v;
+}
+
+void StorageTarget::for_each_extent_count(
+    const std::function<void(u64)>& fn) const {
+  std::lock_guard lock(files_mu_);
+  for (const auto& [ino, state] : files_) {
+    std::lock_guard flock(state->mu);
+    fn(state->map.extent_count());
+  }
+}
+
 Status StorageTarget::write(InodeNo inode, StreamId stream, FileBlock logical,
                             u64 count) {
   const BlockRun run{logical, count};

@@ -4,6 +4,7 @@
 // parallel file systems, allocator is located in their IO servers", §I).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -115,6 +116,22 @@ class StorageTarget {
   /// histogram — the Table I "Seg Counts" distribution.
   void add_extent_counts(obs::Histo& h) const;
 
+  // --- timeline gauges ------------------------------------------------------
+  // Instantaneous views for the flight recorder (obs/timeline.hpp).  Each
+  // takes the lock guarding the state it reads, so they are safe to call
+  // from a sampling thread while data-path threads run.
+  /// Requests currently queued in the elevator (pre-merge).
+  std::size_t queue_depth() const;
+  /// This target's simulated clock (ms since mount).
+  double sim_now_ms() const;
+  /// Fraction of simulated time the disk spent positioning/transferring.
+  double busy_fraction() const;
+  /// Current head position (absolute block).
+  u64 head_block() const;
+  /// Visit every local subfile's extent count (fragmentation-lens source;
+  /// same locking as add_extent_counts).
+  void for_each_extent_count(const std::function<void(u64)>& fn) const;
+
   void drain() {
     std::lock_guard lock(io_mu_);
     io_.drain();
@@ -140,7 +157,7 @@ class StorageTarget {
   sim::Disk disk_;
   /// The scheduler (and the disk behind it) is single-threaded state; all
   /// submissions and drains serialise here.
-  std::mutex io_mu_;
+  mutable std::mutex io_mu_;
   sim::IoScheduler io_;
   std::unique_ptr<block::FreeSpace> space_;
   std::unique_ptr<alloc::FileAllocator> alloc_;

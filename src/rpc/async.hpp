@@ -87,6 +87,12 @@ class AsyncTransport final : public Transport {
   u32 depth() const { return cfg_.depth; }
   AsyncReport report() const;
 
+  /// Envelopes currently inside the completion window (timeline gauge).
+  u64 inflight() const {
+    std::lock_guard lock(mu_);
+    return pipe_.inflight();
+  }
+
  private:
   /// One pipeline channel per destination: OSDs on their own lanes, MDS
   /// addresses offset past any realistic OSD count.

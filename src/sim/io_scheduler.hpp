@@ -42,6 +42,8 @@ class IoScheduler {
   const SchedulerStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
   Disk& disk() { return disk_; }
+  /// Requests currently queued (pre-merge) — the timeline's queue gauge.
+  std::size_t queue_depth() const { return queue_.size(); }
 
  private:
   Disk& disk_;

@@ -4,13 +4,20 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeline.hpp"
+
 namespace mif::workload {
 
 AgingResult run_aging(mds::Mds& mds, const AgingConfig& cfg) {
   AgingResult res;
   Rng rng(cfg.seed);
 
+  // Phase boundaries become epoch marks on an attached flight recorder;
+  // the per-sample gauges tick from the MDS handlers themselves.
+  obs::Timeline* tl = mds.timeline();
+
   // ---- churn until the metadata device reaches the target utilisation ----
+  if (tl) tl->mark_epoch("churn");
   u32 round = 0;
   // At least one churn round always runs: the measurement phase operates
   // inside churn directories (fixed on-disk regions like the inode table
@@ -62,6 +69,7 @@ AgingResult run_aging(mds::Mds& mds, const AgingConfig& cfg) {
   const u32 dirs = std::min<u32>(cfg.measure_dirs, std::max<u32>(1, round));
   std::vector<std::string> paths;
   {
+    if (tl) tl->mark_epoch("measure.create");
     const double t0 = mds.fs().elapsed_ms();
     const u64 a0 = mds.fs().disk_accesses();
     for (u32 f = 0; f < cfg.measure_files; ++f) {
@@ -80,6 +88,7 @@ AgingResult run_aging(mds::Mds& mds, const AgingConfig& cfg) {
         static_cast<double>(paths.size()) / std::max(dt * 1e-3, 1e-12);
   }
   {
+    if (tl) tl->mark_epoch("measure.delete");
     mds.fs().cache().invalidate_all();
     const double t0 = mds.fs().elapsed_ms();
     const u64 a0 = mds.fs().disk_accesses();

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/timeline.hpp"
 #include "util/rng.hpp"
 
 namespace mif::workload {
@@ -29,6 +30,8 @@ BtioResult run_btio(core::ParallelFileSystem& fs, const BtioConfig& cfg) {
   };
 
   // ---- solution write phase ----------------------------------------------
+  // Single-threaded driver: timestep/cell boundaries are safe sample points.
+  if (obs::Timeline* tl = fs.timeline()) tl->mark_epoch("btio.write");
   if (cfg.collective) {
     for (u32 step = 0; step < cfg.timesteps; ++step) {
       std::vector<client::IoRequest> round;
@@ -40,6 +43,7 @@ BtioResult run_btio(core::ParallelFileSystem& fs, const BtioConfig& cfg) {
       const Status s = collective.write_round(*fh, std::move(round));
       assert(s.ok());
       (void)s;
+      fs.tick_timeline();
     }
   } else {
     // Non-collective: every process appends its cells in order, processes
@@ -60,6 +64,7 @@ BtioResult run_btio(core::ParallelFileSystem& fs, const BtioConfig& cfg) {
             client.write(*fh, p, offset_of(step, p, c), cfg.cell_bytes);
         assert(s.ok());
         (void)s;
+        fs.tick_timeline();
         ++next[p];
         --remaining;
       }
@@ -77,6 +82,7 @@ BtioResult run_btio(core::ParallelFileSystem& fs, const BtioConfig& cfg) {
   const double t0 = fs.data_elapsed_ms();
   auto rfh = client.open("/btio.out");
   assert(rfh);
+  if (obs::Timeline* tl = fs.timeline()) tl->mark_epoch("btio.read");
   const u64 total_bytes = static_cast<u64>(cfg.timesteps) * frame_bytes;
   constexpr u64 kReadChunk = 256 * 1024;
   for (u64 off = 0; off < total_bytes; off += kReadChunk) {
@@ -84,6 +90,7 @@ BtioResult run_btio(core::ParallelFileSystem& fs, const BtioConfig& cfg) {
         client.read(*rfh, off, std::min(kReadChunk, total_bytes - off));
     assert(s.ok());
     (void)s;
+    fs.tick_timeline();
   }
   fs.drain_data();
   res.read_ms = fs.data_elapsed_ms() - t0;

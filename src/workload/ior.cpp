@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/timeline.hpp"
 #include "util/rng.hpp"
 
 namespace mif::workload {
@@ -52,6 +53,9 @@ IorResult run_ior(core::ParallelFileSystem& fs, const IorConfig& cfg) {
   };
 
   // ---- write phase --------------------------------------------------------
+  // This driver is single-threaded, so request boundaries are safe points
+  // for flight-recorder samples (tick_timeline is a no-op when detached).
+  if (obs::Timeline* tl = fs.timeline()) tl->mark_epoch("ior.write");
   if (cfg.collective) {
     // Collective rounds ARE synchronised (MPI barrier inside MPI_File_write_all).
     for (u64 r = 0; r < rounds; ++r) {
@@ -62,12 +66,14 @@ IorResult run_ior(core::ParallelFileSystem& fs, const IorConfig& cfg) {
       const Status s = collective.write_round(*fh, std::move(round));
       assert(s.ok());
       (void)s;
+      fs.tick_timeline();
     }
   } else {
     drive_drifted(cfg.processes, rounds, cfg.pacing, rng, [&](u32 p, u64 r) {
       const Status s = client.write(*fh, p, offset_of(p, r), len_of(r));
       assert(s.ok());
       (void)s;
+      fs.tick_timeline();
     });
   }
   fs.drain_data();
@@ -82,6 +88,7 @@ IorResult run_ior(core::ParallelFileSystem& fs, const IorConfig& cfg) {
   const double t0 = fs.data_elapsed_ms();
   auto rfh = client.open("/ior.dat");
   assert(rfh);
+  if (obs::Timeline* tl = fs.timeline()) tl->mark_epoch("ior.read");
   if (cfg.collective) {
     for (u64 r = 0; r < rounds; ++r) {
       std::vector<client::IoRequest> round;
@@ -90,12 +97,14 @@ IorResult run_ior(core::ParallelFileSystem& fs, const IorConfig& cfg) {
       const Status s = collective.read_round(*rfh, std::move(round));
       assert(s.ok());
       (void)s;
+      fs.tick_timeline();
     }
   } else {
     drive_drifted(cfg.processes, rounds, cfg.pacing, rng, [&](u32 p, u64 r) {
       const Status s = client.read(*rfh, offset_of(p, r), len_of(r));
       assert(s.ok());
       (void)s;
+      fs.tick_timeline();
     });
   }
   fs.drain_data();

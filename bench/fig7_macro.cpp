@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/attrib.hpp"
+#include "obs/critpath.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
@@ -108,8 +110,25 @@ int main(int argc, char** argv) {
 
   // One collector across every run: `--trace <path>` dumps the slowest
   // traces and the most recent spans of the whole macro sweep.
+  // `--attribution` needs it too — the charging sites emit their sim cost
+  // spans (net.exchange, io.queue_wait, …) only when BOTH a collector and a
+  // ledger are attached, and the critical-path report walks them.  The
+  // fig7 JSON embeds no metrics sections, so mounting the collector for
+  // attribution alone leaves the default report byte-identical.
   mif::obs::SpanCollector spans;
-  mif::obs::SpanCollector* sp = report.trace_enabled() ? &spans : nullptr;
+  mif::obs::SpanCollector* sp =
+      report.trace_enabled() || report.attribution_enabled() ? &spans
+                                                             : nullptr;
+
+  // One cost-attribution ledger per measured on-demand mount
+  // (`--attribution`); heap-pinned like the timelines because timeline
+  // gauge closures capture the raw ledger pointer.
+  std::vector<std::unique_ptr<mif::obs::Attribution>> ledgers;
+  auto new_ledger = [&]() -> mif::obs::Attribution* {
+    if (!report.attribution_enabled()) return nullptr;
+    ledgers.push_back(std::make_unique<mif::obs::Attribution>());
+    return ledgers.back().get();
+  };
 
   // One flight recorder per measured on-demand mount (`--timeseries`); the
   // series land in the JSON report and, with `--trace`, as Perfetto counter
@@ -150,7 +169,8 @@ int main(int argc, char** argv) {
     report.add_run(std::string(bench) +
                        (collective ? " collective" : " non-collective"),
                    std::move(config), std::move(results), mif::obs::Json{},
-                   tl ? tl->to_json() : mif::obs::Json{});
+                   tl ? tl->to_json() : mif::obs::Json{},
+                   ofs.attribution_json());
   };
 
   // ---- IOR: each process owns a contiguous 1/m share, 32 KiB requests ----
@@ -167,6 +187,7 @@ int main(int argc, char** argv) {
     mif::obs::Timeline* tl = new_timeline(
         std::string("IOR2 ") + (collective ? "collective" : "non-collective"));
     ofs.set_timeline(tl);
+    ofs.set_attribution(new_ledger());
     const auto r = mif::workload::run_ior(rfs, cfg);
     const auto o = mif::workload::run_ior(ofs, cfg);
     if (tl) tl->mark_epoch("end");
@@ -191,6 +212,7 @@ int main(int argc, char** argv) {
     mif::obs::Timeline* tl = new_timeline(
         std::string("BTIO ") + (collective ? "collective" : "non-collective"));
     ofs.set_timeline(tl);
+    ofs.set_attribution(new_ledger());
     const auto r = mif::workload::run_btio(rfs, cfg);
     const auto o = mif::workload::run_btio(ofs, cfg);
     if (tl) tl->mark_epoch("end");
@@ -203,6 +225,11 @@ int main(int argc, char** argv) {
 
   t.print();
   run_shard_namespace(report, sp);
+  // Whole-sweep critical path: top slowest traced requests across every
+  // mount, decomposed into the ledger's resource segments.
+  if (report.attribution_enabled() && report.json_enabled()) {
+    report.doc()["critical_path"] = mif::obs::analyze_critical_path(spans);
+  }
   report.write();
   if (sp) {
     std::vector<const mif::obs::Timeline*> tls;

@@ -12,32 +12,15 @@
 # tests/CMakeLists.txt for sanitizer-less parent builds.
 set -eu
 
-SRC="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
-BUILD="$SRC/build-asan"
+SCRIPT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)"
+. "$SCRIPT_DIR/lib.sh"
+
+SRC="${1:-$(CDPATH= cd -- "$SCRIPT_DIR/.." && pwd)}"
 SANITIZERS="address,undefined"
-TESTS="rpc_test concurrency_test fault_verify_test client_test mds_test"
 
-# Probe: can this toolchain link a sanitized binary at all?
-PROBE_DIR="$(mktemp -d /tmp/mif_asan_probe.XXXXXX)"
-trap 'rm -rf "$PROBE_DIR"' EXIT
-printf 'int main(){return 0;}\n' > "$PROBE_DIR/probe.cpp"
-if ! c++ -fsanitize=$SANITIZERS "$PROBE_DIR/probe.cpp" -o "$PROBE_DIR/probe" \
-    > /dev/null 2>&1; then
-  echo "check_asan: SKIP (toolchain cannot link -fsanitize=$SANITIZERS)"
-  exit 0
-fi
+mif_require_sanitizer check_asan "$SANITIZERS"
 
-cmake -B "$BUILD" -S "$SRC" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DMIF_SANITIZE="$SANITIZERS" > /dev/null
-
-JOBS="$(nproc 2>/dev/null || echo 4)"
-# shellcheck disable=SC2086  # word-splitting of $TESTS is intended
-cmake --build "$BUILD" -j "$JOBS" --target $TESTS > /dev/null
-
-TEST_REGEX="$(echo "$TESTS" | tr ' ' '|')"
-ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir "$BUILD" -R "^($TEST_REGEX)$" --output-on-failure \
-          -j "$JOBS"
-
-echo "check_asan: OK ($TESTS under $SANITIZERS)"
+export ASAN_OPTIONS=detect_leaks=1
+export UBSAN_OPTIONS=halt_on_error=1
+mif_sanitized_ctest check_asan "$SRC" "$SRC/build-asan" "$SANITIZERS" \
+    rpc_test concurrency_test fault_verify_test client_test mds_test

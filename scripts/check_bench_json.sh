@@ -23,17 +23,31 @@
 # monotone sim timestamps, a non-empty and non-decreasing frag.extent_count
 # series whose final sample equals the end-of-run frag.extent_count registry
 # gauge exactly, and the workload's epoch marks.
+#
+# Then the cost-attribution gate: without `--attribution` no run carries an
+# attribution section (micro_antagonist excepted — attribution IS that
+# bench); a zero/garbage `--pipeline-depth`/`--mds-shards` fails fast with
+# status 2; a fig7_macro `--attribution` run must conserve — for every cost
+# category the per-principal sums equal the global counters within 1e-9
+# relative — and carry a critical-path report whose per-request segments sum
+# to the request total; micro_antagonist must conserve, report Jain's
+# fairness in (0,1] that DEGRADES as the antagonist's intensity grows, and
+# reproduce byte-identically across two runs.
 # Registered as a ctest (see bench/CMakeLists.txt).
 set -eu
 
+SCRIPT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)"
+. "$SCRIPT_DIR/lib.sh"
+
 BENCH="${1:?usage: check_bench_json.sh <fig6a_stream_count binary> [more...]}"
-OUT="$(mktemp /tmp/mif_bench_json.XXXXXX)"
-DEPTH1="$(mktemp /tmp/mif_bench_json_d1.XXXXXX)"
-DEPTH8="$(mktemp /tmp/mif_bench_json_d8.XXXXXX)"
-SHARD1="$(mktemp /tmp/mif_bench_json_s1.XXXXXX)"
-SHARD4="$(mktemp /tmp/mif_bench_json_s4.XXXXXX)"
-TS="$(mktemp /tmp/mif_bench_json_ts.XXXXXX)"
-trap 'rm -f "$OUT" "$DEPTH1" "$DEPTH8" "$SHARD1" "$SHARD4" "$TS"' EXIT
+mif_tmpfile OUT bench_json
+mif_tmpfile DEPTH1 bench_json_d1
+mif_tmpfile DEPTH8 bench_json_d8
+mif_tmpfile SHARD1 bench_json_s1
+mif_tmpfile SHARD4 bench_json_s4
+mif_tmpfile TS bench_json_ts
+mif_tmpfile ATTR bench_json_attr
+mif_tmpfile ATTR2 bench_json_attr2
 
 "$BENCH" --quick --json "$OUT" > /dev/null
 
@@ -271,5 +285,184 @@ for run in runs:
 
 print(f"check_bench_json: OK (fig9 --timeseries: {len(runs)} runs, "
       f"{samples} samples, final frag.extent_count matches registry)")
+EOF
+done
+
+# ---- cost-attribution gate -------------------------------------------------
+# Off by default: no run of any figure bench carries an "attribution"
+# section and no report carries a "critical_path" document.  micro_antagonist
+# is the exception by design — attribution IS that bench.
+for bench in "$@"; do
+  name="$(basename "$bench")"
+  [ "$name" = "micro_antagonist" ] && continue
+  "$bench" --quick --json "$OUT" > /dev/null 2>&1
+  python3 - "$OUT" "$name" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if "critical_path" in doc:
+    sys.exit(f"check_bench_json: FAIL: {sys.argv[2]} report carries a "
+             "critical_path document without --attribution")
+for run in doc.get("runs", []):
+    if "attribution" in run:
+        sys.exit(f"check_bench_json: FAIL: {sys.argv[2]} run "
+                 f"'{run.get('name')}' carries an attribution section "
+                 "without --attribution")
+EOF
+done
+echo "check_bench_json: OK (no attribution section without --attribution)"
+
+# Invalid transport knobs must fail fast with status 2 — not mount a broken
+# stack and emit a report that silently ignored the flag.
+for flag in --pipeline-depth --mds-shards; do
+  for bad in 0 -3 many; do
+    if "$BENCH" --quick --json "$OUT" "$flag" "$bad" > /dev/null 2>&1; then
+      echo "check_bench_json: FAIL: $flag $bad did not fail"
+      exit 1
+    fi
+    rc=0
+    "$BENCH" --quick --json "$OUT" "$flag=$bad" > /dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+      echo "check_bench_json: FAIL: $flag=$bad exited $rc, want 2"
+      exit 1
+    fi
+  done
+done
+echo "check_bench_json: OK (zero/negative/garbage transport knobs exit 2)"
+
+# Conservation: a fig7_macro --attribution report must account every
+# simulated millisecond — per-principal sums equal the global counters —
+# and its critical-path requests must decompose exactly.
+for bench in "$@"; do
+  [ "$(basename "$bench")" = "fig7_macro" ] || continue
+  "$bench" --quick --json "$ATTR" --attribution > /dev/null 2>&1
+  python3 - "$ATTR" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+def close(a, b):
+    return abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+
+DISK = ("disk_seek_ms", "disk_rotation_ms", "disk_skip_ms",
+        "disk_transfer_ms")
+
+attributed = [r for r in doc.get("runs", []) if "attribution" in r]
+require(attributed, "fig7 --attribution report has no attributed runs")
+for run in attributed:
+    name = run.get("name")
+    a = run["attribution"]
+    principals, glob = a.get("principals"), a.get("global")
+    require(isinstance(principals, dict) and principals,
+            f"run '{name}' has no principals")
+    require(isinstance(glob, dict), f"run '{name}' has no global comparands")
+    sums = {"disk": 0.0, "net": 0.0, "cpu": 0.0, "bytes": 0}
+    for label, acct in principals.items():
+        sums["disk"] += sum(acct[k] for k in DISK)
+        sums["net"] += acct["net_ms"]
+        sums["cpu"] += acct["mds_cpu_ms"]
+        sums["bytes"] += acct["net_bytes"]
+    require(close(sums["disk"], glob["disk_ms"]),
+            f"run '{name}' disk not conserved: principals {sums['disk']} "
+            f"vs global {glob['disk_ms']}")
+    require(close(sums["net"], glob["net_ms"]),
+            f"run '{name}' net time not conserved: {sums['net']} vs "
+            f"{glob['net_ms']}")
+    require(close(sums["cpu"], glob["mds_cpu_ms"]),
+            f"run '{name}' MDS cpu not conserved: {sums['cpu']} vs "
+            f"{glob['mds_cpu_ms']}")
+    require(sums["bytes"] == glob["net_bytes"],
+            f"run '{name}' net bytes not conserved: {sums['bytes']} vs "
+            f"{glob['net_bytes']}")
+    fairness = a.get("fairness")
+    require(isinstance(fairness, (int, float)) and 0 < fairness <= 1.0,
+            f"run '{name}' fairness {fairness} outside (0,1]")
+
+cp = doc.get("critical_path")
+require(isinstance(cp, dict), "--attribution report lacks critical_path")
+reqs = cp.get("requests")
+require(isinstance(reqs, list) and reqs, "critical_path has no requests")
+for r in reqs:
+    seg_sum = sum(r["segments"].values())
+    require(close(seg_sum, r["total_ms"]),
+            f"trace {r.get('trace_id')} segments sum {seg_sum} != total "
+            f"{r['total_ms']}")
+totals = [r["total_ms"] for r in reqs]
+require(totals == sorted(totals, reverse=True),
+        "critical_path requests not slowest-first")
+
+print(f"check_bench_json: OK (fig7 --attribution: {len(attributed)} runs "
+      f"conserve disk/net/cpu/bytes, {len(reqs)} critical-path requests "
+      "decompose exactly)")
+EOF
+done
+
+# The antagonist bench: always-on attribution must conserve, per-class p99s
+# must be present, and Jain's fairness must sit in (0,1] AND degrade as the
+# hot client's intensity grows — the noisy neighbour is visible in the
+# ledger.  Two runs must agree byte-for-byte (the whole pipeline is
+# sim-deterministic).
+for bench in "$@"; do
+  [ "$(basename "$bench")" = "micro_antagonist" ] || continue
+  "$bench" --quick --json "$ATTR" > /dev/null 2>&1
+  "$bench" --quick --json "$ATTR2" > /dev/null 2>&1
+  if ! cmp -s "$ATTR" "$ATTR2"; then
+    echo "check_bench_json: FAIL: micro_antagonist reports differ between" \
+         "two identical runs"
+    diff "$ATTR" "$ATTR2" | head -20 || true
+    exit 1
+  fi
+  python3 - "$ATTR" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+def close(a, b):
+    return abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+
+DISK = ("disk_seek_ms", "disk_rotation_ms", "disk_skip_ms",
+        "disk_transfer_ms")
+
+runs = doc.get("runs", [])
+require(len(runs) >= 3, f"expected >= 3 intensity points, got {len(runs)}")
+fairness_by_intensity = []
+for run in runs:
+    name = run.get("name")
+    res = run.get("results", {})
+    for key in ("hot_p99_ms", "victim_p99_ms", "fairness"):
+        require(isinstance(res.get(key), (int, float)),
+                f"run '{name}' results lack '{key}'")
+    require(0 < res["fairness"] <= 1.0,
+            f"run '{name}' fairness {res['fairness']} outside (0,1]")
+    a = run.get("attribution")
+    require(isinstance(a, dict), f"run '{name}' has no attribution section")
+    disk = sum(sum(acct[k] for k in DISK) for acct in a["principals"].values())
+    require(close(disk, a["global"]["disk_ms"]),
+            f"run '{name}' disk not conserved: {disk} vs "
+            f"{a['global']['disk_ms']}")
+    require(close(res["fairness"], a["fairness"]),
+            f"run '{name}' results fairness != attribution fairness")
+    fairness_by_intensity.append(
+        (run["config"]["hot_intensity"], res["fairness"]))
+
+fairness_by_intensity.sort()
+base, top = fairness_by_intensity[0], fairness_by_intensity[-1]
+require(base[0] == 0, f"no hot_intensity=0 baseline run ({base})")
+require(top[1] < base[1],
+        f"fairness did not degrade: intensity {top[0]} scored {top[1]:.4f} "
+        f">= baseline {base[1]:.4f}")
+print("check_bench_json: OK (micro_antagonist: deterministic, conserved, "
+      f"fairness {base[1]:.3f} -> {top[1]:.3f} as intensity "
+      f"{base[0]} -> {top[0]})")
 EOF
 done

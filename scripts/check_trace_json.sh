@@ -15,11 +15,13 @@
 # workloads' epoch instants.  Registered as a ctest (see bench/CMakeLists.txt).
 set -eu
 
+SCRIPT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)"
+. "$SCRIPT_DIR/lib.sh"
+
 BENCH="${1:?usage: check_trace_json.sh <fig6a_stream_count binary> [fig7_macro]}"
 FIG7="${2:-}"
-TRACE="$(mktemp /tmp/mif_trace_json.XXXXXX)"
-METRICS="$(mktemp /tmp/mif_trace_metrics.XXXXXX)"
-trap 'rm -f "$TRACE" "$METRICS"' EXIT
+mif_tmpfile TRACE trace_json
+mif_tmpfile METRICS trace_metrics
 
 "$BENCH" --quick --trace "$TRACE" --json "$METRICS" > /dev/null
 

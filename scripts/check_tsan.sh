@@ -5,38 +5,22 @@
 #
 # Configures a side build (<source>/build-tsan) with -DMIF_SANITIZE=thread,
 # builds the subset that exercises the transport stack's locking (the async
-# completion queue, the batching queues, the shared-file workloads) and runs
-# it via ctest.  Skips cleanly (exit 0) when the toolchain has no TSan
-# runtime, so plain CI environments are not broken.  Registered as a ctest
-# from tests/CMakeLists.txt for sanitizer-less parent builds.
+# completion queue, the batching queues, the shared-file workloads, the
+# attribution ledger's concurrent charge sites) and runs it via ctest.
+# Skips cleanly (exit 0) when the toolchain has no TSan runtime, so plain CI
+# environments are not broken.  Registered as a ctest from
+# tests/CMakeLists.txt for sanitizer-less parent builds.
 set -eu
 
-SRC="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
-BUILD="$SRC/build-tsan"
+SCRIPT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)"
+. "$SCRIPT_DIR/lib.sh"
+
+SRC="${1:-$(CDPATH= cd -- "$SCRIPT_DIR/.." && pwd)}"
 SANITIZERS="thread"
-TESTS="rpc_test rpc_async_test concurrency_test client_test collective_test shard_test timeline_test"
 
-# Probe: can this toolchain link a TSan binary at all?
-PROBE_DIR="$(mktemp -d /tmp/mif_tsan_probe.XXXXXX)"
-trap 'rm -rf "$PROBE_DIR"' EXIT
-printf 'int main(){return 0;}\n' > "$PROBE_DIR/probe.cpp"
-if ! c++ -fsanitize=$SANITIZERS "$PROBE_DIR/probe.cpp" -o "$PROBE_DIR/probe" \
-    > /dev/null 2>&1; then
-  echo "check_tsan: SKIP (toolchain cannot link -fsanitize=$SANITIZERS)"
-  exit 0
-fi
+mif_require_sanitizer check_tsan "$SANITIZERS"
 
-cmake -B "$BUILD" -S "$SRC" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DMIF_SANITIZE="$SANITIZERS" > /dev/null
-
-JOBS="$(nproc 2>/dev/null || echo 4)"
-# shellcheck disable=SC2086  # word-splitting of $TESTS is intended
-cmake --build "$BUILD" -j "$JOBS" --target $TESTS > /dev/null
-
-TEST_REGEX="$(echo "$TESTS" | tr ' ' '|')"
-TSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir "$BUILD" -R "^($TEST_REGEX)$" --output-on-failure \
-          -j "$JOBS"
-
-echo "check_tsan: OK ($TESTS under $SANITIZERS)"
+export TSAN_OPTIONS=halt_on_error=1
+mif_sanitized_ctest check_tsan "$SRC" "$SRC/build-tsan" "$SANITIZERS" \
+    rpc_test rpc_async_test concurrency_test client_test collective_test \
+    shard_test timeline_test attrib_test

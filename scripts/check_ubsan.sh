@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Build and run the arithmetic-heavy tier-1 tests under UndefinedBehavior-
+# Sanitizer alone (no ASan shadow): catches signed overflow, bad shifts,
+# misaligned access and enum abuse in the simulator's clock/geometry math
+# with much less memory and runtime than the combined check_asan build.
+#
+# Usage: check_ubsan.sh [source-dir]
+#
+# Configures a side build (<source>/build-ubsan) with -DMIF_SANITIZE=
+# undefined, builds the subset that leans hardest on integer/double
+# arithmetic (disk geometry, extent maps, allocator properties, the
+# attribution ledger's pro-rata splitting) and runs it via ctest.  Skips
+# cleanly (exit 0) when the toolchain has no UBSan runtime.  Registered as a
+# ctest from tests/CMakeLists.txt for sanitizer-less parent builds.
+set -eu
+
+SCRIPT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)"
+. "$SCRIPT_DIR/lib.sh"
+
+SRC="${1:-$(CDPATH= cd -- "$SCRIPT_DIR/.." && pwd)}"
+SANITIZERS="undefined"
+
+mif_require_sanitizer check_ubsan "$SANITIZERS"
+
+export UBSAN_OPTIONS=halt_on_error=1
+mif_sanitized_ctest check_ubsan "$SRC" "$SRC/build-ubsan" "$SANITIZERS" \
+    sim_disk_test sim_scheduler_test block_extent_map_test \
+    alloc_property_test rpc_test attrib_test span_test

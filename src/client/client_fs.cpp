@@ -1,6 +1,7 @@
 #include "client/client_fs.hpp"
 
 #include "core/pfs.hpp"
+#include "obs/attrib.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 
@@ -16,6 +17,7 @@ void ClientFs::export_metrics(obs::MetricsRegistry& reg,
 
 Result<FileHandle> ClientFs::create(std::string_view path) {
   obs::ScopedSpan span(fs_->spans(), "client.create", id_.v);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kMeta});
   auto ino = fs_->rpc().create(path);
   if (!ino) return ino.error();
   ++stats_.opens;
@@ -24,6 +26,7 @@ Result<FileHandle> ClientFs::create(std::string_view path) {
 
 Result<FileHandle> ClientFs::open(std::string_view path) {
   obs::ScopedSpan span(fs_->spans(), "client.open", id_.v);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kMeta});
   ++stats_.opens;
   const std::string key(path);
   if (layout_cache_.contains(key)) {
@@ -43,6 +46,7 @@ Result<FileHandle> ClientFs::open(std::string_view path) {
 Result<FileHandle> ClientFs::rename(std::string_view from,
                                     std::string_view to) {
   obs::ScopedSpan span(fs_->spans(), "client.rename", id_.v);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kMeta});
   auto ino = fs_->rpc().rename(from, to);
   if (!ino) return ino.error();
   // A cross-shard rename mints a new inode; drop the stale cached layout so
@@ -63,6 +67,7 @@ Status ClientFs::write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
                              u64 len_bytes, std::vector<rpc::Ticket>& out) {
   if (!fh.valid() || len_bytes == 0) return Errc::kInvalid;
   obs::ScopedSpan span(fs_->spans(), "client.write", fh.ino.v, len_bytes);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kData});
   const u64 first = offset_bytes / kBlockSize;
   const u64 last = (offset_bytes + len_bytes + kBlockSize - 1) / kBlockSize;
   const StreamId stream{id_.v, pid};
@@ -159,6 +164,7 @@ Status ClientFs::fetch_range(const FileHandle& fh, u64 first, u64 last,
 Status ClientFs::read(const FileHandle& fh, u64 offset_bytes, u64 len_bytes) {
   if (!fh.valid() || len_bytes == 0) return Errc::kInvalid;
   obs::ScopedSpan span(fs_->spans(), "client.read", fh.ino.v, len_bytes);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kData});
   const u64 first = offset_bytes / kBlockSize;
   const u64 last = (offset_bytes + len_bytes + kBlockSize - 1) / kBlockSize;
   ++stats_.reads;
@@ -203,6 +209,7 @@ Status ClientFs::read(const FileHandle& fh, u64 offset_bytes, u64 len_bytes) {
 Status ClientFs::close(const FileHandle& fh) {
   if (!fh.valid()) return Errc::kInvalid;
   obs::ScopedSpan span(fs_->spans(), "client.close", fh.ino.v);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kMeta});
   fs_->close_file(fh.ino);
   // Ship the final layout to the MDS; it persists the mapping and pays CPU
   // per extent — fragmented files are expensive here (Table I).

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "obs/attrib.hpp"
 #include "obs/export.hpp"
 #include "obs/fraglens.hpp"
 #include "obs/timeline.hpp"
@@ -135,18 +136,95 @@ sim::DiskStats ParallelFileSystem::data_stats() const {
 void ParallelFileSystem::reset_data_stats() {
   for (auto& t : targets_) {
     t->drain();
+    // The attribution ledger is lifetime-cumulative while workloads reset
+    // the disk counters between setup and the measured phase; bank the
+    // discarded busy time so attribution_json's conservation comparand
+    // still covers every millisecond ever charged.
+    reset_disk_ms_ += t->disk().stats().busy_ms();
     t->disk().reset_stats();
     t->io().reset_stats();
   }
 }
 
 void ParallelFileSystem::tick_timeline() {
+  // Gauges for principals that appeared since the last safe point must be
+  // registered BEFORE the tick — add_gauge and tick share the timeline's
+  // mutex, so a gauge callback can never register another gauge.
+  if (timeline_ && attrib_) sync_attrib_gauges();
   if (timeline_) timeline_->tick();
+}
+
+void ParallelFileSystem::sync_attrib_gauges() {
+  obs::Attribution* a = attrib_;  // raw ledger pointer, NOT `this` — benches
+                                  // move the PFS value around.
+  if (!attrib_gauges_bound_) {
+    attrib_gauges_bound_ = true;
+    timeline_->add_gauge("attrib.principals", [a] {
+      return static_cast<double>(a->accounts().size());
+    });
+    timeline_->add_gauge("attrib.fairness", [a] { return a->fairness(); });
+  }
+  for (const auto& [key, acct] : attrib_->accounts()) {
+    if (std::find(attrib_gauge_keys_.begin(), attrib_gauge_keys_.end(),
+                  key) != attrib_gauge_keys_.end()) {
+      continue;
+    }
+    attrib_gauge_keys_.push_back(key);
+    const u64 k = key;
+    timeline_->add_gauge(
+        "attrib." + obs::Principal::from_key(key).label() + ".total_ms",
+        [a, k] {
+          const auto accts = a->accounts();
+          const auto it = accts.find(k);
+          return it == accts.end() ? 0.0 : it->second.total_ms();
+        });
+  }
+}
+
+void ParallelFileSystem::set_attribution(obs::Attribution* attrib) {
+  attrib_ = attrib;
+  rpc_stack_.set_attribution(attrib);
+  for (auto& t : targets_) t->set_attribution(attrib);
+  for (auto& m : mds_) m->set_attribution(attrib);
+}
+
+obs::Json ParallelFileSystem::attribution_json() const {
+  if (!attrib_) return obs::Json{};
+  obs::Json j;
+  j["principals"] = attrib_->to_json();
+  // The independent cluster totals the per-principal ledger must conserve
+  // against (the attrib_test / bench-gate invariant): sums over principals
+  // equal these to within FP accumulation order.
+  obs::Json global;
+  double disk_ms = reset_disk_ms_ + data_stats().busy_ms();
+  double mds_cpu = 0.0;
+  for (const auto& m : mds_) {
+    disk_ms += m->fs().disk().stats().busy_ms();
+    mds_cpu += m->stats().cpu_ms;
+  }
+  global["disk_ms"] = disk_ms;
+  const sim::NetworkStats& mn = rpc_stack_.meta_network().stats();
+  const sim::NetworkStats& dn = rpc_stack_.data_network().stats();
+  global["net_ms"] = mn.time_ms + dn.time_ms;
+  global["net_bytes"] = mn.bytes + dn.bytes;
+  global["mds_cpu_ms"] = mds_cpu;
+  if (const rpc::AsyncTransport* async = rpc_stack_.async()) {
+    global["stall_ms"] = async->report().stall_ms;
+  }
+  if (const rpc::FaultTransport* fault =
+          const_cast<rpc::TransportStack&>(rpc_stack_).fault()) {
+    global["fault_delay_ms"] = fault->stats().delay_total_ms;
+  }
+  j["global"] = global;
+  j["fairness"] = attrib_->fairness();
+  return j;
 }
 
 void ParallelFileSystem::set_timeline(obs::Timeline* tl) {
   timeline_ = tl;
   frag_lens_.reset();
+  attrib_gauges_bound_ = false;
+  attrib_gauge_keys_.clear();
   // The shards drive sampling from their handler boundaries; the cluster
   // registers all gauges itself (per-shard Mds::set_timeline would collide
   // on the lens names).

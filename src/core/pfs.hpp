@@ -138,6 +138,20 @@ class ParallelFileSystem {
   /// The cluster fragmentation lens (nullptr until set_timeline).
   const obs::FragLens* frag_lens() const { return frag_lens_.get(); }
 
+  /// Attach a cost-attribution ledger (obs/attrib.hpp) to the whole
+  /// cluster: the transport tags/charges network cost per principal, every
+  /// IO scheduler (data targets and each shard's metadata disk) stamps
+  /// submitters and splits merged dispatches back to them, and MDS handler
+  /// CPU is charged to the ambient principal.  nullptr detaches.
+  void set_attribution(obs::Attribution* attrib);
+  obs::Attribution* attribution() const { return attrib_; }
+
+  /// The attribution report: `principals` (per-principal cost accounts),
+  /// `global` (the independent cluster-wide totals the ledger must
+  /// conserve against), and `fairness` (Jain's index over per-client
+  /// attributed milliseconds).  Null JSON when no ledger is attached.
+  obs::Json attribution_json() const;
+
   /// Publish the entire stack into `reg`: per-instance metrics
   /// (`osd.<i>.…`, `mds.…`) plus cluster-wide aggregates
   /// (`alloc.<mode>.layout_miss`, `alloc.extents_per_file`,
@@ -151,6 +165,11 @@ class ParallelFileSystem {
   const ClusterConfig& config() const { return cfg_; }
 
  private:
+  /// Register timeline gauges for principals that appeared since the last
+  /// safe point (tick_timeline calls this BEFORE ticking — add_gauge and
+  /// tick share the timeline mutex, so gauges cannot be added from a tick).
+  void sync_attrib_gauges();
+
   ClusterConfig cfg_;
   /// One Mds per metadata shard; size 1 unless cfg.mds.shards >= 2.
   std::vector<std::unique_ptr<mds::Mds>> mds_;
@@ -158,7 +177,16 @@ class ParallelFileSystem {
   rpc::TransportStack rpc_stack_;
   std::unique_ptr<rpc::Client> rpc_client_;
   obs::SpanCollector* spans_{nullptr};
+  obs::Attribution* attrib_{nullptr};
   obs::Timeline* timeline_{nullptr};
+  /// attrib.* gauge bookkeeping: fixed gauges bound once, one total_ms
+  /// gauge per principal key seen so far.
+  bool attrib_gauges_bound_{false};
+  std::vector<u64> attrib_gauge_keys_;
+  /// Disk busy time discarded by reset_data_stats(): workloads reset the
+  /// counters before their measured phase, but the attribution ledger is
+  /// lifetime-cumulative, so the conservation comparand adds this back.
+  double reset_disk_ms_{0.0};
   std::unique_ptr<obs::FragLens> frag_lens_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/attrib.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
@@ -14,9 +15,34 @@ Mds::TimelineTick::~TimelineTick() {
   if (m.timeline_) m.timeline_->tick();
 }
 
+void Mds::charge_cpu(double cpu_ms) {
+  stats_.cpu_ms += cpu_ms;
+  if (!attrib_ || cpu_ms <= 0.0) return;
+  attrib_->charge_mds(obs::ambient_principal(), cpu_ms);
+  if (spans_) {
+    if (!cpu_ns_set_) {
+      cpu_ns_ = spans_->reserve_track_namespace();
+      cpu_ns_set_ = true;
+    }
+    // Cumulative CPU clock: stats_.cpu_ms just grew by exactly cpu_ms.
+    spans_->record_sim("mds.cpu", obs::make_track(cpu_ns_, 0),
+                       stats_.cpu_ms - cpu_ms, cpu_ms, spans_->ambient());
+  }
+}
+
+void Mds::account_rpc() {
+  ++stats_.rpcs;
+  charge_cpu(cfg_.cpu_us_per_rpc / 1000.0);
+}
+
 void Mds::charge_extents(u64 n) {
   stats_.extent_ops += n;
-  stats_.cpu_ms += static_cast<double>(n) * cfg_.cpu_us_per_extent / 1000.0;
+  charge_cpu(static_cast<double>(n) * cfg_.cpu_us_per_extent / 1000.0);
+}
+
+void Mds::set_attribution(obs::Attribution* attrib) {
+  attrib_ = attrib;
+  fs_.io().set_attribution(attrib);
 }
 
 Result<InodeNo> Mds::mkdir(std::string_view path) {

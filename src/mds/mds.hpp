@@ -22,6 +22,7 @@
 #include "shard/map.hpp"
 
 namespace mif::obs {
+class Attribution;
 class MetricsRegistry;
 class SpanCollector;
 class Timeline;
@@ -84,10 +85,7 @@ class Mds {
 
   /// One delivered RPC envelope: count it and pay the fixed dispatch CPU.
   /// Called by the transport, exactly once per (non-free) metadata op.
-  void account_rpc() {
-    ++stats_.rpcs;
-    stats_.cpu_ms += cfg_.cpu_us_per_rpc / 1000.0;
-  }
+  void account_rpc();
 
   // --- observability -------------------------------------------------------
   mfs::Mfs& fs() { return fs_; }
@@ -104,6 +102,12 @@ class Mds {
     spans_ = spans;
     fs_.set_spans(spans);
   }
+
+  /// Attach cost attribution: handler CPU is charged to the ambient
+  /// principal (`mds.cpu` sim spans ride a cumulative CPU clock when spans
+  /// are also attached), and the metadata disk's scheduler stamps/charges
+  /// its submitters too.  nullptr detaches.
+  void set_attribution(obs::Attribution* attrib);
 
   /// Publish MDS RPC/CPU counters plus the whole MFS stack under
   /// `<prefix>.…`.
@@ -133,6 +137,9 @@ class Mds {
 
  private:
   void charge_extents(u64 n);
+  /// Accumulate handler CPU and, with attribution on, charge the ambient
+  /// principal (plus an `mds.cpu` sim span when spans are attached).
+  void charge_cpu(double cpu_ms);
 
   /// RAII handler hook: declared before any ScopedSpan so the sample is
   /// taken after the span closed and the handler's block traffic settled.
@@ -146,8 +153,12 @@ class Mds {
   mfs::Mfs fs_;
   MdsStats stats_;
   obs::SpanCollector* spans_{nullptr};
+  obs::Attribution* attrib_{nullptr};
   obs::Timeline* timeline_{nullptr};
   std::unique_ptr<obs::FragLens> frag_lens_;
+  /// Lazily-reserved namespace for `mds.cpu` sim spans.
+  bool cpu_ns_set_{false};
+  u32 cpu_ns_{0};
 };
 
 }  // namespace mif::mds

@@ -1,0 +1,178 @@
+#include "obs/attrib.hpp"
+
+namespace mif::obs {
+
+namespace {
+
+thread_local std::vector<Principal> t_ambient;
+thread_local const Principal* t_frame = nullptr;
+thread_local std::size_t t_frame_count = 0;
+
+}  // namespace
+
+std::string_view to_string(OpClass cls) {
+  switch (cls) {
+    case OpClass::kData: return "data";
+    case OpClass::kMeta: return "meta";
+    case OpClass::kBackground: return "background";
+  }
+  return "?";
+}
+
+std::string Principal::label() const {
+  if (system()) return "system";
+  return "client" + std::to_string(client) + "." +
+         std::string(to_string(cls));
+}
+
+Principal ambient_principal() {
+  return t_ambient.empty() ? Principal{} : t_ambient.back();
+}
+
+ScopedPrincipal::ScopedPrincipal(Principal p) { t_ambient.push_back(p); }
+
+ScopedPrincipal::~ScopedPrincipal() { t_ambient.pop_back(); }
+
+std::pair<const Principal*, std::size_t> frame_principals() {
+  return {t_frame, t_frame_count};
+}
+
+ScopedFramePrincipals::ScopedFramePrincipals(const Principal* principals,
+                                             std::size_t count)
+    : prev_(t_frame), prev_count_(t_frame_count) {
+  t_frame = principals;
+  t_frame_count = count;
+}
+
+ScopedFramePrincipals::~ScopedFramePrincipals() {
+  t_frame = prev_;
+  t_frame_count = prev_count_;
+}
+
+void CostAccount::add(const CostAccount& o) {
+  disk_seek_ms += o.disk_seek_ms;
+  disk_rotation_ms += o.disk_rotation_ms;
+  disk_skip_ms += o.disk_skip_ms;
+  disk_transfer_ms += o.disk_transfer_ms;
+  queue_wait_ms += o.queue_wait_ms;
+  stall_ms += o.stall_ms;
+  net_ms += o.net_ms;
+  mds_cpu_ms += o.mds_cpu_ms;
+  fault_delay_ms += o.fault_delay_ms;
+  net_bytes += o.net_bytes;
+  rpcs += o.rpcs;
+  disk_requests += o.disk_requests;
+}
+
+Json CostAccount::to_json() const {
+  Json j;
+  j["disk_seek_ms"] = disk_seek_ms;
+  j["disk_rotation_ms"] = disk_rotation_ms;
+  j["disk_skip_ms"] = disk_skip_ms;
+  j["disk_transfer_ms"] = disk_transfer_ms;
+  j["disk_ms"] = disk_ms();
+  j["queue_wait_ms"] = queue_wait_ms;
+  j["stall_ms"] = stall_ms;
+  j["net_ms"] = net_ms;
+  j["mds_cpu_ms"] = mds_cpu_ms;
+  j["fault_delay_ms"] = fault_delay_ms;
+  j["net_bytes"] = net_bytes;
+  j["rpcs"] = rpcs;
+  j["disk_requests"] = disk_requests;
+  j["total_ms"] = total_ms();
+  return j;
+}
+
+void Attribution::charge_disk(const Principal& p, double seek_ms,
+                              double rotation_ms, double skip_ms,
+                              double transfer_ms) {
+  std::lock_guard lock(mu_);
+  CostAccount& a = accounts_[p.key()];
+  a.disk_seek_ms += seek_ms;
+  a.disk_rotation_ms += rotation_ms;
+  a.disk_skip_ms += skip_ms;
+  a.disk_transfer_ms += transfer_ms;
+}
+
+void Attribution::charge_queue_wait(const Principal& p, double ms) {
+  std::lock_guard lock(mu_);
+  accounts_[p.key()].queue_wait_ms += ms;
+}
+
+void Attribution::charge_stall(const Principal& p, double ms) {
+  std::lock_guard lock(mu_);
+  accounts_[p.key()].stall_ms += ms;
+}
+
+void Attribution::charge_net(const Principal& p, double ms, u64 bytes) {
+  std::lock_guard lock(mu_);
+  CostAccount& a = accounts_[p.key()];
+  a.net_ms += ms;
+  a.net_bytes += bytes;
+}
+
+void Attribution::charge_mds(const Principal& p, double cpu_ms) {
+  std::lock_guard lock(mu_);
+  accounts_[p.key()].mds_cpu_ms += cpu_ms;
+}
+
+void Attribution::charge_fault_delay(const Principal& p, double ms) {
+  std::lock_guard lock(mu_);
+  accounts_[p.key()].fault_delay_ms += ms;
+}
+
+void Attribution::count_rpc(const Principal& p, u64 n) {
+  std::lock_guard lock(mu_);
+  accounts_[p.key()].rpcs += n;
+}
+
+void Attribution::count_disk_request(const Principal& p, u64 n) {
+  std::lock_guard lock(mu_);
+  accounts_[p.key()].disk_requests += n;
+}
+
+std::map<u64, CostAccount> Attribution::accounts() const {
+  std::lock_guard lock(mu_);
+  return accounts_;
+}
+
+CostAccount Attribution::total() const {
+  std::lock_guard lock(mu_);
+  CostAccount sum;
+  for (const auto& [key, account] : accounts_) sum.add(account);
+  return sum;
+}
+
+double Attribution::fairness() const {
+  std::map<u32, double> per_client;
+  for (const auto& [key, account] : accounts()) {
+    const Principal p = Principal::from_key(key);
+    if (p.system()) continue;
+    per_client[p.client] += account.total_ms();
+  }
+  std::vector<double> xs;
+  xs.reserve(per_client.size());
+  for (const auto& [client, ms] : per_client) xs.push_back(ms);
+  return jain_fairness(xs);
+}
+
+Json Attribution::to_json() const {
+  Json j;
+  for (const auto& [key, account] : accounts()) {
+    j[Principal::from_key(key).label()] = account.to_json();
+  }
+  return j;
+}
+
+double Attribution::jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace mif::obs

@@ -7,6 +7,29 @@
 
 namespace mif::obs {
 
+namespace {
+
+/// Strict positive-integer parse for count-valued flags.  atoi-style
+/// leniency let `--pipeline-depth garbage` silently mean depth 0 (i.e. the
+/// default chain) — a bench invocation that LOOKS configured but is not.
+/// Mirrors the --timeseries treatment: bad values fail fast with status 2.
+u32 parse_count_flag(std::string_view bench_name, std::string_view flag,
+                     std::string_view value) {
+  const std::string v(value);
+  char* end = nullptr;
+  const long n = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || (end && *end != '\0') || n <= 0) {
+    std::fprintf(stderr,
+                 "%s: bad %s '%s': expected a positive integer\n",
+                 std::string(bench_name).c_str(), std::string(flag).c_str(),
+                 v.c_str());
+    std::exit(2);
+  }
+  return static_cast<u32>(n);
+}
+
+}  // namespace
+
 BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -36,15 +59,18 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
         std::exit(2);
       }
     } else if (arg == "--pipeline-depth" && i + 1 < argc) {
-      pipeline_depth_ = static_cast<u32>(std::atoi(argv[++i]));
+      pipeline_depth_ =
+          parse_count_flag(bench_name, "--pipeline-depth", argv[++i]);
     } else if (arg.rfind("--pipeline-depth=", 0) == 0) {
       pipeline_depth_ =
-          static_cast<u32>(std::atoi(std::string(arg.substr(17)).c_str()));
+          parse_count_flag(bench_name, "--pipeline-depth", arg.substr(17));
     } else if (arg == "--mds-shards" && i + 1 < argc) {
-      mds_shards_ = static_cast<u32>(std::atoi(argv[++i]));
+      mds_shards_ = parse_count_flag(bench_name, "--mds-shards", argv[++i]);
     } else if (arg.rfind("--mds-shards=", 0) == 0) {
       mds_shards_ =
-          static_cast<u32>(std::atoi(std::string(arg.substr(13)).c_str()));
+          parse_count_flag(bench_name, "--mds-shards", arg.substr(13));
+    } else if (arg == "--attribution") {
+      attribution_ = true;
     }
   }
   doc_["schema_version"] = kReportSchemaVersion;
@@ -53,13 +79,14 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
 }
 
 void BenchReport::add_run(std::string_view name, Json config, Json results,
-                          Json metrics, Json timeseries) {
+                          Json metrics, Json timeseries, Json attribution) {
   Json run;
   run["name"] = name;
   run["config"] = std::move(config);
   run["results"] = std::move(results);
   if (!metrics.is_null()) run["metrics"] = std::move(metrics);
   if (!timeseries.is_null()) run["timeseries"] = std::move(timeseries);
+  if (!attribution.is_null()) run["attribution"] = std::move(attribution);
   doc_["runs"].as_array().push_back(std::move(run));
 }
 

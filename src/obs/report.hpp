@@ -32,10 +32,11 @@ inline constexpr u64 kReportSchemaVersion = 1;
 class BenchReport {
  public:
   /// Parses `--json <path>`, `--trace <path>`, `--quick`,
-  /// `--timeseries[=<interval_ms>]`, `--pipeline-depth <N>` and
-  /// `--mds-shards <N>` out of argv.  Unknown arguments are ignored
-  /// (google-benchmark style flags pass through).  An invalid
-  /// `--timeseries` interval fails fast: obs::validate's message goes to
+  /// `--timeseries[=<interval_ms>]`, `--attribution`,
+  /// `--pipeline-depth <N>` and `--mds-shards <N>` out of argv.  Unknown
+  /// arguments are ignored (google-benchmark style flags pass through).
+  /// An invalid `--timeseries` interval, and a zero/negative/non-numeric
+  /// `--pipeline-depth` or `--mds-shards`, fail fast: the message goes to
   /// stderr and the process exits with status 2.
   BenchReport(std::string_view bench_name, int argc, char** argv);
 
@@ -44,13 +45,20 @@ class BenchReport {
 
   /// `--pipeline-depth <N>` / `--pipeline-depth=<N>`: in-flight window for
   /// the async transport.  0 when absent; benches treat 0/1 as the default
-  /// synchronous chain (output stays byte-identical).
+  /// synchronous chain (output stays byte-identical).  A zero, negative or
+  /// non-numeric value fails fast with status 2 (like --timeseries).
   u32 pipeline_depth() const { return pipeline_depth_; }
 
   /// `--mds-shards <N>` / `--mds-shards=<N>`: metadata shards to mount.
   /// 0 when absent; benches treat 0/1 as the classic single-MDS stack
-  /// (output stays byte-identical).
+  /// (output stays byte-identical).  Same fail-fast validation as
+  /// --pipeline-depth.
   u32 mds_shards() const { return mds_shards_; }
+
+  /// `--attribution`: attach a cost-attribution ledger (obs/attrib.hpp) and
+  /// embed each run's per-principal accounts + critical-path report.  Off
+  /// by default — reports stay byte-identical without the flag.
+  bool attribution_enabled() const { return attribution_; }
 
   /// `--trace <path>` / `--trace=<path>`: where to write the Chrome-trace /
   /// Perfetto span dump; empty when tracing was not requested.  The bench
@@ -69,10 +77,13 @@ class BenchReport {
   const Config& timeline_config() const { return timeline_cfg_; }
 
   /// Append one run row.  `name` identifies the configuration point.
-  /// `timeseries` (a Timeline::to_json() document) is embedded only when
-  /// non-null, so runs without a recorder serialise exactly as before.
+  /// `timeseries` (a Timeline::to_json() document) and `attribution`
+  /// (a ParallelFileSystem::attribution_json() document) are embedded only
+  /// when non-null, so runs without a recorder/ledger serialise exactly as
+  /// before.
   void add_run(std::string_view name, Json config, Json results,
-               Json metrics = Json{}, Json timeseries = Json{});
+               Json metrics = Json{}, Json timeseries = Json{},
+               Json attribution = Json{});
 
   /// Root document (already carrying schema_version/bench/runs); open for
   /// benches that want extra top-level fields.
@@ -87,6 +98,7 @@ class BenchReport {
   std::string trace_path_;
   bool quick_{false};
   bool timeseries_{false};
+  bool attribution_{false};
   Config timeline_cfg_{};
   u32 pipeline_depth_{0};
   u32 mds_shards_{0};

@@ -101,10 +101,19 @@ class StorageTarget {
 
   /// Attach a span collector: allocator decisions record `alloc.decide` and
   /// the data disk records `disk.*` on span track `track` (nullptr
-  /// detaches).
+  /// detaches).  The scheduler's aggregated `io.queue_wait` spans get their
+  /// own lane (track + 64) so their cumulative wait clock never interleaves
+  /// with the disk's real timeline on one viewer lane.
   void set_spans(obs::SpanCollector* spans, u32 track) {
     spans_ = spans;
     disk_.set_spans(spans, track);
+    io_.set_spans(spans, track + 64);
+  }
+
+  /// Attach cost attribution: the scheduler stamps submitters and splits
+  /// merged dispatches back to them (see sim::IoScheduler::set_attribution).
+  void set_attribution(obs::Attribution* attrib) {
+    io_.set_attribution(attrib);
   }
 
   /// Publish this target's counters under `<prefix>.…`: disk, scheduler,

@@ -1,5 +1,6 @@
 #include "rpc/async.hpp"
 
+#include "obs/attrib.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 
@@ -48,6 +49,18 @@ Ticket AsyncTransport::call_async(const Address& to, const Request& req) {
   const sim::Pipeline::Times t = pipe_.submit(channel, service);
   inflight_.add(pipe_.inflight());
   cq_.set_clock(pipe_.issue_clock_ms());
+  if (attrib_ && t.stall_ms > 0.0) {
+    // The issuer waited out the window's backpressure — a cost of the
+    // pipeline, not of any disk or network, so it gets its own category.
+    attrib_->charge_stall(obs::ambient_principal(), t.stall_ms);
+    if (spans_) {
+      // Lane 255 of this transport's namespace, on the cumulative stall
+      // clock (stats_.stall_ms grew by exactly t.stall_ms above).
+      spans_->record_sim("rpc.stall", obs::make_track(track_ns_, 255),
+                         pipe_.stats().stall_ms - t.stall_ms, t.stall_ms,
+                         spans_->ambient(), static_cast<u64>(op));
+    }
+  }
   if (spans_) {
     // One sim-clock span per ticket, issue → complete, on the destination's
     // channel lane.  arg0 = op (decode with rpc::to_string), arg1 = wire

@@ -81,6 +81,10 @@ class AsyncTransport final : public Transport {
   Status flush() override { return inner_.flush(); }
 
   void set_spans(obs::SpanCollector* spans) override;
+  void set_attribution(obs::Attribution* attrib) override {
+    attrib_ = attrib;
+    inner_.set_attribution(attrib);
+  }
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const override;
 
@@ -108,6 +112,7 @@ class AsyncTransport final : public Transport {
   sim::Network meta_model_;  // cost() only — never charged
   sim::Network data_model_;
   obs::SpanCollector* spans_{nullptr};
+  obs::Attribution* attrib_{nullptr};
   u32 track_ns_{0};
   mutable std::mutex mu_;
   sim::Pipeline pipe_;

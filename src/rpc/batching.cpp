@@ -1,5 +1,7 @@
 #include "rpc/batching.hpp"
 
+#include <optional>
+
 #include "obs/export.hpp"
 
 namespace mif::rpc {
@@ -33,8 +35,18 @@ bool BatchingTransport::coalesce_locked(Queue& q, const BlockWriteRequest& w) {
 Status BatchingTransport::flush_queue_locked(Queue& q) {
   if (q.reqs.empty()) return {};
   ++stats_.wire_messages;
-  Status s = inner_.call_batch(q.addr, std::move(q.reqs));
+  Status s;
+  {
+    // The flush runs on whatever thread tripped the watermark/barrier, so
+    // its ambient principal is NOT the contributors'.  Publish the queue's
+    // per-envelope tags for the inner transport's pro-rata frame split.
+    std::optional<obs::ScopedFramePrincipals> frame;
+    if (attrib_ && q.principals.size() == q.reqs.size())
+      frame.emplace(q.principals.data(), q.principals.size());
+    s = inner_.call_batch(q.addr, std::move(q.reqs));
+  }
   q.reqs.clear();
+  q.principals.clear();
   q.bytes = 0;
   if (!s) {
     ++stats_.deferred_errors;
@@ -69,6 +81,7 @@ Result<Response> BatchingTransport::call(const Address& to,
     } else {
       q.bytes += wire_bytes(req);
       q.reqs.push_back(req);
+      if (attrib_) q.principals.push_back(obs::ambient_principal());
     }
     if (q.bytes >= cfg_.watermark_bytes ||
         q.reqs.size() >= cfg_.max_queue_msgs) {

@@ -22,6 +22,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/attrib.hpp"
 #include "rpc/transport.hpp"
 
 namespace mif::rpc {
@@ -57,6 +58,10 @@ class BatchingTransport final : public Transport {
   void set_spans(obs::SpanCollector* spans) override {
     inner_.set_spans(spans);
   }
+  void set_attribution(obs::Attribution* attrib) override {
+    attrib_ = attrib;
+    inner_.set_attribution(attrib);
+  }
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const override;
 
@@ -71,6 +76,11 @@ class BatchingTransport final : public Transport {
   struct Queue {
     Address addr;
     std::vector<Request> reqs;
+    /// Parallel per-envelope principal tags (only filled while attribution
+    /// is attached).  A coalesced run keeps its tail envelope's tag — same
+    /// (file, stream) means same client, so nothing is misattributed.  The
+    /// flush hands these to the inner transport as the frame's principals.
+    std::vector<obs::Principal> principals;
     u64 bytes{0};
   };
   static u64 key(const Address& a) {
@@ -84,6 +94,7 @@ class BatchingTransport final : public Transport {
 
   Transport& inner_;
   BatchingConfig cfg_;
+  obs::Attribution* attrib_{nullptr};
   mutable std::mutex mu_;
   std::map<u64, Queue> queues_;
   Status sticky_{};

@@ -67,7 +67,12 @@ class FaultTransport final : public Transport {
   }
   Status flush() override { return inner_.flush(); }
   void set_spans(obs::SpanCollector* spans) override {
+    spans_ = spans;
     inner_.set_spans(spans);
+  }
+  void set_attribution(obs::Attribution* attrib) override {
+    attrib_ = attrib;
+    inner_.set_attribution(attrib);
   }
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const override;
@@ -81,6 +86,12 @@ class FaultTransport final : public Transport {
   FaultConfig cfg_{};
   bool armed_{false};
   FaultStats stats_;
+  obs::SpanCollector* spans_{nullptr};
+  obs::Attribution* attrib_{nullptr};
+  /// Lazily-reserved namespace for `fault.delay` sim spans (cumulative
+  /// delay clock).  Guarded by mu_.
+  bool span_ns_set_{false};
+  u32 span_ns_{0};
 };
 
 }  // namespace mif::rpc

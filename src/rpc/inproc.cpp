@@ -1,6 +1,9 @@
 #include "rpc/inproc.hpp"
 
+#include <optional>
+
 #include "mds/mds.hpp"
+#include "obs/attrib.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 #include "osd/storage_target.hpp"
@@ -100,8 +103,22 @@ InprocTransport::InprocTransport(Endpoints eps, sim::NetworkConfig meta_net,
     : eps_(std::move(eps)), meta_net_(meta_net), data_net_(data_net) {}
 
 double InprocTransport::charge(Address::Kind kind, u64 bytes) {
+  const bool meta = kind == Address::Kind::kMds;
   std::lock_guard lock(net_mu_);
-  return (kind == Address::Kind::kMds ? meta_net_ : data_net_).rpc(bytes);
+  const double cost = (meta ? meta_net_ : data_net_).rpc(bytes);
+  // With attribution on, each network exchange also becomes a sim span on a
+  // cumulative per-network clock (critical-path "network" segment).
+  if (attrib_ && spans_) {
+    if (!net_ns_set_) {
+      net_ns_ = spans_->reserve_track_namespace();
+      net_ns_set_ = true;
+    }
+    double& clock = net_clock_[meta ? 0 : 1];
+    spans_->record_sim("net.exchange", obs::make_track(net_ns_, meta ? 0 : 1),
+                       clock, cost, spans_->ambient(), bytes);
+    clock += cost;
+  }
+  return cost;
 }
 
 Result<Response> InprocTransport::dispatch(const Address& to,
@@ -142,13 +159,25 @@ Result<Response> InprocTransport::call(const Address& to, const Request& req) {
   }
   po.bytes.fetch_add(bytes, std::memory_order_relaxed);
   po.latency_us.add(static_cast<u64>(cost_ms * 1000.0));
+  if (attrib_) {
+    const obs::Principal p = obs::ambient_principal();
+    attrib_->count_rpc(p);
+    if (cost_ms > 0.0 || bytes > 0) attrib_->charge_net(p, cost_ms, bytes);
+  }
   return resp;
 }
 
 Status InprocTransport::call_batch(const Address& to,
                                    std::vector<Request> reqs) {
   if (reqs.empty()) return {};
+  // A flushed frame carries its contributors' principals (BatchingTransport
+  // runs the flush on whatever thread tripped the watermark — the ambient
+  // there is the flusher, not the contributors).
+  const auto [fp, fp_n] = obs::frame_principals();
+  const bool tagged = attrib_ && fp != nullptr && fp_n == reqs.size();
   if (reqs.size() == 1) {
+    std::optional<obs::ScopedPrincipal> tag;
+    if (tagged) tag.emplace(fp[0]);
     Result<Response> r = call(to, reqs.front());
     return r ? Status{} : Status{r.error()};
   }
@@ -159,23 +188,60 @@ Status InprocTransport::call_batch(const Address& to,
   obs::ScopedSpan span(spans_, "rpc.batch", to.index, reqs.size());
   double cost_ms = charge(to.kind, frame);
 
+  // Frame-cost split, pro-rata by bytes: contributor i owns its own body
+  // (the first also carries the shared header), so the byte shares sum to
+  // the frame exactly; ms shares are byte-weighted, last takes the
+  // remainder so they sum to the charge exactly.
+  std::vector<u64> share_bytes;
+  std::vector<double> share_ms;
+  if (attrib_) {
+    share_bytes.resize(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+      share_bytes[i] = wire_bytes(reqs[i]) - kHeaderBytes;
+    share_bytes[0] += kHeaderBytes;
+    share_ms.resize(reqs.size());
+    double left = cost_ms;
+    for (std::size_t i = 0; i + 1 < reqs.size(); ++i) {
+      share_ms[i] = cost_ms * static_cast<double>(share_bytes[i]) /
+                    static_cast<double>(frame);
+      left -= share_ms[i];
+    }
+    share_ms.back() = left;
+  }
+
   Status first{};
-  for (const Request& r : reqs) {
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Request& r = reqs[i];
     const Op op = op_of(r);
     PerOp& po = ops_[static_cast<std::size_t>(op)];
+    // Dispatch under the contributor's identity so MDS handler time and
+    // disk-scheduler submits attribute to whoever enqueued the envelope.
+    const obs::Principal p =
+        tagged ? fp[i] : (attrib_ ? obs::ambient_principal() : obs::Principal{});
+    std::optional<obs::ScopedPrincipal> tag;
+    if (tagged) tag.emplace(p);
     Result<Response> resp = dispatch(to, r);
     po.count.fetch_add(1, std::memory_order_relaxed);
     u64 bytes = wire_bytes(r);
+    double env_ms = attrib_ ? share_ms[i] : 0.0;
+    u64 env_bytes = attrib_ ? share_bytes[i] : 0;
     if (resp) {
       if (const u64 bulk = bulk_bytes(*resp); bulk > 0) {
-        cost_ms += charge(to.kind, bulk);
+        const double bulk_ms = charge(to.kind, bulk);
+        cost_ms += bulk_ms;
         bytes += bulk;
+        env_ms += bulk_ms;
+        env_bytes += bulk;
       }
     } else {
       po.errors.fetch_add(1, std::memory_order_relaxed);
       if (first.ok()) first = resp.error();
     }
     po.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    if (attrib_) {
+      attrib_->count_rpc(p);
+      attrib_->charge_net(p, env_ms, env_bytes);
+    }
   }
   // Every batched envelope experienced the frame's exchange latency.
   const u64 us = static_cast<u64>(cost_ms * 1000.0);

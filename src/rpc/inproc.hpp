@@ -39,6 +39,7 @@ class InprocTransport final : public Transport {
   Status call_batch(const Address& to, std::vector<Request> reqs) override;
 
   void set_spans(obs::SpanCollector* spans) override { spans_ = spans; }
+  void set_attribution(obs::Attribution* attrib) override { attrib_ = attrib; }
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const override;
 
@@ -68,9 +69,16 @@ class InprocTransport final : public Transport {
 
   Endpoints eps_;
   obs::SpanCollector* spans_{nullptr};
+  obs::Attribution* attrib_{nullptr};
   mutable std::mutex net_mu_;
   sim::Network meta_net_;
   sim::Network data_net_;
+  /// `net.exchange` sim spans ride a cumulative per-network clock (lane
+  /// 0 = meta, 1 = data) in a lazily-reserved track namespace; only emitted
+  /// while BOTH attribution and spans are attached.  Guarded by net_mu_.
+  bool net_ns_set_{false};
+  u32 net_ns_{0};
+  std::array<double, 2> net_clock_{0.0, 0.0};
   std::array<PerOp, kOpCount> ops_;
 };
 

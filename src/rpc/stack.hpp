@@ -80,6 +80,9 @@ class TransportStack {
     // sim-track namespace on the way through.
     if (top_) top_->set_spans(spans);
   }
+  void set_attribution(obs::Attribution* attrib) {
+    if (top_) top_->set_attribution(attrib);
+  }
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const {
     if (top_) top_->export_metrics(reg, prefix);

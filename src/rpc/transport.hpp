@@ -45,6 +45,7 @@ namespace mif::osd {
 class StorageTarget;
 }
 namespace mif::obs {
+class Attribution;
 class MetricsRegistry;
 class SpanCollector;
 }  // namespace mif::obs
@@ -174,6 +175,12 @@ class Transport {
   virtual Status flush() { return {}; }
 
   virtual void set_spans(obs::SpanCollector* spans) { (void)spans; }
+
+  /// Attach per-principal cost attribution (see obs/attrib.hpp).  Decorators
+  /// keep a pointer for their own charges (stall, fault delay, frame
+  /// splitting) and forward inward; with none attached the chain's cost
+  /// accounting is unchanged.  nullptr detaches.
+  virtual void set_attribution(obs::Attribution* attrib) { (void)attrib; }
   virtual void export_metrics(obs::MetricsRegistry& reg,
                               std::string_view prefix) const {
     (void)reg;

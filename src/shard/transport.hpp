@@ -58,6 +58,11 @@ class ShardedTransport final : public rpc::Transport {
     spans_ = spans;
     inner_.set_spans(spans);
   }
+  void set_attribution(obs::Attribution* attrib) override {
+    // Pure routing: every sub-envelope (fan-out leg, rename phase) is
+    // charged by the layers below under the caller's ambient principal.
+    inner_.set_attribution(attrib);
+  }
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const override;
 

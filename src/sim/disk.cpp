@@ -24,6 +24,7 @@ double Disk::service(const DiskRequest& req) {
 
   double t = 0.0;
   ++stats_.requests;
+  last_ = {};
   const obs::SpanContext ctx = spans_ ? spans_->ambient() : obs::SpanContext{};
   if (req.start == head_) {
     // Head already on the right spot: pure streaming.
@@ -41,6 +42,7 @@ double Disk::service(const DiskRequest& req) {
     if (skip < reposition) {
       t += skip;
       stats_.skip_ms += skip;
+      last_.skip_ms = skip;
       ++stats_.skips;
       if (spans_)
         spans_->record_sim("disk.skip", span_track_, now_ms_, skip, ctx,
@@ -50,6 +52,8 @@ double Disk::service(const DiskRequest& req) {
       t += seek + geometry_.rotational_ms;
       stats_.seek_ms += seek;
       stats_.rotation_ms += geometry_.rotational_ms;
+      last_.seek_ms = seek;
+      last_.rotation_ms = geometry_.rotational_ms;
       ++stats_.positionings;
       position_times_ms_.add(seek + geometry_.rotational_ms);
       if (spans_)
@@ -68,6 +72,7 @@ double Disk::service(const DiskRequest& req) {
                        ctx, req.start.v, req.count);
   t += transfer;
   stats_.transfer_ms += transfer;
+  last_.transfer_ms = transfer;
 
   if (req.kind == IoKind::kRead) {
     stats_.blocks_read += req.count;

@@ -45,6 +45,11 @@ struct DiskRequest {
   IoKind kind{IoKind::kRead};
   DiskBlock start{};
   u64 count{1};  // blocks
+  /// Cost-attribution tag (obs::Principal::key(); 0 = system) and the disk
+  /// time at submit, stamped by IoScheduler only when attribution is
+  /// attached.  Opaque here — the disk model itself never reads them.
+  u64 principal{0};
+  double submit_ms{0.0};
 };
 
 /// Counters exposed by every disk; benches read these to build the paper's
@@ -102,6 +107,17 @@ class Disk {
   /// back and forth constantly" argument, not just its sum.
   const RunningStats& position_times_ms() const { return position_times_ms_; }
 
+  /// Component breakdown of the MOST RECENT service() call.  IoScheduler
+  /// reads this right after dispatching a merged request to split its cost
+  /// back to the contributors pro-rata (cost attribution).
+  struct ServiceBreakdown {
+    double seek_ms{0.0};
+    double rotation_ms{0.0};
+    double skip_ms{0.0};
+    double transfer_ms{0.0};
+  };
+  const ServiceBreakdown& last_service() const { return last_; }
+
   void reset_stats() {
     stats_ = {};
     position_times_ms_ = {};
@@ -125,6 +141,7 @@ class Disk {
   DiskBlock head_{0};
   double now_ms_{0.0};
   DiskStats stats_;
+  ServiceBreakdown last_;
   RunningStats position_times_ms_;
   obs::SpanCollector* spans_{nullptr};
   u32 span_track_{0};

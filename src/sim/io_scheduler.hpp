@@ -14,6 +14,10 @@
 
 #include "sim/disk.hpp"
 
+namespace mif::obs {
+class Attribution;
+}
+
 namespace mif::sim {
 
 struct SchedulerStats {
@@ -45,7 +49,26 @@ class IoScheduler {
   /// Requests currently queued (pre-merge) — the timeline's queue gauge.
   std::size_t queue_depth() const { return queue_.size(); }
 
+  /// Attach cost attribution: submit() then stamps each request with the
+  /// ambient principal and the disk time at submit; drain() splits every
+  /// merged dispatch's service time back to its contributors pro-rata by
+  /// block count and charges each contributor's queue wait
+  /// (service start − submit).  nullptr detaches.
+  void set_attribution(obs::Attribution* attrib) { attrib_ = attrib; }
+
+  /// Attach a span collector for aggregated `io.queue_wait` sim spans (one
+  /// per dispatch that waited, on a cumulative queue-wait clock so spans on
+  /// one track never overlap).  Only emitted while attribution is also
+  /// attached — plain `--trace` output is unchanged.
+  void set_spans(obs::SpanCollector* spans, u32 track) {
+    spans_ = spans;
+    span_track_ = track;
+  }
+
  private:
+  void attribute_dispatch(std::size_t first, std::size_t last,
+                          double start_ms);
+
   Disk& disk_;
   std::size_t max_queue_;
   std::size_t max_write_queue_;
@@ -53,6 +76,10 @@ class IoScheduler {
   std::size_t queued_writes_{0};
   std::vector<DiskRequest> queue_;
   SchedulerStats stats_;
+  obs::Attribution* attrib_{nullptr};
+  obs::SpanCollector* spans_{nullptr};
+  u32 span_track_{0};
+  double qwait_clock_{0.0};
 };
 
 }  // namespace mif::sim

@@ -10,16 +10,17 @@ Pipeline::Times Pipeline::submit(u32 channel, double service_ms) {
   // Window backpressure: with `depth` outstanding, the issue clock waits
   // for the oldest in-flight exchange to complete (a slot in the
   // completion queue).
+  Times t;
   if (inflight_.size() >= depth_) {
     const double freed_at = inflight_.top();
     inflight_.pop();
     if (freed_at > issue_ms_) {
       ++stats_.stalls;
-      stats_.stall_ms += freed_at - issue_ms_;
+      t.stall_ms = freed_at - issue_ms_;
+      stats_.stall_ms += t.stall_ms;
       issue_ms_ = freed_at;
     }
   }
-  Times t;
   t.issue_ms = issue_ms_;
   // FIFO per destination: the channel serves one exchange at a time.
   double& ch = channel_ms_[channel];

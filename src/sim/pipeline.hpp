@@ -47,6 +47,7 @@ class Pipeline {
     double issue_ms{0.0};  // when the window admitted the exchange
     double start_ms{0.0};  // when its channel began serving it
     double done_ms{0.0};   // completion on the modeled timeline
+    double stall_ms{0.0};  // window backpressure THIS submit waited out
   };
 
   /// Submit one exchange of `service_ms` to `channel`; returns its modeled

@@ -6,6 +6,7 @@
 
 #include "core/pfs.hpp"
 #include "mfs/mfs.hpp"
+#include "obs/attrib.hpp"
 #include "workload/postmark.hpp"
 
 namespace mif {
@@ -91,6 +92,49 @@ TEST(FaultInjection, TransportDropSurfacesAsIoError) {
   for (std::size_t t = 0; t < fs.num_targets(); ++t) {
     EXPECT_TRUE(fs.target(t).verify().ok()) << "target " << t;
   }
+}
+
+// Injected latency must be accounted as its own `fault_delay` category: the
+// attributed total matches the transport's own delay counter exactly, and
+// the disk-side categories stay identical to an undelayed baseline — a
+// slow wire must not masquerade as slow spindles.
+TEST(FaultInjection, InjectedDelayIsChargedAsFaultDelay) {
+  auto run = [](double delay_ms, obs::CostAccount& out) -> double {
+    core::ClusterConfig cfg;
+    cfg.num_targets = 3;
+    cfg.rpc.inject_faults = true;
+    core::ParallelFileSystem fs(cfg);
+    obs::Attribution attrib;
+    fs.set_attribution(&attrib);
+    rpc::FaultTransport* fault = fs.transport().fault();
+    if (delay_ms > 0) fault->arm({.delay_ms = delay_ms});
+    auto client = fs.connect(ClientId{1});
+    auto fh = client.create("/f");
+    EXPECT_TRUE(fh);
+    EXPECT_TRUE(client.write(*fh, 0, 0, 5 * 16 * kBlockSize).ok());
+    EXPECT_TRUE(client.read(*fh, 0, 5 * 16 * kBlockSize).ok());
+    EXPECT_TRUE(client.close(*fh).ok());
+    fs.finish_mds();
+    fs.drain_data();
+    out = attrib.total();
+    return fault->stats().delay_total_ms;
+  };
+
+  obs::CostAccount base, delayed;
+  const double base_wire = run(0.0, base);
+  const double delayed_wire = run(0.25, delayed);
+
+  EXPECT_DOUBLE_EQ(base_wire, 0.0);
+  EXPECT_DOUBLE_EQ(base.fault_delay_ms, 0.0);
+  ASSERT_GT(delayed_wire, 0.0);
+  // Every injected millisecond lands in the dedicated category...
+  EXPECT_DOUBLE_EQ(delayed.fault_delay_ms, delayed_wire);
+  // ...and nowhere else: the mechanical/service categories are untouched.
+  EXPECT_DOUBLE_EQ(delayed.disk_ms(), base.disk_ms());
+  EXPECT_DOUBLE_EQ(delayed.queue_wait_ms, base.queue_wait_ms);
+  EXPECT_DOUBLE_EQ(delayed.net_ms, base.net_ms);
+  EXPECT_DOUBLE_EQ(delayed.mds_cpu_ms, base.mds_cpu_ms);
+  EXPECT_EQ(delayed.net_bytes, base.net_bytes);
 }
 
 class TargetVerify : public ::testing::TestWithParam<alloc::AllocatorMode> {};

@@ -26,7 +26,8 @@ mif::core::ParallelFileSystem make_fs(mif::alloc::AllocatorMode mode,
                                       mif::obs::SpanCollector* spans,
                                       mif::u32 mds_shards = 0,
                                       mif::shard::Policy placement =
-                                          mif::shard::Policy::kSubtree) {
+                                          mif::shard::Policy::kSubtree,
+                                      mif::u64 list_io_runs = 0) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 8;  // "all data are striped in eight disks"
   cfg.target.allocator = mode;
@@ -35,6 +36,7 @@ mif::core::ParallelFileSystem make_fs(mif::alloc::AllocatorMode mode,
     cfg.mds.shards = mds_shards;
     cfg.mds.placement = placement;
   }
+  cfg.list_io_max_runs = list_io_runs;
   mif::core::ParallelFileSystem fs(cfg);
   fs.set_spans(spans);
   return fs;
@@ -85,6 +87,71 @@ void run_shard_namespace(mif::obs::BenchReport& report,
     report.add_run("shard-namespace " + policy_name, std::move(config),
                    std::move(results));
   }
+}
+
+/// With `--list-io N`: a BTIO-style strided column sweep, once over the
+/// per-block mount and once with list I/O mounted (max N runs per
+/// envelope).  16 processes each write 128 single-block pieces at a
+/// 16-block stride, so every process touches all eight targets and its
+/// per-target slice lowers to a single strided envelope when list I/O is
+/// on.  Reports data-RPC envelope counts and data-network sim time for
+/// both mounts; with `--attribution`, embeds the list mount's ledger so
+/// the conservation gate covers multi-run frames.  Absent the flag
+/// nothing runs and the report is byte-identical.
+void run_list_io_strided(mif::obs::BenchReport& report,
+                         mif::obs::SpanCollector* spans,
+                         mif::obs::Attribution* attrib) {
+  const mif::u64 max_runs = report.list_io_runs();
+  if (max_runs == 0) return;
+  constexpr mif::u32 kProcs = 16;
+  constexpr mif::u64 kSegments = 128;
+  constexpr mif::u64 kPiece = mif::kBlockSize;
+  mif::u64 data_rpcs[2] = {0, 0};
+  double net_ms[2] = {0.0, 0.0};
+  mif::obs::Json attribution;
+  for (int list = 0; list < 2; ++list) {
+    auto fs = make_fs(mif::alloc::AllocatorMode::kOnDemand,
+                      report.pipeline_depth(), spans, report.mds_shards(),
+                      mif::shard::Policy::kSubtree, list ? max_runs : 0);
+    if (list) fs.set_attribution(attrib);
+    auto client = fs.connect(mif::ClientId{1});
+    auto fh = client.create("strided.odb");
+    if (!fh) return;
+    for (mif::u32 p = 0; p < kProcs; ++p) {
+      (void)client.write_strided(*fh, p, p * kPiece, kPiece, kProcs * kPiece,
+                                 kSegments);
+    }
+    (void)client.close(*fh);
+    fs.drain_data();
+    const mif::sim::NetworkStats& dn = fs.transport().data_network().stats();
+    data_rpcs[list] = dn.rpcs;
+    net_ms[list] = dn.time_ms;
+    if (list && attrib) attribution = fs.attribution_json();
+  }
+  const double ratio =
+      data_rpcs[1] ? static_cast<double>(data_rpcs[0]) / data_rpcs[1] : 0.0;
+  std::printf(
+      "\nlist-io=%llu strided sweep (%u procs x %llu single-block pieces)\n"
+      "  per-block: %llu data rpcs  %.2f net ms\n"
+      "  list-io:   %llu data rpcs  %.2f net ms  (%.1fx fewer envelopes)\n",
+      static_cast<unsigned long long>(max_runs), kProcs,
+      static_cast<unsigned long long>(kSegments),
+      static_cast<unsigned long long>(data_rpcs[0]), net_ms[0],
+      static_cast<unsigned long long>(data_rpcs[1]), net_ms[1], ratio);
+  if (!report.json_enabled()) return;
+  mif::obs::Json config;
+  config["benchmark"] = "strided-list-io";
+  config["list_io_runs"] = max_runs;
+  config["processes"] = kProcs;
+  config["segments"] = kSegments;
+  mif::obs::Json results;
+  results["perblock_data_rpcs"] = data_rpcs[0];
+  results["list_data_rpcs"] = data_rpcs[1];
+  results["perblock_net_ms"] = net_ms[0];
+  results["list_net_ms"] = net_ms[1];
+  results["envelope_ratio"] = ratio;
+  report.add_run("strided list-io", std::move(config), std::move(results),
+                 mif::obs::Json{}, mif::obs::Json{}, std::move(attribution));
 }
 
 /// Pipelined transport timings for one mounted fs; empty JSON (no keys) when
@@ -180,10 +247,14 @@ int main(int argc, char** argv) {
     cfg.request_bytes = 64 * 1024;
     cfg.bytes_per_process = report.quick() ? 2 * 1024 * 1024 : 16 * 1024 * 1024;
     cfg.collective = collective;
+    if (report.collective_aggregators() > 0)
+      cfg.collective_cfg.aggregators = report.collective_aggregators();
     auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp,
-                       report.mds_shards());
+                       report.mds_shards(), mif::shard::Policy::kSubtree,
+                       report.list_io_runs());
     auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp,
-                       report.mds_shards());
+                       report.mds_shards(), mif::shard::Policy::kSubtree,
+                       report.list_io_runs());
     mif::obs::Timeline* tl = new_timeline(
         std::string("IOR2 ") + (collective ? "collective" : "non-collective"));
     ofs.set_timeline(tl);
@@ -205,10 +276,14 @@ int main(int argc, char** argv) {
     cfg.cells_per_process = 16;
     cfg.cell_bytes = 8 * 1024;
     cfg.collective = collective;
+    if (report.collective_aggregators() > 0)
+      cfg.collective_cfg.aggregators = report.collective_aggregators();
     auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp,
-                       report.mds_shards());
+                       report.mds_shards(), mif::shard::Policy::kSubtree,
+                       report.list_io_runs());
     auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp,
-                       report.mds_shards());
+                       report.mds_shards(), mif::shard::Policy::kSubtree,
+                       report.list_io_runs());
     mif::obs::Timeline* tl = new_timeline(
         std::string("BTIO ") + (collective ? "collective" : "non-collective"));
     ofs.set_timeline(tl);
@@ -225,6 +300,7 @@ int main(int argc, char** argv) {
 
   t.print();
   run_shard_namespace(report, sp);
+  run_list_io_strided(report, sp, new_ledger());
   // Whole-sweep critical path: top slowest traced requests across every
   // mount, decomposed into the ledger's resource segments.
   if (report.attribution_enabled() && report.json_enabled()) {

@@ -33,6 +33,13 @@
 # to the request total; micro_antagonist must conserve, report Jain's
 # fairness in (0,1] that DEGRADES as the antagonist's intensity grows, and
 # reproduce byte-identically across two runs.
+#
+# Then the list-I/O gate: `--collective-aggregators 4` (the built-in default)
+# must be byte-identical to the default fig7 report; a fig7_macro
+# `--list-io 64 --attribution` run must carry the strided sweep with >= 5x
+# fewer data-RPC envelopes and strictly less data-network sim time on the
+# list mount, and every attributed run — now carrying multi-run list/strided
+# frames — must still conserve disk/net/cpu/bytes.
 # Registered as a ctest (see bench/CMakeLists.txt).
 set -eu
 
@@ -48,6 +55,7 @@ mif_tmpfile SHARD4 bench_json_s4
 mif_tmpfile TS bench_json_ts
 mif_tmpfile ATTR bench_json_attr
 mif_tmpfile ATTR2 bench_json_attr2
+mif_tmpfile LIST bench_json_list
 
 "$BENCH" --quick --json "$OUT" > /dev/null
 
@@ -314,7 +322,7 @@ echo "check_bench_json: OK (no attribution section without --attribution)"
 
 # Invalid transport knobs must fail fast with status 2 — not mount a broken
 # stack and emit a report that silently ignored the flag.
-for flag in --pipeline-depth --mds-shards; do
+for flag in --pipeline-depth --mds-shards --collective-aggregators --list-io; do
   for bad in 0 -3 many; do
     if "$BENCH" --quick --json "$OUT" "$flag" "$bad" > /dev/null 2>&1; then
       echo "check_bench_json: FAIL: $flag $bad did not fail"
@@ -464,5 +472,88 @@ require(top[1] < base[1],
 print("check_bench_json: OK (micro_antagonist: deterministic, conserved, "
       f"fairness {base[1]:.3f} -> {top[1]:.3f} as intensity "
       f"{base[0]} -> {top[0]})")
+EOF
+done
+
+# ---- list-I/O gate ---------------------------------------------------------
+# Passing the collective-aggregator default explicitly must not change a
+# byte: 4 aggregators IS the built-in CollectiveConfig, so the flag only
+# re-states it.
+for bench in "$@"; do
+  [ "$(basename "$bench")" = "fig7_macro" ] || continue
+  "$bench" --quick --json "$OUT" > /dev/null 2>&1
+  "$bench" --quick --json "$LIST" --collective-aggregators 4 > /dev/null 2>&1
+  if ! cmp -s "$OUT" "$LIST"; then
+    echo "check_bench_json: FAIL: fig7_macro --collective-aggregators 4 is" \
+         "not byte-identical to the default report"
+    diff "$OUT" "$LIST" | head -20 || true
+    exit 1
+  fi
+  echo "check_bench_json: OK (fig7 aggregators-4 report byte-identical to default)"
+
+  # List mount on: the strided sweep must ship an order fewer data-RPC
+  # envelopes (>= 5x) in strictly less data-network sim time, and every
+  # attributed run — whose frames now carry multiple (offset,len) runs each
+  # — must still conserve against the global counters.
+  "$bench" --quick --json "$LIST" --list-io 64 --attribution > /dev/null 2>&1
+  python3 - "$LIST" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+def close(a, b):
+    return abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+
+strided = [r for r in doc.get("runs", [])
+           if r["config"].get("benchmark") == "strided-list-io"]
+require(strided, "--list-io report lacks the strided-list-io run")
+res = strided[0]["results"]
+per, lst = res["perblock_data_rpcs"], res["list_data_rpcs"]
+require(lst > 0, "list mount issued no data RPCs")
+require(per >= 5 * lst,
+        f"list mount shipped only {per / lst:.1f}x fewer data envelopes "
+        f"({per} per-block vs {lst} list), want >= 5x")
+require(res["list_net_ms"] < res["perblock_net_ms"],
+        f"list mount was not faster on the data network "
+        f"({res['list_net_ms']} vs {res['perblock_net_ms']} ms)")
+
+DISK = ("disk_seek_ms", "disk_rotation_ms", "disk_skip_ms",
+        "disk_transfer_ms")
+attributed = [r for r in doc.get("runs", []) if "attribution" in r]
+require(attributed, "--list-io --attribution report has no attributed runs")
+for run in attributed:
+    name = run.get("name")
+    a = run["attribution"]
+    principals, glob = a.get("principals"), a.get("global")
+    require(isinstance(principals, dict) and principals,
+            f"run '{name}' has no principals")
+    sums = {"disk": 0.0, "net": 0.0, "cpu": 0.0, "bytes": 0}
+    for acct in principals.values():
+        sums["disk"] += sum(acct[k] for k in DISK)
+        sums["net"] += acct["net_ms"]
+        sums["cpu"] += acct["mds_cpu_ms"]
+        sums["bytes"] += acct["net_bytes"]
+    require(close(sums["disk"], glob["disk_ms"]),
+            f"run '{name}' disk not conserved over list frames: "
+            f"{sums['disk']} vs {glob['disk_ms']}")
+    require(close(sums["net"], glob["net_ms"]),
+            f"run '{name}' net time not conserved over list frames: "
+            f"{sums['net']} vs {glob['net_ms']}")
+    require(close(sums["cpu"], glob["mds_cpu_ms"]),
+            f"run '{name}' MDS cpu not conserved over list frames: "
+            f"{sums['cpu']} vs {glob['mds_cpu_ms']}")
+    require(sums["bytes"] == glob["net_bytes"],
+            f"run '{name}' net bytes not conserved over list frames: "
+            f"{sums['bytes']} vs {glob['net_bytes']}")
+
+print(f"check_bench_json: OK (list-io: {per}->{lst} data envelopes "
+      f"({per / lst:.1f}x), net {res['perblock_net_ms']:.1f}->"
+      f"{res['list_net_ms']:.1f} ms, {len(attributed)} attributed runs "
+      "conserve over multi-run frames)")
 EOF
 done

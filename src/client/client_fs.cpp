@@ -63,6 +63,81 @@ Status ClientFs::write(const FileHandle& fh, u32 pid, u64 offset_bytes,
   return issued.ok() ? drained : issued;
 }
 
+u64 ClientFs::list_io_runs() const { return fs_->config().list_io_max_runs; }
+
+void ClientFs::gather_runs(
+    u64 first, u64 last,
+    std::map<u32, std::vector<BlockRun>>& per_target) const {
+  for (const osd::StripeSlice& s :
+       osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+    util::append_run(per_target[s.target], BlockRun{s.local_start, s.count});
+  }
+}
+
+Status ClientFs::issue_write_runs(const FileHandle& fh, StreamId stream,
+                                  u32 target, std::vector<BlockRun> runs,
+                                  std::vector<rpc::Ticket>& out) {
+  rpc::CompletionQueue& cq = fs_->rpc().completions();
+  const u64 max_runs = std::max<u64>(list_io_runs(), 1);
+  for (std::size_t at = 0; at < runs.size(); at += max_runs) {
+    const std::span<const BlockRun> chunk{
+        runs.data() + at, std::min<std::size_t>(max_runs, runs.size() - at)};
+    u64 blocks = 0;
+    for (const BlockRun& r : chunk) blocks += r.count;
+    obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", target, blocks);
+    rpc::Ticket t;
+    util::StridedRuns pat;
+    if (chunk.size() == 1) {
+      t = fs_->rpc().block_write_async(target, fh.ino, stream, chunk[0].start,
+                                       chunk[0].count);
+    } else if (util::as_strided(chunk, pat)) {
+      t = fs_->rpc().write_strided_async(target, fh.ino, stream, pat.start,
+                                         pat.count, pat.stride, pat.block_len);
+    } else {
+      t = fs_->rpc().write_list_async(
+          target, fh.ino, stream, {chunk.begin(), chunk.end()});
+    }
+    if (auto r = cq.try_take(t)) {
+      if (!*r) return r->error();
+    } else {
+      out.push_back(t);
+    }
+  }
+  return {};
+}
+
+Status ClientFs::issue_read_runs(const FileHandle& fh, u32 target,
+                                 std::vector<BlockRun> runs,
+                                 std::vector<rpc::Ticket>& out) {
+  rpc::CompletionQueue& cq = fs_->rpc().completions();
+  const u64 max_runs = std::max<u64>(list_io_runs(), 1);
+  for (std::size_t at = 0; at < runs.size(); at += max_runs) {
+    const std::span<const BlockRun> chunk{
+        runs.data() + at, std::min<std::size_t>(max_runs, runs.size() - at)};
+    u64 blocks = 0;
+    for (const BlockRun& r : chunk) blocks += r.count;
+    obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", target, blocks);
+    rpc::Ticket t;
+    util::StridedRuns pat;
+    if (chunk.size() == 1) {
+      t = fs_->rpc().block_read_async(target, fh.ino, chunk[0].start,
+                                      chunk[0].count);
+    } else if (util::as_strided(chunk, pat)) {
+      t = fs_->rpc().read_strided_async(target, fh.ino, pat.start, pat.count,
+                                        pat.stride, pat.block_len);
+    } else {
+      t = fs_->rpc().read_list_async(target, fh.ino,
+                                     {chunk.begin(), chunk.end()});
+    }
+    if (auto r = cq.try_take(t)) {
+      if (!*r) return r->error();
+    } else {
+      out.push_back(t);
+    }
+  }
+  return {};
+}
+
 Status ClientFs::write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
                              u64 len_bytes, std::vector<rpc::Ticket>& out) {
   if (!fh.valid() || len_bytes == 0) return Errc::kInvalid;
@@ -72,17 +147,29 @@ Status ClientFs::write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
   const u64 last = (offset_bytes + len_bytes + kBlockSize - 1) / kBlockSize;
   const StreamId stream{id_.v, pid};
   rpc::CompletionQueue& cq = fs_->rpc().completions();
-  for (const osd::StripeSlice& s :
-       osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
-    obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
-    rpc::Ticket t = fs_->rpc().block_write_async(s.target, fh.ino, stream,
-                                                 s.local_start, s.count);
-    if (auto r = cq.try_take(t)) {
-      // Completed at issue (the sync chain): a failure stops the loop
-      // before the next slice, exactly like the blocking path.
-      if (!*r) return r->error();
-    } else {
-      out.push_back(t);
+  if (list_io_runs() > 0) {
+    // List mode: a region spanning several stripe rounds becomes one merged
+    // run set per target — one envelope each — instead of one per slice.
+    std::map<u32, std::vector<BlockRun>> per_target;
+    gather_runs(first, last, per_target);
+    for (auto& [target, runs] : per_target) {
+      if (Status st = issue_write_runs(fh, stream, target, std::move(runs), out);
+          !st)
+        return st;
+    }
+  } else {
+    for (const osd::StripeSlice& s :
+         osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+      obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
+      rpc::Ticket t = fs_->rpc().block_write_async(s.target, fh.ino, stream,
+                                                   s.local_start, s.count);
+      if (auto r = cq.try_take(t)) {
+        // Completed at issue (the sync chain): a failure stops the loop
+        // before the next slice, exactly like the blocking path.
+        if (!*r) return r->error();
+      } else {
+        out.push_back(t);
+      }
     }
   }
   ++stats_.writes;
@@ -119,25 +206,156 @@ u64 ClientFs::remote_extents(InodeNo ino) {
 Status ClientFs::read_blocks(const FileHandle& fh, u64 first, u64 last) {
   // Issue every slice before claiming any completion, so reads (including
   // readahead top-ups) overlap across the striped targets too.
-  rpc::CompletionQueue& cq = fs_->rpc().completions();
   std::vector<rpc::Ticket> pending;
   Status issued{};
-  for (const osd::StripeSlice& s :
-       osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
-    obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
-    rpc::Ticket t =
-        fs_->rpc().block_read_async(s.target, fh.ino, s.local_start, s.count);
-    if (auto r = cq.try_take(t)) {
-      if (!*r) {
-        issued = r->error();
-        break;
+  if (list_io_runs() > 0) {
+    std::map<u32, std::vector<BlockRun>> per_target;
+    gather_runs(first, last, per_target);
+    for (auto& [target, runs] : per_target) {
+      issued = issue_read_runs(fh, target, std::move(runs), pending);
+      if (!issued) break;
+    }
+  } else {
+    rpc::CompletionQueue& cq = fs_->rpc().completions();
+    for (const osd::StripeSlice& s :
+         osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+      obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", s.target, s.count);
+      rpc::Ticket t =
+          fs_->rpc().block_read_async(s.target, fh.ino, s.local_start, s.count);
+      if (auto r = cq.try_take(t)) {
+        if (!*r) {
+          issued = r->error();
+          break;
+        }
+      } else {
+        pending.push_back(t);
       }
-    } else {
-      pending.push_back(t);
     }
   }
   Status drained = drain(pending);
   return issued.ok() ? drained : issued;
+}
+
+Status ClientFs::write_strided(const FileHandle& fh, u32 pid, u64 offset_bytes,
+                               u64 piece_bytes, u64 stride_bytes, u64 count) {
+  if (!fh.valid() || piece_bytes == 0 || count == 0) return Errc::kInvalid;
+  if (list_io_runs() == 0) {
+    // Per-block mode: exactly the caller loop this API replaces.
+    for (u64 i = 0; i < count; ++i) {
+      if (Status st =
+              write(fh, pid, offset_bytes + i * stride_bytes, piece_bytes);
+          !st)
+        return st;
+    }
+    return {};
+  }
+  obs::ScopedSpan span(fs_->spans(), "client.write_strided", fh.ino.v,
+                       count * piece_bytes);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kData});
+  std::map<u32, std::vector<BlockRun>> per_target;
+  for (u64 i = 0; i < count; ++i) {
+    const u64 off = offset_bytes + i * stride_bytes;
+    gather_runs(off / kBlockSize,
+                (off + piece_bytes + kBlockSize - 1) / kBlockSize, per_target);
+  }
+  const StreamId stream{id_.v, pid};
+  std::vector<rpc::Ticket> tickets;
+  Status issued{};
+  for (auto& [target, runs] : per_target) {
+    issued = issue_write_runs(fh, stream, target, std::move(runs), tickets);
+    if (!issued) break;
+  }
+  Status drained = drain(tickets);
+  stats_.writes += count;
+  stats_.bytes_written += count * piece_bytes;
+  writes_since_report_[fh.ino.v] += static_cast<u32>(count);
+  if (writes_since_report_[fh.ino.v] >= 64) {
+    writes_since_report_[fh.ino.v] = 0;
+    (void)fs_->rpc().report_extents(fh.ino, remote_extents(fh.ino));
+  }
+  return issued.ok() ? drained : issued;
+}
+
+Status ClientFs::read_strided(const FileHandle& fh, u64 offset_bytes,
+                              u64 piece_bytes, u64 stride_bytes, u64 count) {
+  if (!fh.valid() || piece_bytes == 0 || count == 0) return Errc::kInvalid;
+  if (list_io_runs() == 0) {
+    for (u64 i = 0; i < count; ++i) {
+      if (Status st = read(fh, offset_bytes + i * stride_bytes, piece_bytes);
+          !st)
+        return st;
+    }
+    return {};
+  }
+  obs::ScopedSpan span(fs_->spans(), "client.read_strided", fh.ino.v,
+                       count * piece_bytes);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kData});
+  std::map<u32, std::vector<BlockRun>> per_target;
+  for (u64 i = 0; i < count; ++i) {
+    const u64 off = offset_bytes + i * stride_bytes;
+    gather_runs(off / kBlockSize,
+                (off + piece_bytes + kBlockSize - 1) / kBlockSize, per_target);
+  }
+  std::vector<rpc::Ticket> tickets;
+  Status issued{};
+  for (auto& [target, runs] : per_target) {
+    issued = issue_read_runs(fh, target, std::move(runs), tickets);
+    if (!issued) break;
+  }
+  Status drained = drain(tickets);
+  stats_.reads += count;
+  stats_.bytes_read += count * piece_bytes;
+  return issued.ok() ? drained : issued;
+}
+
+Status ClientFs::write_ranges_async(const FileHandle& fh, u32 pid,
+                                    std::span<const util::ByteRange> ranges,
+                                    std::vector<rpc::Ticket>& out) {
+  if (!fh.valid() || list_io_runs() == 0) return Errc::kInvalid;
+  u64 total = 0;
+  for (const util::ByteRange& r : ranges) total += r.len;
+  if (total == 0) return {};
+  obs::ScopedSpan span(fs_->spans(), "client.write", fh.ino.v, total);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kData});
+  std::map<u32, std::vector<BlockRun>> per_target;
+  for (const util::ByteRange& r : ranges) {
+    if (r.len == 0) continue;
+    gather_runs(r.offset / kBlockSize,
+                (r.end() + kBlockSize - 1) / kBlockSize, per_target);
+  }
+  const StreamId stream{id_.v, pid};
+  for (auto& [target, runs] : per_target) {
+    if (Status st = issue_write_runs(fh, stream, target, std::move(runs), out);
+        !st)
+      return st;
+  }
+  ++stats_.writes;
+  stats_.bytes_written += total;
+  return {};
+}
+
+Status ClientFs::read_ranges_async(const FileHandle& fh,
+                                   std::span<const util::ByteRange> ranges,
+                                   std::vector<rpc::Ticket>& out) {
+  if (!fh.valid() || list_io_runs() == 0) return Errc::kInvalid;
+  u64 total = 0;
+  for (const util::ByteRange& r : ranges) total += r.len;
+  if (total == 0) return {};
+  obs::ScopedSpan span(fs_->spans(), "client.read", fh.ino.v, total);
+  obs::ScopedPrincipal who({id_.v, obs::OpClass::kData});
+  std::map<u32, std::vector<BlockRun>> per_target;
+  for (const util::ByteRange& r : ranges) {
+    if (r.len == 0) continue;
+    gather_runs(r.offset / kBlockSize,
+                (r.end() + kBlockSize - 1) / kBlockSize, per_target);
+  }
+  for (auto& [target, runs] : per_target) {
+    if (Status st = issue_read_runs(fh, target, std::move(runs), out); !st)
+      return st;
+  }
+  ++stats_.reads;
+  stats_.bytes_read += total;
+  return {};
 }
 
 Status ClientFs::fetch_range(const FileHandle& fh, u64 first, u64 last,

@@ -7,6 +7,8 @@
 // file do not re-fetch extents.
 #pragma once
 
+#include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -14,6 +16,7 @@
 
 #include "rpc/transport.hpp"
 #include "util/result.hpp"
+#include "util/runs.hpp"
 #include "util/types.hpp"
 
 namespace mif::core {
@@ -74,6 +77,30 @@ class ClientFs {
   Status write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
                      u64 len_bytes, std::vector<rpc::Ticket>& out);
 
+  /// Strided write: `count` pieces of `piece_bytes`, starts `stride_bytes`
+  /// apart.  With list I/O off this is exactly a caller loop of write();
+  /// with list I/O on the whole pattern lowers into one list/datatype
+  /// envelope per storage target (the MPI-IO datatype path).
+  Status write_strided(const FileHandle& fh, u32 pid, u64 offset_bytes,
+                       u64 piece_bytes, u64 stride_bytes, u64 count);
+
+  /// Strided read, same lowering as write_strided (no readahead involved —
+  /// the pattern is explicit).
+  Status read_strided(const FileHandle& fh, u64 offset_bytes, u64 piece_bytes,
+                      u64 stride_bytes, u64 count);
+
+  /// List-I/O issue of a set of byte ranges: lowers the union into at most
+  /// one envelope per storage target per list_io_max_runs runs, through the
+  /// async path.  The collective aggregators' write arm.  Requires list I/O
+  /// to be mounted (kInvalid otherwise).
+  Status write_ranges_async(const FileHandle& fh, u32 pid,
+                            std::span<const util::ByteRange> ranges,
+                            std::vector<rpc::Ticket>& out);
+  /// Read-side twin of write_ranges_async.
+  Status read_ranges_async(const FileHandle& fh,
+                           std::span<const util::ByteRange> ranges,
+                           std::vector<rpc::Ticket>& out);
+
   /// Claim every ticket in `tickets` (clearing it); returns the first error
   /// in completion order — the sticky-error semantics of the sync path.
   Status drain(std::vector<rpc::Ticket>& tickets);
@@ -100,6 +127,24 @@ class ClientFs {
  private:
   /// Issue block reads [first, last) to the striped targets.
   Status read_blocks(const FileHandle& fh, u64 first, u64 last);
+
+  /// list_io_max_runs from the mount config; 0 = per-block mode.
+  u64 list_io_runs() const;
+
+  /// Per-target run accumulation: lower the block range [first, last) via
+  /// the stripe layout, merging adjacent local runs per target.
+  void gather_runs(u64 first, u64 last,
+                   std::map<u32, std::vector<BlockRun>>& per_target) const;
+
+  /// Ship one target's run list as block/list/strided envelope(s) through
+  /// the async path, chunked at list_io_max_runs; tickets that complete at
+  /// issue are claimed inline (sync-chain fast path).
+  Status issue_write_runs(const FileHandle& fh, StreamId stream, u32 target,
+                          std::vector<BlockRun> runs,
+                          std::vector<rpc::Ticket>& out);
+  Status issue_read_runs(const FileHandle& fh, u32 target,
+                         std::vector<BlockRun> runs,
+                         std::vector<rpc::Ticket>& out);
 
   /// Sum the file's extent counts across all targets via get_extents
   /// envelopes (what a layout report ships to the MDS).

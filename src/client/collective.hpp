@@ -8,11 +8,20 @@
 // the mechanism: per collective round, the processes' requests are exchanged,
 // merged into contiguous file ranges, chopped into cb_buffer-sized chunks and
 // written by a few aggregator threads as single large streams.
+//
+// With list I/O mounted (ClusterConfig::list_io_max_runs > 0) the rounds run
+// as proper two-phase I/O: the exchange phase partitions the merged request
+// union into per-aggregator file domains (equal-byte contiguous shares, the
+// ROMIO fd_start/fd_end split), and each aggregator lowers its domain into
+// one list-I/O envelope per OSD per cb_bytes chunk through the async path.
+// Without it, the legacy chop-and-stream path runs untouched, keeping the
+// paper figures byte-identical.
 #pragma once
 
 #include <vector>
 
 #include "client/client_fs.hpp"
+#include "util/runs.hpp"
 
 namespace mif::client {
 
@@ -51,11 +60,14 @@ class CollectiveWriter {
   const CollectiveStats& stats() const { return stats_; }
 
  private:
-  struct Range {
-    u64 offset{0};
-    u64 len{0};
-  };
-  std::vector<Range> merge(std::vector<IoRequest> requests);
+  std::vector<util::ByteRange> merge(std::vector<IoRequest> requests);
+  /// Split the merged union into `aggregators` contiguous equal-byte file
+  /// domains (the exchange phase's reorder target).
+  std::vector<std::vector<util::ByteRange>> partition(
+      const std::vector<util::ByteRange>& merged) const;
+  bool two_phase() const;
+  Status two_phase_round(const FileHandle& fh, std::vector<IoRequest> requests,
+                         bool write);
 
   ClientFs& client_;
   CollectiveConfig cfg_;

@@ -43,6 +43,13 @@ struct ClusterConfig {
   /// Client sequential-read prefetch cap in blocks (Lustre-style per-file
   /// readahead; 2048 blocks = 8 MiB).  0 disables client readahead.
   u64 client_readahead_max_blocks{2048};
+  /// List-I/O lowering: when > 0, clients ship noncontiguous accesses as
+  /// kWriteList/kReadList (or the strided datatype flavor) envelopes holding
+  /// up to this many runs each, instead of one per-block envelope per stripe
+  /// slice, and CollectiveWriter runs proper two-phase exchange+write.
+  /// 0 (default) keeps the per-block data path byte-identical to the paper
+  /// figures.
+  u64 list_io_max_runs{0};
 };
 
 /// The mount-time knobs a deployment tunes (allocator mode, directory mode,

@@ -69,6 +69,16 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
     } else if (arg.rfind("--mds-shards=", 0) == 0) {
       mds_shards_ =
           parse_count_flag(bench_name, "--mds-shards", arg.substr(13));
+    } else if (arg == "--collective-aggregators" && i + 1 < argc) {
+      collective_aggregators_ =
+          parse_count_flag(bench_name, "--collective-aggregators", argv[++i]);
+    } else if (arg.rfind("--collective-aggregators=", 0) == 0) {
+      collective_aggregators_ = parse_count_flag(
+          bench_name, "--collective-aggregators", arg.substr(25));
+    } else if (arg == "--list-io" && i + 1 < argc) {
+      list_io_runs_ = parse_count_flag(bench_name, "--list-io", argv[++i]);
+    } else if (arg.rfind("--list-io=", 0) == 0) {
+      list_io_runs_ = parse_count_flag(bench_name, "--list-io", arg.substr(10));
     } else if (arg == "--attribution") {
       attribution_ = true;
     }

@@ -33,10 +33,11 @@ class BenchReport {
  public:
   /// Parses `--json <path>`, `--trace <path>`, `--quick`,
   /// `--timeseries[=<interval_ms>]`, `--attribution`,
-  /// `--pipeline-depth <N>` and `--mds-shards <N>` out of argv.  Unknown
-  /// arguments are ignored (google-benchmark style flags pass through).
-  /// An invalid `--timeseries` interval, and a zero/negative/non-numeric
-  /// `--pipeline-depth` or `--mds-shards`, fail fast: the message goes to
+  /// `--pipeline-depth <N>`, `--mds-shards <N>`,
+  /// `--collective-aggregators <N>` and `--list-io <N>` out of argv.
+  /// Unknown arguments are ignored (google-benchmark style flags pass
+  /// through).  An invalid `--timeseries` interval, and a
+  /// zero/negative/non-numeric count flag, fail fast: the message goes to
   /// stderr and the process exits with status 2.
   BenchReport(std::string_view bench_name, int argc, char** argv);
 
@@ -54,6 +55,21 @@ class BenchReport {
   /// (output stays byte-identical).  Same fail-fast validation as
   /// --pipeline-depth.
   u32 mds_shards() const { return mds_shards_; }
+
+  /// `--collective-aggregators <N>` / `--collective-aggregators=<N>`:
+  /// aggregator count for benches that run collective rounds (ROMIO
+  /// cb_nodes).  0 when absent; benches substitute their built-in default,
+  /// so passing the default value explicitly stays byte-identical.  Same
+  /// fail-fast validation as --pipeline-depth.
+  u32 collective_aggregators() const { return collective_aggregators_; }
+
+  /// `--list-io <N>` / `--list-io=<N>`: mount list I/O with at most N
+  /// (offset,len) runs per kWriteList/kReadList envelope
+  /// (ClusterConfig::list_io_max_runs) and enable the benches' list-I/O
+  /// comparison sections.  0 when absent — the per-block data path runs and
+  /// output stays byte-identical.  Same fail-fast validation as
+  /// --pipeline-depth.
+  u64 list_io_runs() const { return list_io_runs_; }
 
   /// `--attribution`: attach a cost-attribution ledger (obs/attrib.hpp) and
   /// embed each run's per-principal accounts + critical-path report.  Off
@@ -102,6 +118,8 @@ class BenchReport {
   Config timeline_cfg_{};
   u32 pipeline_depth_{0};
   u32 mds_shards_{0};
+  u32 collective_aggregators_{0};
+  u64 list_io_runs_{0};
   Json doc_;
 };
 

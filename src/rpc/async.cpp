@@ -31,6 +31,18 @@ double AsyncTransport::price(const Address& to, const Request& req,
   } else if (const auto* r = std::get_if<BlockReadRequest>(&req)) {
     ms += sim::stream_transfer_ms(cfg_.geometry, r->blocks(),
                                   sim::IoKind::kRead);
+  } else if (const auto* lw = std::get_if<WriteListRequest>(&req)) {
+    ms += sim::stream_transfer_ms(cfg_.geometry, lw->blocks(),
+                                  sim::IoKind::kWrite);
+  } else if (const auto* lr = std::get_if<ReadListRequest>(&req)) {
+    ms += sim::stream_transfer_ms(cfg_.geometry, lr->blocks(),
+                                  sim::IoKind::kRead);
+  } else if (const auto* sw = std::get_if<WriteStridedRequest>(&req)) {
+    ms += sim::stream_transfer_ms(cfg_.geometry, sw->blocks(),
+                                  sim::IoKind::kWrite);
+  } else if (const auto* sr = std::get_if<ReadStridedRequest>(&req)) {
+    ms += sim::stream_transfer_ms(cfg_.geometry, sr->blocks(),
+                                  sim::IoKind::kRead);
   }
   return ms;
 }

@@ -21,13 +21,7 @@ bool BatchingTransport::coalesce_locked(Queue& q, const BlockWriteRequest& w) {
   auto* tail = std::get_if<BlockWriteRequest>(&q.reqs.back());
   if (!tail || tail->ino != w.ino || tail->stream != w.stream) return false;
   for (const BlockRun& run : w.runs) {
-    if (!tail->runs.empty() &&
-        tail->runs.back().start.v + tail->runs.back().count == run.start.v) {
-      tail->runs.back().count += run.count;  // contiguous: extend in place
-      ++stats_.coalesced_runs;
-    } else {
-      tail->runs.push_back(run);
-    }
+    if (util::append_run(tail->runs, run)) ++stats_.coalesced_runs;
   }
   return true;
 }
@@ -35,6 +29,20 @@ bool BatchingTransport::coalesce_locked(Queue& q, const BlockWriteRequest& w) {
 Status BatchingTransport::flush_queue_locked(Queue& q) {
   if (q.reqs.empty()) return {};
   ++stats_.wire_messages;
+  // Adjacent per-block writes that coalesced into a noncontiguous run set
+  // ship as ONE list envelope instead of a run-split block write: the server
+  // executes the whole set in a single pass.  Single-run writes stay block
+  // writes (same wire bytes either way — the two bodies are byte-identical).
+  for (Request& r : q.reqs) {
+    auto* w = std::get_if<BlockWriteRequest>(&r);
+    if (!w || w->runs.size() <= 1) continue;
+    WriteListRequest l;
+    l.ino = w->ino;
+    l.stream = w->stream;
+    l.runs = std::move(w->runs);
+    r = std::move(l);
+    ++stats_.folded_lists;
+  }
   Status s;
   {
     // The flush runs on whatever thread tripped the watermark/barrier, so
@@ -165,6 +173,7 @@ void BatchingTransport::export_metrics(obs::MetricsRegistry& reg,
   const std::string base = obs::join_key(prefix, "batch");
   reg.counter(obs::join_key(base, "queued")).inc(s.queued);
   reg.counter(obs::join_key(base, "coalesced_runs")).inc(s.coalesced_runs);
+  reg.counter(obs::join_key(base, "folded_lists")).inc(s.folded_lists);
   reg.counter(obs::join_key(base, "wire_messages")).inc(s.wire_messages);
   reg.counter(obs::join_key(base, "flushes")).inc(s.flushes);
   reg.counter(obs::join_key(base, "watermark_flushes"))

@@ -37,6 +37,7 @@ struct BatchingConfig {
 struct BatchingStats {
   u64 queued{0};            // deferrable envelopes accepted
   u64 coalesced_runs{0};    // block-write runs merged into a previous run
+  u64 folded_lists{0};      // multi-run block writes shipped as list envelopes
   u64 wire_messages{0};     // frames pushed to the inner transport
   u64 flushes{0};           // explicit flush() calls
   u64 watermark_flushes{0}; // queue-full backpressure flushes

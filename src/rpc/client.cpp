@@ -88,6 +88,46 @@ Status Client::block_read(u32 target, InodeNo ino, FileBlock start,
   return to_status(transport_->call(osd_at(target), std::move(req)));
 }
 
+Status Client::write_list(u32 target, InodeNo ino, StreamId stream,
+                          std::vector<BlockRun> runs) {
+  WriteListRequest req;
+  req.ino = ino;
+  req.stream = stream;
+  req.runs = std::move(runs);
+  return to_status(transport_->call(osd_at(target), std::move(req)));
+}
+
+Status Client::read_list(u32 target, InodeNo ino, std::vector<BlockRun> runs) {
+  ReadListRequest req;
+  req.ino = ino;
+  req.runs = std::move(runs);
+  return to_status(transport_->call(osd_at(target), std::move(req)));
+}
+
+Status Client::write_strided(u32 target, InodeNo ino, StreamId stream,
+                             FileBlock start, u64 count, u64 stride,
+                             u64 block_len) {
+  WriteStridedRequest req;
+  req.ino = ino;
+  req.stream = stream;
+  req.start = start;
+  req.count = count;
+  req.stride = stride;
+  req.block_len = block_len;
+  return to_status(transport_->call(osd_at(target), req));
+}
+
+Status Client::read_strided(u32 target, InodeNo ino, FileBlock start,
+                            u64 count, u64 stride, u64 block_len) {
+  ReadStridedRequest req;
+  req.ino = ino;
+  req.start = start;
+  req.count = count;
+  req.stride = stride;
+  req.block_len = block_len;
+  return to_status(transport_->call(osd_at(target), req));
+}
+
 Ticket Client::block_write_async(u32 target, InodeNo ino, StreamId stream,
                                  FileBlock start, u64 count) {
   BlockWriteRequest req;
@@ -103,6 +143,47 @@ Ticket Client::block_read_async(u32 target, InodeNo ino, FileBlock start,
   req.ino = ino;
   req.runs.push_back(BlockRun{start, count});
   return transport_->call_async(osd_at(target), std::move(req));
+}
+
+Ticket Client::write_list_async(u32 target, InodeNo ino, StreamId stream,
+                                std::vector<BlockRun> runs) {
+  WriteListRequest req;
+  req.ino = ino;
+  req.stream = stream;
+  req.runs = std::move(runs);
+  return transport_->call_async(osd_at(target), std::move(req));
+}
+
+Ticket Client::read_list_async(u32 target, InodeNo ino,
+                               std::vector<BlockRun> runs) {
+  ReadListRequest req;
+  req.ino = ino;
+  req.runs = std::move(runs);
+  return transport_->call_async(osd_at(target), std::move(req));
+}
+
+Ticket Client::write_strided_async(u32 target, InodeNo ino, StreamId stream,
+                                   FileBlock start, u64 count, u64 stride,
+                                   u64 block_len) {
+  WriteStridedRequest req;
+  req.ino = ino;
+  req.stream = stream;
+  req.start = start;
+  req.count = count;
+  req.stride = stride;
+  req.block_len = block_len;
+  return transport_->call_async(osd_at(target), req);
+}
+
+Ticket Client::read_strided_async(u32 target, InodeNo ino, FileBlock start,
+                                  u64 count, u64 stride, u64 block_len) {
+  ReadStridedRequest req;
+  req.ino = ino;
+  req.start = start;
+  req.count = count;
+  req.stride = stride;
+  req.block_len = block_len;
+  return transport_->call_async(osd_at(target), req);
 }
 
 Ticket Client::preallocate_async(u32 target, InodeNo ino, u64 total_blocks) {

@@ -39,6 +39,16 @@ class Client {
   Status block_write(u32 target, InodeNo ino, StreamId stream, FileBlock start,
                      u64 count);
   Status block_read(u32 target, InodeNo ino, FileBlock start, u64 count);
+  /// List I/O: one envelope moves every run in one server pass.
+  Status write_list(u32 target, InodeNo ino, StreamId stream,
+                    std::vector<BlockRun> runs);
+  Status read_list(u32 target, InodeNo ino, std::vector<BlockRun> runs);
+  /// Datatype I/O: a (count, stride, block_len) pattern in constant wire
+  /// bytes.
+  Status write_strided(u32 target, InodeNo ino, StreamId stream,
+                       FileBlock start, u64 count, u64 stride, u64 block_len);
+  Status read_strided(u32 target, InodeNo ino, FileBlock start, u64 count,
+                      u64 stride, u64 block_len);
   Result<u64> target_extents(u32 target, InodeNo ino);
   Status preallocate(u32 target, InodeNo ino, u64 total_blocks);
   Status close_file(u32 target, InodeNo ino);
@@ -50,6 +60,14 @@ class Client {
   Ticket block_write_async(u32 target, InodeNo ino, StreamId stream,
                            FileBlock start, u64 count);
   Ticket block_read_async(u32 target, InodeNo ino, FileBlock start, u64 count);
+  Ticket write_list_async(u32 target, InodeNo ino, StreamId stream,
+                          std::vector<BlockRun> runs);
+  Ticket read_list_async(u32 target, InodeNo ino, std::vector<BlockRun> runs);
+  Ticket write_strided_async(u32 target, InodeNo ino, StreamId stream,
+                             FileBlock start, u64 count, u64 stride,
+                             u64 block_len);
+  Ticket read_strided_async(u32 target, InodeNo ino, FileBlock start,
+                            u64 count, u64 stride, u64 block_len);
   Ticket preallocate_async(u32 target, InodeNo ino, u64 total_blocks);
   Ticket close_file_async(u32 target, InodeNo ino);
   Ticket delete_file_async(u32 target, InodeNo ino);

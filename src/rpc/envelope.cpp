@@ -27,6 +27,10 @@ constexpr std::array<OpTraits, kOpCount> kOpTraits{{
     {"preallocate", "rpc.preallocate", false, false, false},
     {"close_file", "rpc.close_file", false, false, false},
     {"delete_file", "rpc.delete_file", false, false, false},
+    {"list.write", "rpc.list.write", false, false, false},
+    {"list.read", "rpc.list.read", false, false, false},
+    {"list.write_strided", "rpc.list.write_strided", false, false, false},
+    {"list.read_strided", "rpc.list.read_strided", false, false, false},
 }};
 
 // Little-endian field writer/reader for the byte-exact codec.
@@ -128,9 +132,13 @@ Op op_of(const Request& req) {
 u64 wire_bytes(const Request& req) {
   u64 bytes = kHeaderBytes +
               std::visit([](const auto& r) { return r.body_bytes(); }, req);
-  // Block writes ship the data payload with the envelope.
+  // Block/list/strided writes ship the data payload with the envelope.
   if (const auto* w = std::get_if<BlockWriteRequest>(&req)) {
     bytes += w->blocks() * kBlockSize;
+  } else if (const auto* l = std::get_if<WriteListRequest>(&req)) {
+    bytes += l->blocks() * kBlockSize;
+  } else if (const auto* s = std::get_if<WriteStridedRequest>(&req)) {
+    bytes += s->blocks() * kBlockSize;
   }
   return bytes;
 }
@@ -165,13 +173,28 @@ std::vector<u8> encode(const Request& req) {
         } else if constexpr (std::is_same_v<T, ReportExtentsRequest>) {
           w.u64v(r.ino.v);
           w.u64v(r.extent_count);
-        } else if constexpr (std::is_same_v<T, BlockWriteRequest>) {
+        } else if constexpr (std::is_same_v<T, BlockWriteRequest> ||
+                             std::is_same_v<T, WriteListRequest>) {
           w.u64v(r.ino.v);
           w.u64v(r.stream.key());
           w.runs(r.runs);
-        } else if constexpr (std::is_same_v<T, BlockReadRequest>) {
+        } else if constexpr (std::is_same_v<T, BlockReadRequest> ||
+                             std::is_same_v<T, ReadListRequest>) {
           w.u64v(r.ino.v);
           w.runs(r.runs);
+        } else if constexpr (std::is_same_v<T, WriteStridedRequest>) {
+          w.u64v(r.ino.v);
+          w.u64v(r.stream.key());
+          w.u64v(r.start.v);
+          w.u64v(r.count);
+          w.u64v(r.stride);
+          w.u64v(r.block_len);
+        } else if constexpr (std::is_same_v<T, ReadStridedRequest>) {
+          w.u64v(r.ino.v);
+          w.u64v(r.start.v);
+          w.u64v(r.count);
+          w.u64v(r.stride);
+          w.u64v(r.block_len);
         } else if constexpr (std::is_same_v<T, GetExtentsRequest> ||
                              std::is_same_v<T, CloseFileRequest> ||
                              std::is_same_v<T, DeleteFileRequest>) {
@@ -249,6 +272,42 @@ Result<Request> decode_request(const std::vector<u8>& buf) {
       case Op::kDeleteFile: {
         DeleteFileRequest q;
         q.ino.v = r.u64v();
+        return q;
+      }
+      case Op::kWriteList: {
+        WriteListRequest q;
+        q.ino.v = r.u64v();
+        const u64 key = r.u64v();
+        q.stream = StreamId{static_cast<u32>(key >> 32),
+                            static_cast<u32>(key & 0xffffffffu)};
+        q.runs = r.runs();
+        return q;
+      }
+      case Op::kReadList: {
+        ReadListRequest q;
+        q.ino.v = r.u64v();
+        q.runs = r.runs();
+        return q;
+      }
+      case Op::kWriteStrided: {
+        WriteStridedRequest q;
+        q.ino.v = r.u64v();
+        const u64 key = r.u64v();
+        q.stream = StreamId{static_cast<u32>(key >> 32),
+                            static_cast<u32>(key & 0xffffffffu)};
+        q.start.v = r.u64v();
+        q.count = r.u64v();
+        q.stride = r.u64v();
+        q.block_len = r.u64v();
+        return q;
+      }
+      case Op::kReadStrided: {
+        ReadStridedRequest q;
+        q.ino.v = r.u64v();
+        q.start.v = r.u64v();
+        q.count = r.u64v();
+        q.stride = r.u64v();
+        q.block_len = r.u64v();
         return q;
       }
     }

@@ -28,6 +28,7 @@
 
 #include "mfs/layout.hpp"
 #include "util/result.hpp"
+#include "util/runs.hpp"
 #include "util/types.hpp"
 
 namespace mif::rpc {
@@ -54,8 +55,13 @@ enum class Op : u8 {
   kPreallocate,
   kCloseFile,
   kDeleteFile,
+  // List/datatype I/O (noncontiguous regions in one envelope).
+  kWriteList,
+  kReadList,
+  kWriteStrided,
+  kReadStrided,
 };
-inline constexpr std::size_t kOpCount = 17;
+inline constexpr std::size_t kOpCount = 21;
 
 /// Per-op routing/charging properties.  `span` strings have static storage —
 /// ScopedSpan requires it.
@@ -221,6 +227,69 @@ struct DeleteFileRequest {
   u64 body_bytes() const { return 8; }
 };
 
+/// List I/O (PVFS-style): one envelope writes an arbitrary set of
+/// target-local runs in a single server pass.  Unlike kBlockWrite — whose
+/// run vector only ever grows by transport-level coalescing of adjacent
+/// writes — a list envelope is *born* noncontiguous: the client (or the
+/// collective aggregator) lowers a whole file region into it up front, so
+/// the envelope count tracks regions, not blocks.
+struct WriteListRequest {
+  static constexpr Op kOp = Op::kWriteList;
+  InodeNo ino{};
+  StreamId stream{};
+  std::vector<BlockRun> runs;
+  u64 blocks() const {
+    u64 n = 0;
+    for (const BlockRun& r : runs) n += r.count;
+    return n;
+  }
+  u64 body_bytes() const { return 8 + 8 + 4 + runs.size() * 16; }
+};
+
+struct ReadListRequest {
+  static constexpr Op kOp = Op::kReadList;
+  InodeNo ino{};
+  std::vector<BlockRun> runs;
+  u64 blocks() const {
+    u64 n = 0;
+    for (const BlockRun& r : runs) n += r.count;
+    return n;
+  }
+  u64 body_bytes() const { return 8 + 4 + runs.size() * 16; }
+};
+
+/// Datatype/strided I/O (MPI-IO style): a regular pattern described by a
+/// (count, stride, block_len) triple instead of an enumerated run list —
+/// constant wire size no matter how many pieces the pattern has.
+struct WriteStridedRequest {
+  static constexpr Op kOp = Op::kWriteStrided;
+  InodeNo ino{};
+  StreamId stream{};
+  FileBlock start{};
+  u64 count{0};      // number of pieces
+  u64 stride{0};     // start-to-start gap, in blocks
+  u64 block_len{0};  // blocks per piece
+  u64 blocks() const { return count * block_len; }
+  std::vector<BlockRun> runs() const {
+    return util::expand_strided({start, count, stride, block_len});
+  }
+  u64 body_bytes() const { return 8 + 8 + 8 + 8 + 8 + 8; }
+};
+
+struct ReadStridedRequest {
+  static constexpr Op kOp = Op::kReadStrided;
+  InodeNo ino{};
+  FileBlock start{};
+  u64 count{0};
+  u64 stride{0};
+  u64 block_len{0};
+  u64 blocks() const { return count * block_len; }
+  std::vector<BlockRun> runs() const {
+    return util::expand_strided({start, count, stride, block_len});
+  }
+  u64 body_bytes() const { return 8 + 8 + 8 + 8 + 8; }
+};
+
 /// Variant order MUST match the Op enum (op_of relies on the kOp members,
 /// encode/decode on the variant index).
 using Request =
@@ -229,7 +298,8 @@ using Request =
                  OpenGetLayoutRequest, ReaddirRequest, ReaddirPlusRequest,
                  ReportExtentsRequest, BlockWriteRequest, BlockReadRequest,
                  GetExtentsRequest, PreallocateRequest, CloseFileRequest,
-                 DeleteFileRequest>;
+                 DeleteFileRequest, WriteListRequest, ReadListRequest,
+                 WriteStridedRequest, ReadStridedRequest>;
 
 // --- responses --------------------------------------------------------------
 // Fixed-size responses piggyback on the request round trip (bulk_bytes 0);

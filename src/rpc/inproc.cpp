@@ -77,6 +77,22 @@ Result<Response> dispatch_osd(osd::StorageTarget& t, const Request& req) {
         } else if constexpr (std::is_same_v<T, BlockReadRequest>) {
           if (Status s = t.read_runs(r.ino, r.runs); !s) return s.error();
           return Response{BlockDataResponse{r.blocks()}};
+        } else if constexpr (std::is_same_v<T, WriteListRequest>) {
+          // One server pass over the whole run list (PVFS list I/O).
+          if (Status s = t.write_runs(r.ino, r.stream, r.runs); !s)
+            return s.error();
+          return Response{VoidResponse{}};
+        } else if constexpr (std::is_same_v<T, ReadListRequest>) {
+          if (Status s = t.read_runs(r.ino, r.runs); !s) return s.error();
+          return Response{BlockDataResponse{r.blocks()}};
+        } else if constexpr (std::is_same_v<T, WriteStridedRequest>) {
+          // The server expands the (count, stride, block_len) datatype.
+          if (Status s = t.write_runs(r.ino, r.stream, r.runs()); !s)
+            return s.error();
+          return Response{VoidResponse{}};
+        } else if constexpr (std::is_same_v<T, ReadStridedRequest>) {
+          if (Status s = t.read_runs(r.ino, r.runs()); !s) return s.error();
+          return Response{BlockDataResponse{r.blocks()}};
         } else if constexpr (std::is_same_v<T, GetExtentsRequest>) {
           return Response{ExtentCountResponse{t.extent_count(r.ino)}};
         } else if constexpr (std::is_same_v<T, PreallocateRequest>) {

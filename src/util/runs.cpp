@@ -1,0 +1,62 @@
+#include "util/runs.hpp"
+
+#include <algorithm>
+
+namespace mif::util {
+
+bool append_run(std::vector<BlockRun>& runs, BlockRun next) {
+  if (next.count == 0) return true;
+  if (!runs.empty()) {
+    BlockRun& tail = runs.back();
+    if (next.start.v == tail.start.v + tail.count) {
+      tail.count += next.count;
+      return true;
+    }
+  }
+  runs.push_back(next);
+  return false;
+}
+
+std::vector<ByteRange> merge_ranges(std::vector<ByteRange> ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const ByteRange& a, const ByteRange& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<ByteRange> out;
+  for (const ByteRange& r : ranges) {
+    if (r.len == 0) continue;
+    if (!out.empty() && r.offset <= out.back().end()) {
+      out.back().len = std::max(out.back().end(), r.end()) - out.back().offset;
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+bool as_strided(std::span<const BlockRun> runs, StridedRuns& out) {
+  if (runs.size() < 2) return false;
+  const u64 block_len = runs[0].count;
+  const u64 stride = runs[1].start.v - runs[0].start.v;
+  if (stride <= block_len) return false;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].count != block_len) return false;
+    if (i > 0 && runs[i].start.v - runs[i - 1].start.v != stride) return false;
+  }
+  out.start = runs[0].start;
+  out.count = runs.size();
+  out.stride = stride;
+  out.block_len = block_len;
+  return true;
+}
+
+std::vector<BlockRun> expand_strided(const StridedRuns& s) {
+  std::vector<BlockRun> runs;
+  runs.reserve(s.count);
+  for (u64 i = 0; i < s.count; ++i) {
+    runs.push_back(BlockRun{FileBlock{s.start.v + i * s.stride}, s.block_len});
+  }
+  return runs;
+}
+
+}  // namespace mif::util

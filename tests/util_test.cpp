@@ -1,8 +1,10 @@
-// Unit tests for util: Result, RNG determinism/distributions, stats, tables.
+// Unit tests for util: Result, RNG determinism/distributions, run merging,
+// stats, tables.
 #include <gtest/gtest.h>
 
 #include "util/result.hpp"
 #include "util/rng.hpp"
+#include "util/runs.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
@@ -221,6 +223,59 @@ TEST(Table, RendersAlignedRows) {
 TEST(Table, PctFormatsSigned) {
   EXPECT_EQ(Table::pct(0.231), "+23.1%");
   EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+}
+
+TEST(Runs, AppendRunExtendsOnlyAdjacentTails) {
+  std::vector<BlockRun> runs;
+  EXPECT_FALSE(util::append_run(runs, {FileBlock{0}, 4}));
+  EXPECT_TRUE(util::append_run(runs, {FileBlock{4}, 2}));  // adjacent
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 6u);
+  EXPECT_FALSE(util::append_run(runs, {FileBlock{8}, 1}));  // gap
+  ASSERT_EQ(runs.size(), 2u);
+  // Empty runs vanish without breaking adjacency of what follows.
+  EXPECT_TRUE(util::append_run(runs, {FileBlock{100}, 0}));
+  EXPECT_TRUE(util::append_run(runs, {FileBlock{9}, 3}));
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[1].count, 4u);
+}
+
+TEST(Runs, MergeRangesSortsDropsEmptiesAndMergesOverlap) {
+  std::vector<util::ByteRange> in = {
+      {100, 50}, {0, 10}, {40, 0}, {10, 20}, {120, 100}, {300, 1}};
+  const auto out = util::merge_ranges(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (util::ByteRange{0, 30}));    // touching merges
+  EXPECT_EQ(out[1], (util::ByteRange{100, 120})); // overlap extends to max end
+  EXPECT_EQ(out[2], (util::ByteRange{300, 1}));
+  // A range fully contained in its predecessor does not shrink it.
+  const auto nested = util::merge_ranges({{0, 100}, {10, 20}});
+  ASSERT_EQ(nested.size(), 1u);
+  EXPECT_EQ(nested[0], (util::ByteRange{0, 100}));
+  EXPECT_TRUE(util::merge_ranges({}).empty());
+  EXPECT_TRUE(util::merge_ranges({{5, 0}}).empty());
+}
+
+TEST(Runs, StridedDetectionRoundTrips) {
+  const std::vector<BlockRun> pattern = {
+      {FileBlock{16}, 4}, {FileBlock{48}, 4}, {FileBlock{80}, 4}};
+  util::StridedRuns s;
+  ASSERT_TRUE(util::as_strided(pattern, s));
+  EXPECT_EQ(s.start.v, 16u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.stride, 32u);
+  EXPECT_EQ(s.block_len, 4u);
+  EXPECT_EQ(util::expand_strided(s), pattern);
+
+  // Not strided: single run, unequal lengths, irregular gaps, or a stride
+  // that collapses to contiguity.
+  EXPECT_FALSE(util::as_strided({{{FileBlock{0}, 4}}}, s));
+  EXPECT_FALSE(
+      util::as_strided({{{FileBlock{0}, 4}, {FileBlock{32}, 5}}}, s));
+  EXPECT_FALSE(util::as_strided(
+      {{{FileBlock{0}, 4}, {FileBlock{32}, 4}, {FileBlock{60}, 4}}}, s));
+  EXPECT_FALSE(
+      util::as_strided({{{FileBlock{0}, 4}, {FileBlock{4}, 4}}}, s));
 }
 
 }  // namespace

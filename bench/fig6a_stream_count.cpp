@@ -11,7 +11,9 @@
 // the sweep for CI schema checks; `--pipeline-depth N` (N >= 2) mounts the
 // async completion-queue transport and adds the pipelined end-to-end
 // timings to each run's results (depth <= 1 output is byte-identical to
-// the synchronous chain).
+// the synchronous chain); `--adaptive-depth N` (N >= 2) instead floats the
+// window in [2, N] off the live OSD queue gauges and adds the controller's
+// depth trajectory to the pipelined fields.
 #include <cstdio>
 #include <vector>
 
@@ -29,12 +31,13 @@ struct RunOut {
 };
 
 RunOut run(mif::alloc::AllocatorMode mode, bool static_pre, mif::u32 processes,
-           bool quick, mif::u32 pipeline_depth,
+           bool quick, mif::u32 pipeline_depth, mif::u32 adaptive_depth,
            mif::obs::SpanCollector* spans) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 5;  // "all data to be striped on five disks"
   cfg.target.allocator = mode;
   if (pipeline_depth >= 2) cfg.rpc.pipeline_depth = pipeline_depth;
+  if (adaptive_depth >= 2) cfg.rpc.adaptive_depth_max = adaptive_depth;
   mif::core::ParallelFileSystem fs(cfg);
   fs.set_spans(spans);
   mif::workload::SharedFileConfig wcfg;
@@ -75,6 +78,13 @@ mif::obs::Json results_json(const RunOut& out) {
     j["pipeline_speedup"] = out.pipeline.elapsed_ms > 0
                                 ? out.pipeline.serial_ms / out.pipeline.elapsed_ms
                                 : 1.0;
+    // The controller's trajectory, only under an adaptive mount: how often
+    // the window moved and the extremes it visited.
+    if (out.pipeline.adaptive) {
+      j["pipeline_depth_changes"] = out.pipeline.depth_changes;
+      j["pipeline_depth_min"] = out.pipeline.depth_min_seen;
+      j["pipeline_depth_max"] = out.pipeline.depth_max_seen;
+    }
   }
   return j;
 }
@@ -102,11 +112,14 @@ int main(int argc, char** argv) {
            "on-demand vs reservation"});
   for (mif::u32 procs : sweep) {
     const auto res = run(mif::alloc::AllocatorMode::kReservation, false, procs,
-                         report.quick(), report.pipeline_depth(), sp);
+                         report.quick(), report.pipeline_depth(),
+                         report.adaptive_depth(), sp);
     const auto ond = run(mif::alloc::AllocatorMode::kOnDemand, false, procs,
-                         report.quick(), report.pipeline_depth(), sp);
+                         report.quick(), report.pipeline_depth(),
+                         report.adaptive_depth(), sp);
     const auto sta = run(mif::alloc::AllocatorMode::kStatic, true, procs,
-                         report.quick(), report.pipeline_depth(), sp);
+                         report.quick(), report.pipeline_depth(),
+                         report.adaptive_depth(), sp);
     t.add_row({std::to_string(procs),
                Table::num(res.res.phase2_throughput_mbps),
                Table::num(ond.res.phase2_throughput_mbps),
@@ -125,6 +138,8 @@ int main(int argc, char** argv) {
         config["mode"] = row.mode;
         if (report.pipeline_depth() >= 2)
           config["pipeline_depth"] = report.pipeline_depth();
+        if (report.adaptive_depth() >= 2)
+          config["adaptive_depth"] = report.adaptive_depth();
         report.add_run("streams=" + std::to_string(procs) +
                            " mode=" + row.mode,
                        std::move(config), results_json(*row.out),

@@ -27,11 +27,13 @@ mif::core::ParallelFileSystem make_fs(mif::alloc::AllocatorMode mode,
                                       mif::u32 mds_shards = 0,
                                       mif::shard::Policy placement =
                                           mif::shard::Policy::kSubtree,
-                                      mif::u64 list_io_runs = 0) {
+                                      mif::u64 list_io_runs = 0,
+                                      mif::u32 adaptive_depth = 0) {
   mif::core::ClusterConfig cfg;
   cfg.num_targets = 8;  // "all data are striped in eight disks"
   cfg.target.allocator = mode;
   if (pipeline_depth >= 2) cfg.rpc.pipeline_depth = pipeline_depth;
+  if (adaptive_depth >= 2) cfg.rpc.adaptive_depth_max = adaptive_depth;
   if (mds_shards >= 2) {
     cfg.mds.shards = mds_shards;
     cfg.mds.placement = placement;
@@ -166,6 +168,11 @@ void add_pipeline_fields(mif::obs::Json& results, const char* prefix,
   results[base + "_pipeline_elapsed_ms"] = r.elapsed_ms;
   results[base + "_pipeline_speedup"] =
       r.elapsed_ms > 0 ? r.serial_ms / r.elapsed_ms : 1.0;
+  if (r.adaptive) {
+    results[base + "_pipeline_depth_changes"] = r.depth_changes;
+    results[base + "_pipeline_depth_min"] = r.depth_min_seen;
+    results[base + "_pipeline_depth_max"] = r.depth_max_seen;
+  }
 }
 
 }  // namespace
@@ -227,6 +234,8 @@ int main(int argc, char** argv) {
     config["collective"] = collective;
     if (report.pipeline_depth() >= 2)
       config["pipeline_depth"] = report.pipeline_depth();
+    if (report.adaptive_depth() >= 2)
+      config["adaptive_depth"] = report.adaptive_depth();
     if (report.mds_shards() >= 2) config["mds_shards"] = report.mds_shards();
     mif::obs::Json results;
     results["reservation_mbps"] = res_mbps;
@@ -251,10 +260,10 @@ int main(int argc, char** argv) {
       cfg.collective_cfg.aggregators = report.collective_aggregators();
     auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp,
                        report.mds_shards(), mif::shard::Policy::kSubtree,
-                       report.list_io_runs());
+                       report.list_io_runs(), report.adaptive_depth());
     auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp,
                        report.mds_shards(), mif::shard::Policy::kSubtree,
-                       report.list_io_runs());
+                       report.list_io_runs(), report.adaptive_depth());
     mif::obs::Timeline* tl = new_timeline(
         std::string("IOR2 ") + (collective ? "collective" : "non-collective"));
     ofs.set_timeline(tl);
@@ -280,10 +289,10 @@ int main(int argc, char** argv) {
       cfg.collective_cfg.aggregators = report.collective_aggregators();
     auto rfs = make_fs(AllocatorMode::kReservation, report.pipeline_depth(), sp,
                        report.mds_shards(), mif::shard::Policy::kSubtree,
-                       report.list_io_runs());
+                       report.list_io_runs(), report.adaptive_depth());
     auto ofs = make_fs(AllocatorMode::kOnDemand, report.pipeline_depth(), sp,
                        report.mds_shards(), mif::shard::Policy::kSubtree,
-                       report.list_io_runs());
+                       report.list_io_runs(), report.adaptive_depth());
     mif::obs::Timeline* tl = new_timeline(
         std::string("BTIO ") + (collective ? "collective" : "non-collective"));
     ofs.set_timeline(tl);

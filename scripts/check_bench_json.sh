@@ -40,6 +40,17 @@
 # fewer data-RPC envelopes and strictly less data-network sim time on the
 # list mount, and every attributed run — now carrying multi-run list/strided
 # frames — must still conserve disk/net/cpu/bytes.
+#
+# Then the formation/QoS gate: zero/negative/garbage `--qos` and
+# `--adaptive-depth` values fail fast with status 2 (and `--adaptive-depth 1`
+# specifically — a ceiling of 1 can never arm the controller); with neither
+# flag no run of any bench carries qos or adaptive-depth fields; a fig6a
+# `--adaptive-depth 8` run must report a floating window that actually moved
+# (depth_min < depth_max) and still overlap (best speedup > 1); a
+# micro_antagonist `--qos 4` A/B sweep must show the token bucket working at
+# the top intensity — Jain fairness >= 0.9 with the scheduler on, strictly
+# better than off, the victims' p99 restored — while the shaped runs still
+# conserve their attribution ledgers.
 # Registered as a ctest (see bench/CMakeLists.txt).
 set -eu
 
@@ -56,6 +67,8 @@ mif_tmpfile TS bench_json_ts
 mif_tmpfile ATTR bench_json_attr
 mif_tmpfile ATTR2 bench_json_attr2
 mif_tmpfile LIST bench_json_list
+mif_tmpfile ADAPT bench_json_adapt
+mif_tmpfile QOS bench_json_qos
 
 "$BENCH" --quick --json "$OUT" > /dev/null
 
@@ -322,7 +335,8 @@ echo "check_bench_json: OK (no attribution section without --attribution)"
 
 # Invalid transport knobs must fail fast with status 2 — not mount a broken
 # stack and emit a report that silently ignored the flag.
-for flag in --pipeline-depth --mds-shards --collective-aggregators --list-io; do
+for flag in --pipeline-depth --mds-shards --collective-aggregators --list-io \
+            --qos --adaptive-depth; do
   for bad in 0 -3 many; do
     if "$BENCH" --quick --json "$OUT" "$flag" "$bad" > /dev/null 2>&1; then
       echo "check_bench_json: FAIL: $flag $bad did not fail"
@@ -555,5 +569,167 @@ print(f"check_bench_json: OK (list-io: {per}->{lst} data envelopes "
       f"({per / lst:.1f}x), net {res['perblock_net_ms']:.1f}->"
       f"{res['list_net_ms']:.1f} ms, {len(attributed)} attributed runs "
       "conserve over multi-run frames)")
+EOF
+done
+
+# ---- formation/QoS gate ----------------------------------------------------
+# An adaptive ceiling of 1 can never arm the controller: it must fail fast
+# with status 2 in both spellings, not silently run the sync chain.
+for form in "--adaptive-depth 1" "--adaptive-depth=1"; do
+  rc=0
+  # shellcheck disable=SC2086
+  "$BENCH" --quick --json "$OUT" $form > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "check_bench_json: FAIL: $form exited $rc, want 2"
+    exit 1
+  fi
+done
+echo "check_bench_json: OK (--adaptive-depth 1 rejected with status 2)"
+
+# Defaults off: without --qos/--adaptive-depth no run of any bench carries
+# the scheduler's config knobs or the adaptive controller's trajectory.
+for bench in "$@"; do
+  name="$(basename "$bench")"
+  "$bench" --quick --json "$OUT" > /dev/null 2>&1
+  python3 - "$OUT" "$name" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for run in doc.get("runs", []):
+    cfg, res = run.get("config", {}), run.get("results", {})
+    for key in ("qos_mbps", "adaptive_depth"):
+        if key in cfg:
+            sys.exit(f"check_bench_json: FAIL: {sys.argv[2]} run "
+                     f"'{run.get('name')}' config carries '{key}' without "
+                     "the flag")
+    for key in ("pipeline_depth_changes", "pipeline_depth_min",
+                "pipeline_depth_max"):
+        if key in res:
+            sys.exit(f"check_bench_json: FAIL: {sys.argv[2]} run "
+                     f"'{run.get('name')}' results carry '{key}' without "
+                     "--adaptive-depth")
+    if run.get("name", "").startswith("qos="):
+        sys.exit(f"check_bench_json: FAIL: {sys.argv[2]} emitted a qos A/B "
+                 "run without --qos")
+EOF
+done
+echo "check_bench_json: OK (no qos/adaptive fields without the flags)"
+
+# The floating window must actually float: under `--adaptive-depth 8` every
+# run records the ceiling in its config, the controller's trajectory shows
+# the window moved off its floor somewhere, and the pipeline still overlaps.
+"$BENCH" --quick --json "$ADAPT" --adaptive-depth 8 > /dev/null 2>&1
+python3 - "$ADAPT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+runs = doc.get("runs", [])
+require(runs, "--adaptive-depth 8 report has no runs")
+moved = 0
+speedups = []
+for run in runs:
+    name = run.get("name")
+    cfg, res = run.get("config", {}), run.get("results", {})
+    require(cfg.get("adaptive_depth") == 8,
+            f"run '{name}' config lacks adaptive_depth=8")
+    for key in ("pipeline_speedup", "pipeline_depth_changes",
+                "pipeline_depth_min", "pipeline_depth_max"):
+        require(isinstance(res.get(key), (int, float)),
+                f"run '{name}' results lack '{key}'")
+    require(res["pipeline_depth_min"] <= res["pipeline_depth_max"],
+            f"run '{name}' depth_min {res['pipeline_depth_min']} > "
+            f"depth_max {res['pipeline_depth_max']}")
+    if res["pipeline_depth_min"] < res["pipeline_depth_max"]:
+        moved += 1
+        require(res["pipeline_depth_changes"] > 0,
+                f"run '{name}' window moved but depth_changes == 0")
+    speedups.append(res["pipeline_speedup"])
+
+require(moved > 0, "adaptive window never left its floor in any run")
+best = max(speedups)
+require(best > 1.0,
+        f"adaptive pipeline_speedup <= 1 everywhere (best {best:.3f})")
+print(f"check_bench_json: OK (adaptive-depth 8: window moved in {moved}/"
+      f"{len(runs)} runs, best speedup {best:.2f}x)")
+EOF
+
+# The antagonist under the token bucket: at the top intensity the shaped
+# mount must restore fairness (>= 0.9, strictly above the unshaped run) and
+# the victims' p99, and the shaped runs — whose parked envelopes release
+# under the scheduler's own principal scope — must still conserve their
+# attribution ledgers exactly.
+for bench in "$@"; do
+  [ "$(basename "$bench")" = "micro_antagonist" ] || continue
+  "$bench" --quick --json "$QOS" --qos 4 > /dev/null 2>&1
+  python3 - "$QOS" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+def close(a, b):
+    return abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+
+DISK = ("disk_seek_ms", "disk_rotation_ms", "disk_skip_ms",
+        "disk_transfer_ms")
+
+ab = {r["name"]: r for r in doc.get("runs", [])
+      if r.get("name", "").startswith("qos=")}
+require(ab, "--qos 4 report has no qos A/B runs")
+for arm in ("qos=on hot=16", "qos=off hot=16"):
+    require(arm in ab, f"--qos sweep lacks the '{arm}' run")
+on, off = ab["qos=on hot=16"], ab["qos=off hot=16"]
+require(on["config"].get("qos_mbps") == 4,
+        "qos=on run config lacks qos_mbps=4")
+require("qos_mbps" not in off["config"],
+        "qos=off run config carries qos_mbps")
+
+f_on, f_off = on["results"]["fairness"], off["results"]["fairness"]
+require(f_on >= 0.9,
+        f"shaped fairness {f_on:.4f} < 0.9 at hot=16")
+require(f_on > f_off,
+        f"scheduler did not improve fairness ({f_on:.4f} on vs "
+        f"{f_off:.4f} off)")
+v_on, v_off = on["results"]["victim_p99_ms"], off["results"]["victim_p99_ms"]
+require(v_on < v_off,
+        f"victims' p99 did not improve under qos ({v_on:.2f} on vs "
+        f"{v_off:.2f} off)")
+
+for name, run in ab.items():
+    a = run.get("attribution")
+    require(isinstance(a, dict), f"run '{name}' has no attribution section")
+    sums = {"disk": 0.0, "net": 0.0, "cpu": 0.0, "bytes": 0}
+    for acct in a["principals"].values():
+        sums["disk"] += sum(acct[k] for k in DISK)
+        sums["net"] += acct["net_ms"]
+        sums["cpu"] += acct["mds_cpu_ms"]
+        sums["bytes"] += acct["net_bytes"]
+    glob = a["global"]
+    require(close(sums["disk"], glob["disk_ms"]),
+            f"run '{name}' disk not conserved under qos: {sums['disk']} "
+            f"vs {glob['disk_ms']}")
+    require(close(sums["net"], glob["net_ms"]),
+            f"run '{name}' net time not conserved under qos: "
+            f"{sums['net']} vs {glob['net_ms']}")
+    require(close(sums["cpu"], glob["mds_cpu_ms"]),
+            f"run '{name}' MDS cpu not conserved under qos: "
+            f"{sums['cpu']} vs {glob['mds_cpu_ms']}")
+    require(sums["bytes"] == glob["net_bytes"],
+            f"run '{name}' net bytes not conserved under qos: "
+            f"{sums['bytes']} vs {glob['net_bytes']}")
+
+print(f"check_bench_json: OK (qos A/B at hot=16: fairness {f_off:.3f} -> "
+      f"{f_on:.3f}, victim p99 {v_off:.2f} -> {v_on:.2f} ms, "
+      f"{len(ab)} shaped runs conserve)")
 EOF
 done

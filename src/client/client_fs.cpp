@@ -185,6 +185,9 @@ Status ClientFs::write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
 }
 
 Status ClientFs::drain(std::vector<rpc::Ticket>& tickets) {
+  // Give time-based transport layers (QoS token refill) a chance to release
+  // backlogged work before we block on the tickets it may be holding.
+  fs_->rpc().pump();
   Status first{};
   for (const rpc::Ticket& t : tickets) {
     if (Status st = fs_->rpc().wait(t); !st && first.ok()) first = st;

@@ -32,8 +32,40 @@ ParallelFileSystem::ParallelFileSystem(ClusterConfig cfg) : cfg_(cfg) {
   cfg_.rpc.geometry = cfg_.target.geometry;
   cfg_.rpc.mds_shards = cfg_.mds.shards;
   cfg_.rpc.placement = cfg_.mds.placement;
+  // Fail fast on an unmountable formation/QoS config (benches validate user
+  // flags with exit 2 before getting here; this guards programmatic use).
+  assert(rpc::validate(cfg_.rpc.formation).empty());
+  assert(rpc::validate(cfg_.rpc.qos).empty());
   rpc_stack_ = rpc::TransportStack(std::move(eps), cfg_.rpc);
   rpc_client_ = std::make_unique<rpc::Client>(rpc_stack_.top());
+  // Closures below capture raw pointers to the heap-pinned targets, NOT
+  // `this` — benches move the PFS value around.
+  std::vector<osd::StorageTarget*> tgts;
+  for (auto& t : targets_) tgts.push_back(t.get());
+  if (rpc::QosTransport* qos = rpc_stack_.qos()) {
+    // Token buckets refill on the cluster-max simulated timeline — metadata
+    // servers included, NOT just the data disks: when the scheduler parks a
+    // client's whole data stream, the disks idle, and a data-only clock
+    // would freeze the refill exactly when the backlog needs it (the
+    // throttled state would be an absorbing state).
+    std::vector<mds::Mds*> servers;
+    for (auto& m : mds_) servers.push_back(m.get());
+    qos->set_clock([tgts, servers] {
+      double now = 0.0;
+      for (osd::StorageTarget* t : tgts) now = std::max(now, t->sim_now_ms());
+      for (mds::Mds* m : servers) now = std::max(now, m->fs().elapsed_ms());
+      return now;
+    });
+  }
+  if (rpc::AsyncTransport* async = rpc_stack_.async();
+      async && cfg_.rpc.adaptive_depth_max >= 2) {
+    // The adaptive controller reads the live scheduler queue of the target
+    // it is about to issue to (the PR 6 timeline gauges, sans timeline).
+    async->set_queue_probe([tgts](u32 i) {
+      return i < tgts.size() ? static_cast<double>(tgts[i]->queue_depth())
+                             : 0.0;
+    });
+  }
 }
 
 client::ClientFs ParallelFileSystem::connect(ClientId id) {
@@ -268,6 +300,17 @@ void ParallelFileSystem::set_timeline(obs::Timeline* tl) {
     });
     tl->add_gauge("rpc.pipeline.stall_ms",
                   [async] { return async->report().stall_ms; });
+    tl->add_gauge("rpc.pipeline.depth", [async] {
+      return static_cast<double>(async->report().depth);
+    });
+  }
+
+  if (rpc::QosTransport* qos = rpc_stack_.qos()) {
+    tl->add_gauge("qos.backlog",
+                  [qos] { return static_cast<double>(qos->backlog()); });
+    tl->add_gauge("qos.backlog_bytes", [qos] {
+      return static_cast<double>(qos->backlog_bytes());
+    });
   }
 
   if (shard::ShardedTransport* sharded = rpc_stack_.sharded()) {

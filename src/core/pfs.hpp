@@ -39,6 +39,13 @@ struct ClusterConfig {
   /// rpc.pipeline_depth >= 2 mounts the async completion-queue transport
   /// (issue-many-then-drain on the striped data path); its disk-service
   /// model is wired to `target.geometry` automatically at mount.
+  /// rpc.adaptive_depth_max >= 2 floats that window in [2, max], driven by
+  /// the live per-OSD scheduler queue gauges (wired automatically).
+  /// rpc.kind == kFormation stages envelopes per destination and packs
+  /// size-bounded, urgency-ordered frames (rpc.formation knobs; validated
+  /// by rpc::validate(FormationConfig)).  rpc.qos.enabled mounts the
+  /// per-client token-bucket scheduler (rpc::validate(QosConfig)); its
+  /// refill clock is wired to the cluster-max target timeline at mount.
   rpc::TransportOptions rpc{};
   /// Client sequential-read prefetch cap in blocks (Lustre-style per-file
   /// readahead; 2048 blocks = 8 MiB).  0 disables client readahead.

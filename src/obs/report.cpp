@@ -79,9 +79,29 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
       list_io_runs_ = parse_count_flag(bench_name, "--list-io", argv[++i]);
     } else if (arg.rfind("--list-io=", 0) == 0) {
       list_io_runs_ = parse_count_flag(bench_name, "--list-io", arg.substr(10));
+    } else if (arg == "--qos" && i + 1 < argc) {
+      qos_mbps_ = parse_count_flag(bench_name, "--qos", argv[++i]);
+    } else if (arg.rfind("--qos=", 0) == 0) {
+      qos_mbps_ = parse_count_flag(bench_name, "--qos", arg.substr(6));
+    } else if (arg == "--adaptive-depth" && i + 1 < argc) {
+      adaptive_depth_ =
+          parse_count_flag(bench_name, "--adaptive-depth", argv[++i]);
+    } else if (arg.rfind("--adaptive-depth=", 0) == 0) {
+      adaptive_depth_ =
+          parse_count_flag(bench_name, "--adaptive-depth", arg.substr(17));
     } else if (arg == "--attribution") {
       attribution_ = true;
     }
+  }
+  if (adaptive_depth_ == 1) {
+    // The adaptive window floor is 2: a ceiling of 1 can never arm the
+    // controller and silently degenerating to the sync chain would make the
+    // invocation LOOK adaptive while it is not.
+    std::fprintf(stderr,
+                 "%s: bad --adaptive-depth '1': the adaptive ceiling must be "
+                 ">= 2\n",
+                 std::string(bench_name).c_str());
+    std::exit(2);
   }
   doc_["schema_version"] = kReportSchemaVersion;
   doc_["bench"] = bench_name;

@@ -34,7 +34,8 @@ class BenchReport {
   /// Parses `--json <path>`, `--trace <path>`, `--quick`,
   /// `--timeseries[=<interval_ms>]`, `--attribution`,
   /// `--pipeline-depth <N>`, `--mds-shards <N>`,
-  /// `--collective-aggregators <N>` and `--list-io <N>` out of argv.
+  /// `--collective-aggregators <N>`, `--list-io <N>`, `--qos <N>` and
+  /// `--adaptive-depth <N>` out of argv.
   /// Unknown arguments are ignored (google-benchmark style flags pass
   /// through).  An invalid `--timeseries` interval, and a
   /// zero/negative/non-numeric count flag, fail fast: the message goes to
@@ -70,6 +71,20 @@ class BenchReport {
   /// output stays byte-identical.  Same fail-fast validation as
   /// --pipeline-depth.
   u64 list_io_runs() const { return list_io_runs_; }
+
+  /// `--qos <N>` / `--qos=<N>`: per-client token-bucket QoS at N MB/s of
+  /// admitted envelope bytes (rpc::QosConfig::rate_bytes_per_ms = N * 1000).
+  /// 0 when absent; benches leave the QoS layer unmounted (output stays
+  /// byte-identical).  Same fail-fast validation as --pipeline-depth.
+  u32 qos_mbps() const { return qos_mbps_; }
+
+  /// `--adaptive-depth <N>` / `--adaptive-depth=<N>`: adaptive async window
+  /// ceiling (rpc::TransportOptions::adaptive_depth_max).  0 when absent —
+  /// the static --pipeline-depth (or sync) chain runs and output stays
+  /// byte-identical.  Values must be >= 2 to arm the controller; a bare 1
+  /// is rejected (the window floor is 2).  Same fail-fast validation as
+  /// --pipeline-depth.
+  u32 adaptive_depth() const { return adaptive_depth_; }
 
   /// `--attribution`: attach a cost-attribution ledger (obs/attrib.hpp) and
   /// embed each run's per-principal accounts + critical-path report.  Off
@@ -120,6 +135,8 @@ class BenchReport {
   u32 mds_shards_{0};
   u32 collective_aggregators_{0};
   u64 list_io_runs_{0};
+  u32 qos_mbps_{0};
+  u32 adaptive_depth_{0};
   Json doc_;
 };
 

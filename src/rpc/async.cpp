@@ -1,5 +1,7 @@
 #include "rpc/async.hpp"
 
+#include <algorithm>
+
 #include "obs/attrib.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
@@ -11,7 +13,39 @@ AsyncTransport::AsyncTransport(Transport& inner, AsyncConfig cfg)
       cfg_(cfg),
       meta_model_(cfg.meta_net),
       data_model_(cfg.data_net),
-      pipe_(cfg.depth) {}
+      pipe_(cfg.depth),
+      depth_min_seen_(std::max<u32>(cfg.depth, 1)),
+      depth_max_seen_(std::max<u32>(cfg.depth, 1)) {}
+
+void AsyncTransport::set_queue_probe(std::function<double(u32)> probe) {
+  std::lock_guard lock(mu_);
+  probe_ = std::move(probe);
+}
+
+void AsyncTransport::adapt_locked(double queue_depth) {
+  probe_sum_ += queue_depth;
+  if (++probe_samples_ < kAdaptPeriod) return;
+  const double mean = probe_sum_ / probe_samples_;
+  probe_sum_ = 0.0;
+  probe_samples_ = 0;
+  const u32 cur = pipe_.depth();
+  u32 next = cur;
+  if (mean < static_cast<double>(cur)) {
+    // Device queues shallower than the window: the spindles are starved for
+    // overlap — admit more.
+    next = std::min(cur * 2, cfg_.depth_max);
+  } else if (mean > kShrinkFactor * static_cast<double>(cur)) {
+    // Queue wait dominates service: deeper issue only lengthens the line —
+    // back off (excess in-flight exchanges drain before the next admit).
+    next = std::max(cur / 2, kAdaptFloor);
+  }
+  next = std::clamp(next, kAdaptFloor, cfg_.depth_max);
+  if (next == cur) return;
+  pipe_.set_depth(next);
+  ++depth_changes_;
+  depth_min_seen_ = std::min(depth_min_seen_, next);
+  depth_max_seen_ = std::max(depth_max_seen_, next);
+}
 
 double AsyncTransport::price(const Address& to, const Request& req,
                              const Result<Response>& resp) const {
@@ -58,6 +92,8 @@ Ticket AsyncTransport::call_async(const Address& to, const Request& req) {
 
   const u32 channel = channel_of(to);
   std::lock_guard lock(mu_);
+  if (cfg_.depth_max >= 2 && probe_ && to.kind == Address::Kind::kOsd)
+    adapt_locked(probe_(to.index));
   const sim::Pipeline::Times t = pipe_.submit(channel, service);
   inflight_.add(pipe_.inflight());
   cq_.set_clock(pipe_.issue_clock_ms());
@@ -102,6 +138,10 @@ AsyncReport AsyncTransport::report() const {
   r.stall_ms = s.stall_ms;
   r.serial_ms = s.serial_ms;
   r.elapsed_ms = pipe_.elapsed_ms();
+  r.adaptive = cfg_.depth_max >= 2;
+  r.depth_changes = depth_changes_;
+  r.depth_min_seen = depth_min_seen_;
+  r.depth_max_seen = depth_max_seen_;
   return r;
 }
 
@@ -119,6 +159,12 @@ void AsyncTransport::export_metrics(obs::MetricsRegistry& reg,
   reg.gauge(obs::join_key(base, "stall_ms")).set(r.stall_ms);
   reg.gauge(obs::join_key(base, "serial_ms")).set(r.serial_ms);
   reg.gauge(obs::join_key(base, "elapsed_ms")).set(r.elapsed_ms);
+  if (r.adaptive) {
+    // Adaptive-only keys: a static-depth mount's export stays unchanged.
+    reg.counter(obs::join_key(base, "depth_changes")).inc(r.depth_changes);
+    reg.gauge(obs::join_key(base, "depth_min_seen")).set(r.depth_min_seen);
+    reg.gauge(obs::join_key(base, "depth_max_seen")).set(r.depth_max_seen);
+  }
 }
 
 }  // namespace mif::rpc

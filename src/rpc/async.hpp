@@ -28,6 +28,7 @@
 // batching still coalesces frames underneath its own deferred acks.
 #pragma once
 
+#include <functional>
 #include <mutex>
 
 #include "obs/metrics.hpp"
@@ -41,6 +42,12 @@ namespace mif::rpc {
 struct AsyncConfig {
   /// Max in-flight envelopes per chain (the completion-queue window).
   u32 depth{2};
+  /// Adaptive window ceiling.  0 (default) = static `depth`.  >= 2 arms the
+  /// controller: the window floats in [2, depth_max], driven by the live
+  /// device queue gauges wired via set_queue_probe() — deepen while the
+  /// devices are starved, shrink when queue wait dominates.  The floor of 2
+  /// guarantees the window always overlaps at least two exchanges.
+  u32 depth_max{0};
   sim::NetworkConfig meta_net{};
   sim::NetworkConfig data_net{};
   /// Geometry used for the per-envelope disk service estimate (streaming
@@ -52,13 +59,18 @@ struct AsyncConfig {
 /// depth-1 (blocking) client would have paid end-to-end, elapsed_ms is the
 /// pipelined end-to-end, so serial/elapsed is the overlap speedup.
 struct AsyncReport {
-  u32 depth{1};
+  u32 depth{1};  // current window (the last adaptive choice, or the static)
   u64 issued{0};
   u64 stalls{0};
   u64 max_inflight{0};
   double stall_ms{0.0};
   double serial_ms{0.0};
   double elapsed_ms{0.0};
+  // Adaptive-controller outcome (meaningful only when `adaptive`).
+  bool adaptive{false};
+  u64 depth_changes{0};
+  u32 depth_min_seen{1};
+  u32 depth_max_seen{1};
 };
 
 class AsyncTransport final : public Transport {
@@ -79,6 +91,13 @@ class AsyncTransport final : public Transport {
     return inner_.call_batch(to, std::move(reqs));
   }
   Status flush() override { return inner_.flush(); }
+  void pump() override { inner_.pump(); }
+
+  /// Wire the live device-queue gauge the adaptive controller reads:
+  /// `probe(osd_index)` returns that target's current scheduler queue depth
+  /// (StorageTarget::queue_depth, published since the PR 6 timeline).  Only
+  /// consulted when cfg.depth_max >= 2; unset probe = controller dormant.
+  void set_queue_probe(std::function<double(u32)> probe);
 
   void set_spans(obs::SpanCollector* spans) override;
   void set_attribution(obs::Attribution* attrib) override {
@@ -106,6 +125,17 @@ class AsyncTransport final : public Transport {
   /// Modeled end-to-end service time of one exchange (ms).
   double price(const Address& to, const Request& req,
                const Result<Response>& resp) const;
+  /// One controller step: fold `queue_depth` into the sample window and,
+  /// every kAdaptPeriod OSD issues, resize the pipeline window.  mu_ held.
+  void adapt_locked(double queue_depth);
+
+  /// OSD issues between adaptive window adjustments.
+  static constexpr u32 kAdaptPeriod = 8;
+  /// Adaptive floor: never below 2 — the window must keep overlapping.
+  static constexpr u32 kAdaptFloor = 2;
+  /// Shrink once the mean device queue exceeds this multiple of the window
+  /// (queue wait dominates: deeper issue only lengthens the line).
+  static constexpr double kShrinkFactor = 8.0;
 
   Transport& inner_;
   AsyncConfig cfg_;
@@ -118,6 +148,13 @@ class AsyncTransport final : public Transport {
   sim::Pipeline pipe_;
   obs::Histo inflight_{16};  // window occupancy at each issue
   CompletionQueue cq_;
+  // Adaptive-controller state (mu_).
+  std::function<double(u32)> probe_;
+  double probe_sum_{0.0};
+  u32 probe_samples_{0};
+  u64 depth_changes_{0};
+  u32 depth_min_seen_{1};
+  u32 depth_max_seen_{1};
 };
 
 }  // namespace mif::rpc

@@ -1,173 +1,44 @@
 #include "rpc/batching.hpp"
 
-#include <optional>
-
 #include "obs/export.hpp"
 
 namespace mif::rpc {
 
+namespace {
+FormationConfig legacy_config(const BatchingConfig& cfg) {
+  FormationConfig f;
+  // Unbounded frames: one frame per destination flush, exactly the old
+  // coalesce-on-watermark behavior (and its stats), byte for byte.
+  f.max_frame_bytes = ~0ull;
+  f.watermark_bytes = cfg.watermark_bytes;
+  f.max_queue_msgs = cfg.max_queue_msgs;
+  f.legacy = true;
+  return f;
+}
+}  // namespace
+
 BatchingTransport::BatchingTransport(Transport& inner, BatchingConfig cfg)
-    : inner_(inner), cfg_(cfg) {}
+    : inner_(inner), engine_(inner, legacy_config(cfg)) {}
 
-BatchingTransport::~BatchingTransport() {
-  // Leftovers a caller never flushed still have to reach the servers; their
-  // errors have nowhere to go at this point.
-  std::lock_guard lock(mu_);
-  flush_all_locked();
-}
-
-bool BatchingTransport::coalesce_locked(Queue& q, const BlockWriteRequest& w) {
-  if (q.reqs.empty()) return false;
-  auto* tail = std::get_if<BlockWriteRequest>(&q.reqs.back());
-  if (!tail || tail->ino != w.ino || tail->stream != w.stream) return false;
-  for (const BlockRun& run : w.runs) {
-    if (util::append_run(tail->runs, run)) ++stats_.coalesced_runs;
-  }
-  return true;
-}
-
-Status BatchingTransport::flush_queue_locked(Queue& q) {
-  if (q.reqs.empty()) return {};
-  ++stats_.wire_messages;
-  // Adjacent per-block writes that coalesced into a noncontiguous run set
-  // ship as ONE list envelope instead of a run-split block write: the server
-  // executes the whole set in a single pass.  Single-run writes stay block
-  // writes (same wire bytes either way — the two bodies are byte-identical).
-  for (Request& r : q.reqs) {
-    auto* w = std::get_if<BlockWriteRequest>(&r);
-    if (!w || w->runs.size() <= 1) continue;
-    WriteListRequest l;
-    l.ino = w->ino;
-    l.stream = w->stream;
-    l.runs = std::move(w->runs);
-    r = std::move(l);
-    ++stats_.folded_lists;
-  }
-  Status s;
-  {
-    // The flush runs on whatever thread tripped the watermark/barrier, so
-    // its ambient principal is NOT the contributors'.  Publish the queue's
-    // per-envelope tags for the inner transport's pro-rata frame split.
-    std::optional<obs::ScopedFramePrincipals> frame;
-    if (attrib_ && q.principals.size() == q.reqs.size())
-      frame.emplace(q.principals.data(), q.principals.size());
-    s = inner_.call_batch(q.addr, std::move(q.reqs));
-  }
-  q.reqs.clear();
-  q.principals.clear();
-  q.bytes = 0;
-  if (!s) {
-    ++stats_.deferred_errors;
-    if (sticky_.ok()) sticky_ = s;
-  }
+BatchingStats BatchingTransport::stats() const {
+  const FormationStats f = engine_.stats();
+  BatchingStats s;
+  s.queued = f.queued;
+  s.coalesced_runs = f.coalesced_runs;
+  s.folded_lists = f.folded_lists;
+  s.wire_messages = f.wire_messages;
+  s.flushes = f.flushes;
+  s.watermark_flushes = f.watermark_flushes;
+  s.barrier_flushes = f.barrier_flushes;
+  s.deferred_errors = f.deferred_errors;
+  s.dropped_errors = f.dropped_errors;
   return s;
-}
-
-void BatchingTransport::flush_all_locked() {
-  for (auto& [k, q] : queues_) (void)flush_queue_locked(q);
-  queues_.clear();
-}
-
-Status BatchingTransport::take_sticky_locked() {
-  Status s = sticky_;
-  sticky_ = {};
-  return s;
-}
-
-Result<Response> BatchingTransport::call(const Address& to,
-                                         const Request& req) {
-  const OpTraits& tr = traits(op_of(req));
-  if (tr.deferrable) {
-    std::lock_guard lock(mu_);
-    Queue& q = queues_[key(to)];
-    q.addr = to;
-    ++stats_.queued;
-    const auto* w = std::get_if<BlockWriteRequest>(&req);
-    if (w && coalesce_locked(q, *w)) {
-      // Only the merged body rides in the tail envelope's frame share.
-      q.bytes += wire_bytes(req) - kHeaderBytes;
-    } else {
-      q.bytes += wire_bytes(req);
-      q.reqs.push_back(req);
-      if (attrib_) q.principals.push_back(obs::ambient_principal());
-    }
-    if (q.bytes >= cfg_.watermark_bytes ||
-        q.reqs.size() >= cfg_.max_queue_msgs) {
-      ++stats_.watermark_flushes;
-      (void)flush_queue_locked(q);
-    }
-    return Response{VoidResponse{}};  // deferred ack
-  }
-
-  // Non-deferrable: a barrier.  Everything queued anywhere must be on the
-  // servers before this op runs (a read must see queued writes, an unlink
-  // must follow queued utimes), and a deferred failure surfaces here.
-  {
-    std::lock_guard lock(mu_);
-    if (!queues_.empty()) {
-      ++stats_.barrier_flushes;
-      flush_all_locked();
-    }
-    if (Status s = take_sticky_locked(); !s) return s.error();
-  }
-  return inner_.call(to, req);
-}
-
-Ticket BatchingTransport::call_async(const Address& to, const Request& req) {
-  // Same split as call(): deferrable envelopes join their destination queue
-  // and the ticket is an immediate ack (a deferred failure stays sticky for
-  // the next barrier); non-deferrable envelopes are barriers and the issue
-  // itself flows to the inner transport's async path.
-  const OpTraits& tr = traits(op_of(req));
-  if (tr.deferrable) {
-    Result<Response> ack = call(to, req);  // enqueue + early ack
-    return completions().admit(to, op_of(req), std::move(ack));
-  }
-  {
-    std::lock_guard lock(mu_);
-    if (!queues_.empty()) {
-      ++stats_.barrier_flushes;
-      flush_all_locked();
-    }
-    if (Status s = take_sticky_locked(); !s)
-      return completions().admit(to, op_of(req), s.error());
-  }
-  return inner_.call_async(to, req);
-}
-
-Status BatchingTransport::call_batch(const Address& to,
-                                     std::vector<Request> reqs) {
-  std::lock_guard lock(mu_);
-  if (!queues_.empty()) {
-    ++stats_.barrier_flushes;
-    flush_all_locked();
-  }
-  if (Status s = take_sticky_locked(); !s) return s;
-  ++stats_.wire_messages;
-  return inner_.call_batch(to, std::move(reqs));
-}
-
-Status BatchingTransport::flush() {
-  Status mine;
-  {
-    std::lock_guard lock(mu_);
-    ++stats_.flushes;
-    flush_all_locked();
-    mine = take_sticky_locked();
-  }
-  Status inner = inner_.flush();
-  return mine.ok() ? inner : mine;
-}
-
-u64 BatchingTransport::pending_bytes() const {
-  std::lock_guard lock(mu_);
-  u64 total = 0;
-  for (const auto& [k, q] : queues_) total += q.bytes;
-  return total;
 }
 
 void BatchingTransport::export_metrics(obs::MetricsRegistry& reg,
                                        std::string_view prefix) const {
+  // Straight to the inner transport — the engine's formation.* keys must not
+  // leak into a legacy batching mount.
   inner_.export_metrics(reg, prefix);
   const BatchingStats s = stats();
   const std::string base = obs::join_key(prefix, "batch");
@@ -180,6 +51,7 @@ void BatchingTransport::export_metrics(obs::MetricsRegistry& reg,
       .inc(s.watermark_flushes);
   reg.counter(obs::join_key(base, "barrier_flushes")).inc(s.barrier_flushes);
   reg.counter(obs::join_key(base, "deferred_errors")).inc(s.deferred_errors);
+  reg.counter(obs::join_key(base, "dropped_errors")).inc(s.dropped_errors);
 }
 
 }  // namespace mif::rpc

@@ -1,14 +1,13 @@
 // BatchingTransport: coalesce deferrable envelopes into single wire frames.
 //
-// The paper's §II-A2 aggregation argument applied to the transport itself:
-// a logical operation's cost is dominated by how many wire messages it
-// becomes, so deferrable envelopes (block writes, utime, layout reports —
-// anything whose ack the caller does not need synchronously) are queued per
-// destination and shipped as ONE call_batch() frame.  Contiguous block-write
-// runs of the same (file, stream) are merged in place, so a streaming writer
-// sends one envelope with one long run instead of hundreds.
+// Historically this class owned the staging queues itself; frame formation
+// is now a first-class layer (src/rpc/formation.hpp) and BatchingTransport
+// is a compatibility adapter over a FormationTransport engine running in
+// legacy mode: unbounded frames (one per destination flush) reproduce the
+// old coalesce-on-watermark behavior exactly, and metrics keep the
+// historical batch.* keys.  The public surface — BatchingConfig,
+// BatchingStats, semantics — is unchanged:
 //
-// Semantics:
 //   * deferrable ops return success immediately; a later failure is held
 //     sticky and surfaced by the next flush() or barrier;
 //   * non-deferrable ops are barriers: all queues flush first (preserving
@@ -19,10 +18,7 @@
 // Decorates any inner transport; cost accounting stays with the inner one.
 #pragma once
 
-#include <map>
-#include <mutex>
-
-#include "obs/attrib.hpp"
+#include "rpc/formation.hpp"
 #include "rpc/transport.hpp"
 
 namespace mif::rpc {
@@ -43,63 +39,42 @@ struct BatchingStats {
   u64 watermark_flushes{0}; // queue-full backpressure flushes
   u64 barrier_flushes{0};   // flushes forced by a non-deferrable op
   u64 deferred_errors{0};   // errors produced by deferred envelopes
+  u64 dropped_errors{0};    // sticky errors the destructor had to discard
 };
 
 class BatchingTransport final : public Transport {
  public:
   explicit BatchingTransport(Transport& inner, BatchingConfig cfg = {});
-  ~BatchingTransport() override;  // best-effort flush of leftovers
 
-  Result<Response> call(const Address& to, const Request& req) override;
-  Ticket call_async(const Address& to, const Request& req) override;
+  Result<Response> call(const Address& to, const Request& req) override {
+    return engine_.call(to, req);
+  }
+  Ticket call_async(const Address& to, const Request& req) override {
+    return engine_.call_async(to, req);
+  }
   CompletionQueue& completions() override { return inner_.completions(); }
-  Status call_batch(const Address& to, std::vector<Request> reqs) override;
-  Status flush() override;
+  Status call_batch(const Address& to, std::vector<Request> reqs) override {
+    return engine_.call_batch(to, std::move(reqs));
+  }
+  Status flush() override { return engine_.flush(); }
+  void pump() override { engine_.pump(); }
 
   void set_spans(obs::SpanCollector* spans) override {
-    inner_.set_spans(spans);
+    engine_.set_spans(spans);
   }
   void set_attribution(obs::Attribution* attrib) override {
-    attrib_ = attrib;
-    inner_.set_attribution(attrib);
+    engine_.set_attribution(attrib);
   }
   void export_metrics(obs::MetricsRegistry& reg,
                       std::string_view prefix) const override;
 
-  BatchingStats stats() const {
-    std::lock_guard lock(mu_);
-    return stats_;
-  }
+  BatchingStats stats() const;
   /// Buffered wire bytes across all destination queues.
-  u64 pending_bytes() const;
+  u64 pending_bytes() const { return engine_.pending_bytes(); }
 
  private:
-  struct Queue {
-    Address addr;
-    std::vector<Request> reqs;
-    /// Parallel per-envelope principal tags (only filled while attribution
-    /// is attached).  A coalesced run keeps its tail envelope's tag — same
-    /// (file, stream) means same client, so nothing is misattributed.  The
-    /// flush hands these to the inner transport as the frame's principals.
-    std::vector<obs::Principal> principals;
-    u64 bytes{0};
-  };
-  static u64 key(const Address& a) {
-    return (static_cast<u64>(a.kind) << 32) | a.index;
-  }
-  /// Try to merge a block write into the queue's pending tail envelope.
-  bool coalesce_locked(Queue& q, const BlockWriteRequest& w);
-  Status flush_queue_locked(Queue& q);
-  void flush_all_locked();
-  Status take_sticky_locked();
-
   Transport& inner_;
-  BatchingConfig cfg_;
-  obs::Attribution* attrib_{nullptr};
-  mutable std::mutex mu_;
-  std::map<u64, Queue> queues_;
-  Status sticky_{};
-  BatchingStats stats_;
+  FormationTransport engine_;
 };
 
 }  // namespace mif::rpc

@@ -85,6 +85,10 @@ class Client {
   /// errors.
   Status flush() { return transport_->flush(); }
 
+  /// Let time-based layers (QoS token refill) act on clock progress without
+  /// forcing a flush.
+  void pump() { transport_->pump(); }
+
   Transport& transport() { return *transport_; }
   u32 mds_index() const { return mds_.index; }
 

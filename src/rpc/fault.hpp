@@ -66,6 +66,7 @@ class FaultTransport final : public Transport {
     return inner_.call_batch(to, std::move(reqs));
   }
   Status flush() override { return inner_.flush(); }
+  void pump() override { inner_.pump(); }
   void set_spans(obs::SpanCollector* spans) override {
     spans_ = spans;
     inner_.set_spans(spans);

@@ -1,14 +1,19 @@
 #include "rpc/stack.hpp"
 
+#include <algorithm>
+
 namespace mif::rpc {
 
 TransportStack::TransportStack(Endpoints eps, const TransportOptions& opt) {
   inproc_ = std::make_unique<InprocTransport>(std::move(eps), opt.meta_net,
                                               opt.data_net);
   top_ = inproc_.get();
-  if (opt.pipeline_depth >= 2) {
+  if (opt.pipeline_depth >= 2 || opt.adaptive_depth_max >= 2) {
     AsyncConfig acfg;
-    acfg.depth = opt.pipeline_depth;
+    // Adaptive mode may be armed without an explicit static depth; start at
+    // the floor so the controller earns any deeper window from the gauges.
+    acfg.depth = std::max<u32>(opt.pipeline_depth, 2);
+    acfg.depth_max = opt.adaptive_depth_max;
     acfg.meta_net = opt.meta_net;
     acfg.data_net = opt.data_net;
     acfg.geometry = opt.geometry;
@@ -18,6 +23,13 @@ TransportStack::TransportStack(Endpoints eps, const TransportOptions& opt) {
   if (opt.kind == TransportOptions::Kind::kBatching) {
     batching_ = std::make_unique<BatchingTransport>(*top_, opt.batching);
     top_ = batching_.get();
+  } else if (opt.kind == TransportOptions::Kind::kFormation) {
+    formation_ = std::make_unique<FormationTransport>(*top_, opt.formation);
+    top_ = formation_.get();
+  }
+  if (opt.qos.enabled) {
+    qos_ = std::make_unique<QosTransport>(*top_, opt.qos);
+    top_ = qos_.get();
   }
   if (opt.inject_faults) {
     fault_ = std::make_unique<FaultTransport>(*top_);

@@ -1,16 +1,21 @@
 // TransportStack: owns and chains the transport decorators for one cluster.
 //
-//   top() == Sharded( [Fault(] [Batching(] [Async(] Inproc [)] [)] [)] )
+//   top() == Sharded( [Fault(] [Qos(] [Formation|Batching(] [Async(]
+//            Inproc [)] [)] [)] [)] )
 //
 // InprocTransport is always present (it dispatches and charges); the async
-// pipeline is built only for pipeline_depth >= 2 (depth 1 IS the sync
-// chain); batching is opt-in via TransportOptions::kind; the fault decorator
-// is built only when inject_faults is set, so the default request path has
-// zero fault-check overhead; the shard router is built only for
-// mds_shards >= 2 — above the fault layer, because multi-MDS routing is
-// client-library logic and each of its sub-envelopes (fan-out legs, rename
-// phases) must individually cross the "NIC".  core::ParallelFileSystem
-// holds one stack; tests build their own around hand-made Endpoints.
+// pipeline is built for pipeline_depth >= 2 OR an adaptive ceiling
+// adaptive_depth_max >= 2 (depth 1 IS the sync chain); staging is opt-in via
+// TransportOptions::kind — kBatching is the legacy coalescer, kFormation the
+// explicit frame-formation engine; the QoS scheduler is built only when
+// qos.enabled, above the staging layer so a throttled envelope never
+// occupies a staging queue; the fault decorator is built only when
+// inject_faults is set, so the default request path has zero fault-check
+// overhead; the shard router is built only for mds_shards >= 2 — above the
+// fault layer, because multi-MDS routing is client-library logic and each of
+// its sub-envelopes (fan-out legs, rename phases) must individually cross
+// the "NIC".  core::ParallelFileSystem holds one stack; tests build their
+// own around hand-made Endpoints.
 #pragma once
 
 #include <memory>
@@ -18,23 +23,35 @@
 #include "rpc/async.hpp"
 #include "rpc/batching.hpp"
 #include "rpc/fault.hpp"
+#include "rpc/formation.hpp"
 #include "rpc/inproc.hpp"
+#include "rpc/qos.hpp"
 #include "shard/transport.hpp"
 
 namespace mif::rpc {
 
 struct TransportOptions {
-  enum class Kind : u8 { kInproc, kBatching };
+  enum class Kind : u8 { kInproc, kBatching, kFormation };
   /// kInproc preserves the pre-RPC-layer figures exactly; kBatching trades
-  /// deferred acks for fewer wire messages.
+  /// deferred acks for fewer wire messages (legacy unbounded frames);
+  /// kFormation stages per destination and packs size-bounded frames.
   Kind kind{Kind::kInproc};
   sim::NetworkConfig meta_net{};
   sim::NetworkConfig data_net{};
   BatchingConfig batching{};
+  /// Frame-formation knobs (Kind::kFormation only).
+  FormationConfig formation{};
+  /// Per-client token-bucket admission control; qos.enabled builds the
+  /// QosTransport above the staging layer.
+  QosConfig qos{};
   /// In-flight window for the async completion-queue transport; depth <= 1
   /// keeps the fully synchronous chain (no AsyncTransport is built, so the
   /// default figures stay byte-identical).
   u32 pipeline_depth{1};
+  /// Adaptive pipeline ceiling: >= 2 arms AsyncTransport's depth controller
+  /// in [2, adaptive_depth_max] (builds the async layer even when
+  /// pipeline_depth is 1, starting at max(2, pipeline_depth)).  0 = static.
+  u32 adaptive_depth_max{0};
   /// Disk geometry for AsyncTransport's per-envelope service estimate
   /// (should match the OSDs' spindle geometry).
   sim::DiskGeometry geometry{};
@@ -68,6 +85,10 @@ class TransportStack {
   AsyncTransport* async() { return async_.get(); }
   const AsyncTransport* async() const { return async_.get(); }
   BatchingTransport* batching() { return batching_.get(); }
+  FormationTransport* formation() { return formation_.get(); }
+  const FormationTransport* formation() const { return formation_.get(); }
+  QosTransport* qos() { return qos_.get(); }
+  const QosTransport* qos() const { return qos_.get(); }
   FaultTransport* fault() { return fault_.get(); }
   shard::ShardedTransport* sharded() { return sharded_.get(); }
   const shard::ShardedTransport* sharded() const { return sharded_.get(); }
@@ -92,6 +113,8 @@ class TransportStack {
   std::unique_ptr<InprocTransport> inproc_;
   std::unique_ptr<AsyncTransport> async_;
   std::unique_ptr<BatchingTransport> batching_;
+  std::unique_ptr<FormationTransport> formation_;
+  std::unique_ptr<QosTransport> qos_;
   std::unique_ptr<FaultTransport> fault_;
   std::unique_ptr<shard::ShardedTransport> sharded_;
   Transport* top_{nullptr};

@@ -174,6 +174,12 @@ class Transport {
   /// first error any deferred envelope produced (sticky until reported).
   virtual Status flush() { return {}; }
 
+  /// Give time-based layers a chance to act on clock progress (the QoS
+  /// scheduler releases backlogged envelopes as its buckets refill) WITHOUT
+  /// forcing anything out the way flush() does.  Decorators forward inward;
+  /// the default is a no-op.  Called from client drain points.
+  virtual void pump() {}
+
   virtual void set_spans(obs::SpanCollector* spans) { (void)spans; }
 
   /// Attach per-principal cost attribution (see obs/attrib.hpp).  Decorators

@@ -54,6 +54,7 @@ class ShardedTransport final : public rpc::Transport {
   Status call_batch(const rpc::Address& to,
                     std::vector<rpc::Request> reqs) override;
   Status flush() override { return inner_.flush(); }
+  void pump() override { inner_.pump(); }
   void set_spans(obs::SpanCollector* spans) override {
     spans_ = spans;
     inner_.set_spans(spans);

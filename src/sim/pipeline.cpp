@@ -6,18 +6,26 @@ namespace mif::sim {
 
 Pipeline::Pipeline(u32 depth) : depth_(std::max<u32>(depth, 1)) {}
 
+void Pipeline::set_depth(u32 depth) { depth_ = std::max<u32>(depth, 1); }
+
 Pipeline::Times Pipeline::submit(u32 channel, double service_ms) {
   // Window backpressure: with `depth` outstanding, the issue clock waits
-  // for the oldest in-flight exchange to complete (a slot in the
-  // completion queue).
+  // for the oldest in-flight exchanges to complete (a slot in the
+  // completion queue).  A loop, not an if: set_depth() may have shrunk the
+  // window below the current occupancy, and every excess exchange must
+  // retire before the next issue is admitted.
   Times t;
-  if (inflight_.size() >= depth_) {
+  bool stalled = false;
+  while (inflight_.size() >= depth_) {
     const double freed_at = inflight_.top();
     inflight_.pop();
     if (freed_at > issue_ms_) {
-      ++stats_.stalls;
-      t.stall_ms = freed_at - issue_ms_;
-      stats_.stall_ms += t.stall_ms;
+      if (!stalled) {
+        stalled = true;
+        ++stats_.stalls;
+      }
+      t.stall_ms += freed_at - issue_ms_;
+      stats_.stall_ms += freed_at - issue_ms_;
       issue_ms_ = freed_at;
     }
   }

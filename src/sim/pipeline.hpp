@@ -54,6 +54,12 @@ class Pipeline {
   /// times.  Monotonic per channel — FIFO ordering per destination.
   Times submit(u32 channel, double service_ms);
 
+  /// Resize the admission window (clamped to >= 1).  Used by the adaptive
+  /// async transport: a deeper window admits more overlap, a shallower one
+  /// makes the next submits wait out the excess in-flight exchanges first
+  /// (their stall time is charged to the submit that waited, as usual).
+  void set_depth(u32 depth);
+
   /// In-flight exchanges after the most recent submit (window occupancy).
   u64 inflight() const { return inflight_.size(); }
 

@@ -1,0 +1,453 @@
+// Token-bucket QoS transport tests: deterministic bucket refill properties,
+// admission vs parking, rate-paced release on the injected clock, per-client
+// FIFO, weighted round-robin sharing, ino-scoped barriers (with the
+// kGetExtents advisory exemption), sticky deferred errors, owner-principal
+// attribution of released envelopes, and a multi-threaded hammering case for
+// the sanitizer suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mds/mds.hpp"
+#include "obs/attrib.hpp"
+#include "obs/span.hpp"
+#include "osd/storage_target.hpp"
+#include "rpc/fault.hpp"
+#include "rpc/inproc.hpp"
+#include "rpc/qos.hpp"
+
+namespace mif::rpc {
+namespace {
+
+// Wire size of a one-block write: header + body (8+8+4+16) + one data block.
+constexpr u64 kOneBlockWire = kHeaderBytes + 36 + kBlockSize;
+
+BlockWriteRequest write_req(u64 ino, u64 start, u64 count) {
+  BlockWriteRequest req;
+  req.ino = InodeNo{ino};
+  req.stream = StreamId{1, 1};
+  req.runs.push_back(BlockRun{FileBlock{start}, count});
+  return req;
+}
+
+struct OsdPair {
+  osd::StorageTarget a{};
+  osd::StorageTarget b{};
+  Endpoints eps() { return Endpoints{{}, {&a, &b}}; }
+};
+
+// --- TokenBucket ------------------------------------------------------------
+
+TEST(TokenBucket, StartsFullAndConsumesExactly) {
+  TokenBucket b(100.0, 1000);
+  EXPECT_DOUBLE_EQ(b.tokens(), 1000.0);
+  EXPECT_TRUE(b.try_consume(600));
+  EXPECT_DOUBLE_EQ(b.tokens(), 400.0);
+  // Insufficient tokens: refused with no partial deduction.
+  EXPECT_FALSE(b.try_consume(500));
+  EXPECT_DOUBLE_EQ(b.tokens(), 400.0);
+}
+
+TEST(TokenBucket, RefillIsRateTimesElapsedCappedAtBurst) {
+  TokenBucket b(100.0, 1000);
+  ASSERT_TRUE(b.try_consume(1000));
+  b.refill(2.0);
+  EXPECT_DOUBLE_EQ(b.tokens(), 200.0);  // 100 bytes/ms * 2 ms
+  b.refill(2.0);  // clock did not advance: no credit
+  EXPECT_DOUBLE_EQ(b.tokens(), 200.0);
+  b.refill(1.0);  // clock went backwards: no credit
+  EXPECT_DOUBLE_EQ(b.tokens(), 200.0);
+  b.refill(1000.0);  // long idle: capped at the burst, not rate * elapsed
+  EXPECT_DOUBLE_EQ(b.tokens(), 1000.0);
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(QosConfigValidate, RejectsUnmountableConfigs) {
+  QosConfig cfg;
+  cfg.enabled = true;
+  EXPECT_EQ(validate(cfg), "");
+  cfg.rate_bytes_per_ms = 0.0;
+  EXPECT_NE(validate(cfg), "");
+  cfg = {};
+  cfg.enabled = true;
+  cfg.burst_bytes = 0;
+  EXPECT_NE(validate(cfg), "");
+  cfg = {};
+  cfg.enabled = true;
+  cfg.default_weight = 0;
+  EXPECT_NE(validate(cfg), "");
+  cfg = {};
+  cfg.enabled = true;
+  cfg.overrides.push_back({.client = 0, .weight = 2});
+  EXPECT_NE(validate(cfg), "");  // client 0 is the system principal
+  cfg.overrides[0].client = 1;
+  cfg.overrides[0].rate_bytes_per_ms = -1.0;
+  EXPECT_NE(validate(cfg), "");
+  // A disabled config is always mountable (the layer is never built).
+  cfg = {};
+  cfg.rate_bytes_per_ms = 0.0;
+  EXPECT_EQ(validate(cfg), "");
+}
+
+// --- admission --------------------------------------------------------------
+
+QosConfig small_bucket(double rate_bytes_per_ms, u64 burst_bytes) {
+  QosConfig cfg;
+  cfg.enabled = true;
+  cfg.rate_bytes_per_ms = rate_bytes_per_ms;
+  cfg.burst_bytes = burst_bytes;
+  return cfg;
+}
+
+TEST(QosTransport, AdmitsWithinBurstParksBeyond) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  QosTransport qos(inner, small_bucket(1000.0, 3 * kOneBlockWire));
+  obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+  for (u64 i = 0; i < 3; ++i)
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(1, i, 1)).ok());
+  EXPECT_EQ(inner.op_counters(Op::kBlockWrite).count, 3u);
+  EXPECT_EQ(qos.backlog(), 0u);
+  // Fourth write exceeds the bucket: parked, but acked like a batched write.
+  auto r = qos.call(osd_at(0), write_req(1, 3, 1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::holds_alternative<VoidResponse>(*r));
+  EXPECT_EQ(inner.op_counters(Op::kBlockWrite).count, 3u);  // not dispatched
+  EXPECT_EQ(qos.backlog(), 1u);
+  EXPECT_EQ(qos.backlog_bytes(), kOneBlockWire);
+  const QosStats s = qos.stats();
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.throttled, 1u);
+  EXPECT_EQ(s.backlog_peak, 1u);
+}
+
+TEST(QosTransport, UnmeteredWorkPassesThrough) {
+  OsdPair osds;
+  mds::Mds mds;
+  InprocTransport inner(Endpoints{{&mds}, {&osds.a, &osds.b}});
+  // A bucket too small for anything: if these ops were metered they'd park.
+  QosTransport qos(inner, small_bucket(0.001, kOneBlockWire));
+  {
+    // Deferrable metadata (extent reports) is never throttled.
+    obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+    ReportExtentsRequest rep;
+    rep.ino = InodeNo{1};
+    rep.extent_count = 4;
+    ASSERT_TRUE(qos.call(mds_at(0), Request{rep}).ok());
+  }
+  // System-principal data (no ScopedPrincipal open) is never throttled.
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 1)).ok());
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 1, 1)).ok());
+  EXPECT_EQ(qos.backlog(), 0u);
+  const QosStats s = qos.stats();
+  EXPECT_EQ(s.admitted, 0u);
+  EXPECT_EQ(s.throttled, 0u);
+  EXPECT_EQ(inner.op_counters(Op::kBlockWrite).count, 2u);
+}
+
+TEST(QosTransport, UnsetClockNeverRefills) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  QosTransport qos(inner, small_bucket(1e9, kOneBlockWire));
+  obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 1)).ok());
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 1, 1)).ok());  // parks
+  EXPECT_EQ(qos.backlog(), 1u);
+  // Without set_clock the bucket can never earn tokens back, no matter the
+  // rate — exactly what a standalone unit test wants.
+  qos.pump();
+  qos.pump();
+  EXPECT_EQ(qos.backlog(), 1u);
+  // flush() is still a full release.
+  ASSERT_TRUE(qos.flush().ok());
+  EXPECT_EQ(qos.backlog(), 0u);
+  EXPECT_EQ(inner.op_counters(Op::kBlockWrite).count, 2u);
+  EXPECT_EQ(qos.stats().forced, 1u);
+}
+
+// --- rate-paced release -----------------------------------------------------
+
+TEST(QosTransport, RefillReleasesAtTheConfiguredRate) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  QosTransport qos(inner, small_bucket(1000.0, kOneBlockWire));
+  double now = 0.0;
+  qos.set_clock([&now] { return now; });
+  obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 1)).ok());  // burst
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 1, 1)).ok());  // parks
+  EXPECT_EQ(qos.backlog(), 1u);
+  // Not enough elapsed time for one envelope's worth of tokens.
+  now = 1.0;  // 1000 bytes earned < kOneBlockWire
+  qos.pump();
+  EXPECT_EQ(qos.backlog(), 1u);
+  // Enough: the parked envelope releases on the simulated clock, unforced.
+  now = static_cast<double>(kOneBlockWire) / 1000.0 + 0.5;
+  qos.pump();
+  EXPECT_EQ(qos.backlog(), 0u);
+  EXPECT_EQ(inner.op_counters(Op::kBlockWrite).count, 2u);
+  const QosStats s = qos.stats();
+  EXPECT_EQ(s.released, 1u);
+  EXPECT_EQ(s.forced, 0u);
+}
+
+TEST(QosTransport, PerClientFifoHoldsTheLine) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  QosTransport qos(inner, small_bucket(1000.0, 3 * kOneBlockWire));
+  double now = 0.0;
+  qos.set_clock([&now] { return now; });
+  obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 2)).ok());  // most of burst
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 2, 2)).ok());  // parks (big)
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 4, 1)).ok());  // parks (small)
+  EXPECT_EQ(qos.backlog(), 2u);
+  // Leftover tokens cover the SMALL envelope but not the big one at the head
+  // of the lane: per-client FIFO must hold — nothing may jump the line.
+  now = 0.01;
+  qos.pump();
+  EXPECT_EQ(qos.backlog(), 2u);
+  // Refilled to the full burst: both release, in issue order.
+  now = 100.0;
+  qos.pump();
+  EXPECT_EQ(qos.backlog(), 0u);
+  EXPECT_EQ(qos.stats().released, 2u);
+}
+
+TEST(QosTransport, OversizeEnvelopesNeverWedgeTheLane) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  // Burst smaller than a two-block write.
+  QosTransport qos(inner, small_bucket(1000.0, kOneBlockWire + 100));
+  double now = 0.0;
+  qos.set_clock([&now] { return now; });
+  obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+  // An envelope larger than the whole bucket, empty backlog: admitted (it
+  // could never earn enough tokens).
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 2)).ok());
+  EXPECT_EQ(qos.backlog(), 0u);
+  EXPECT_EQ(qos.stats().admitted, 1u);
+  // Drain the bucket, then park a normal write and an oversize one behind it.
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 2, 1)).ok());  // burst
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 3, 1)).ok());  // parks
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 4, 2)).ok());  // parks, oversize
+  EXPECT_EQ(qos.backlog(), 2u);
+  // One envelope's worth of tokens: the normal write releases on tokens, the
+  // oversize one is let through rather than wedging the lane forever.
+  now = static_cast<double>(kOneBlockWire + 200) / 1000.0;
+  qos.pump();
+  EXPECT_EQ(qos.backlog(), 0u);
+  EXPECT_EQ(qos.stats().released, 2u);
+  EXPECT_EQ(inner.op_counters(Op::kBlockWrite).count, 4u);
+}
+
+// --- weighted round-robin ---------------------------------------------------
+
+/// Inner transport that records the ambient principal of every call — the
+/// release order and the identity each released envelope dispatches under.
+struct RecordingTransport final : Transport {
+  std::vector<u32> clients;
+  Result<Response> call(const Address&, const Request&) override {
+    clients.push_back(obs::ambient_principal().client);
+    return Response{VoidResponse{}};
+  }
+};
+
+TEST(QosTransport, WeightedRoundRobinSharesReleases) {
+  RecordingTransport inner;
+  // Burst large enough that one refill covers a whole lane's backlog (the
+  // refill credit is capped at the burst), so release order is pure WRR.
+  QosConfig cfg = small_bucket(1e9, 8 * kOneBlockWire);
+  cfg.overrides.push_back({.client = 2, .weight = 2});
+  QosTransport qos(inner, cfg);
+  double now = 0.0;
+  qos.set_clock([&now] { return now; });
+  {
+    obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+    // A 7-block write drains most of the burst, then two 1-block writes park.
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 7)).ok());
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 7, 1)).ok());
+    for (u64 i = 0; i < 2; ++i)
+      ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 8 + i, 1)).ok());
+  }
+  {
+    obs::ScopedPrincipal sp({2, obs::OpClass::kData});
+    ASSERT_TRUE(qos.call(osd_at(1), write_req(2, 0, 7)).ok());
+    ASSERT_TRUE(qos.call(osd_at(1), write_req(2, 7, 1)).ok());
+    for (u64 i = 0; i < 4; ++i)
+      ASSERT_TRUE(qos.call(osd_at(1), write_req(2, 8 + i, 1)).ok());
+  }
+  ASSERT_EQ(qos.backlog(), 6u);
+  now = 1.0;  // every lane refills to its full burst: tokens gate nothing
+  qos.pump();
+  EXPECT_EQ(qos.backlog(), 0u);
+  // Four admissions, then WRR cycles: client 1 releases one envelope per
+  // visit, client 2 (weight 2) releases two — and every released envelope
+  // dispatched under its OWNER's principal, not the pumping thread's.
+  const std::vector<u32> want{1, 1, 2, 2, /*wrr:*/ 1, 2, 2, 1, 2, 2};
+  EXPECT_EQ(inner.clients, want);
+}
+
+// --- barriers ---------------------------------------------------------------
+
+TEST(QosTransport, BarrierReleasesOnlyItsOwnInode) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  QosTransport qos(inner, small_bucket(0.001, kOneBlockWire));
+  {
+    obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(10, 0, 1)).ok());  // burst
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(10, 1, 1)).ok());  // parks
+  }
+  {
+    obs::ScopedPrincipal sp({2, obs::OpClass::kData});
+    ASSERT_TRUE(qos.call(osd_at(1), write_req(20, 0, 1)).ok());  // burst
+    ASSERT_TRUE(qos.call(osd_at(1), write_req(20, 1, 1)).ok());  // parks
+  }
+  ASSERT_EQ(qos.backlog(), 2u);
+  // A read of ino 10 must observe ino 10's queued write — and ONLY that
+  // inode's: client 2's backlog must not ride out on someone else's barrier.
+  BlockReadRequest read;
+  read.ino = InodeNo{10};
+  read.runs.push_back(BlockRun{FileBlock{0}, 1});
+  ASSERT_TRUE(qos.call(osd_at(0), Request{read}).ok());
+  EXPECT_EQ(qos.backlog(), 1u);
+  const QosStats s = qos.stats();
+  EXPECT_EQ(s.barriers, 1u);
+  EXPECT_EQ(s.forced, 1u);
+  EXPECT_EQ(inner.op_counters(Op::kBlockWrite).count, 3u);
+}
+
+TEST(QosTransport, GetExtentsIsAdvisoryNotABarrier) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  QosTransport qos(inner, small_bucket(0.001, kOneBlockWire));
+  obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(10, 0, 1)).ok());
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(10, 1, 1)).ok());  // parks
+  ASSERT_EQ(qos.backlog(), 1u);
+  // The client's periodic extent poll is an advisory statistics read, not a
+  // data dependency — a streamer must not earn a backlog bypass just by
+  // polling its own layout on the report cadence.
+  GetExtentsRequest ge;
+  ge.ino = InodeNo{10};
+  ASSERT_TRUE(qos.call(osd_at(0), Request{ge}).ok());
+  EXPECT_EQ(qos.backlog(), 1u);
+  const QosStats s = qos.stats();
+  EXPECT_EQ(s.barriers, 0u);
+  EXPECT_EQ(s.forced, 0u);
+}
+
+// --- sticky errors ----------------------------------------------------------
+
+TEST(QosTransport, DeferredReleaseErrorSurfacesAtFlush) {
+  OsdPair osds;
+  InprocTransport inproc(osds.eps());
+  FaultTransport fault(inproc);
+  QosTransport qos(fault, small_bucket(0.001, kOneBlockWire));
+  obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 1)).ok());
+  ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 1, 1)).ok());  // parks
+  // The parked envelope was already acked; its release will fail — the
+  // error must go sticky and surface at the flush, batching semantics.
+  fault.arm({.drop_after = 0, .drop_count = 1});
+  const Status s = qos.flush();
+  EXPECT_EQ(s.error(), Errc::kIo);
+  EXPECT_EQ(qos.stats().deferred_errors, 1u);
+  // Sticky consumed: the next flush is clean.
+  EXPECT_TRUE(qos.flush().ok());
+}
+
+TEST(QosTransport, DestructorDropIsObservable) {
+  obs::SpanCollector spans;  // outlives the transport, like the timeline's
+  OsdPair osds;
+  InprocTransport inproc(osds.eps());
+  FaultTransport fault(inproc);
+  {
+    QosTransport qos(fault, small_bucket(0.001, kOneBlockWire));
+    qos.set_spans(&spans);
+    obs::ScopedPrincipal sp({1, obs::OpClass::kData});
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 1)).ok());
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 1, 1)).ok());  // parks
+    fault.arm({.drop_after = 0, .drop_count = 1});
+    // Destroyed with a parked envelope whose release will fail: the error
+    // has nowhere to surface — it must be dropped OBSERVABLY.
+  }
+  bool saw_drop = false;
+  for (const obs::SpanRecord& r : spans.spans())
+    if (r.name == "qos.dropped_error") saw_drop = true;
+  EXPECT_TRUE(saw_drop);
+}
+
+// --- attribution ------------------------------------------------------------
+
+TEST(QosTransport, ReleasedEnvelopesChargeTheirOwner) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  obs::Attribution attrib;
+  QosTransport qos(inner, small_bucket(1e9, kOneBlockWire));
+  qos.set_attribution(&attrib);
+  double now = 0.0;
+  qos.set_clock([&now] { return now; });
+  {
+    obs::ScopedPrincipal sp({7, obs::OpClass::kData});
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 0, 1)).ok());
+    ASSERT_TRUE(qos.call(osd_at(0), write_req(1, 1, 1)).ok());  // parks
+  }
+  // Released from a pump with NO principal open: the charge must still land
+  // on client 7, the owner — not on the system principal.
+  now = 1.0;
+  qos.pump();
+  ASSERT_EQ(qos.backlog(), 0u);
+  const auto accounts = attrib.accounts();
+  const obs::Principal owner{7, obs::OpClass::kData};
+  auto it = accounts.find(owner.key());
+  ASSERT_NE(it, accounts.end());
+  EXPECT_EQ(it->second.net_bytes, 2 * kOneBlockWire);
+  auto sys = accounts.find(obs::Principal{}.key());
+  if (sys != accounts.end()) {
+    EXPECT_EQ(sys->second.net_bytes, 0u);
+  }
+}
+
+// --- sanitizer hammering ----------------------------------------------------
+
+TEST(QosTransportConcurrency, ParallelClientsShareOneScheduler) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  QosTransport qos(inner, small_bucket(64.0 * 1024.0, 4 * kOneBlockWire));
+  std::atomic<double> clock{0.0};
+  qos.set_clock([&clock] { return clock.load(std::memory_order_relaxed); });
+  constexpr int kThreads = 4;
+  constexpr u64 kWritesPerThread = 64;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::ScopedPrincipal sp(
+          {static_cast<u32>(t) + 1, obs::OpClass::kData});
+      for (u64 i = 0; i < kWritesPerThread; ++i) {
+        const auto r = qos.call(osd_at(static_cast<u32>(t) % 2),
+                                write_req(static_cast<u64>(t) + 1, i, 1));
+        if (!r.ok()) ++failures;
+        clock.store(clock.load(std::memory_order_relaxed) + 0.25,
+                    std::memory_order_relaxed);
+        if (i % 16 == 0) qos.pump();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(qos.flush().ok());
+  EXPECT_EQ(qos.backlog(), 0u);
+  const QosStats s = qos.stats();
+  EXPECT_EQ(s.admitted + s.released + s.forced, kThreads * kWritesPerThread);
+  EXPECT_EQ(inner.op_counters(Op::kBlockWrite).count,
+            kThreads * kWritesPerThread);
+}
+
+}  // namespace
+}  // namespace mif::rpc

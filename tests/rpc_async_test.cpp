@@ -234,6 +234,81 @@ TEST(AsyncTransport, MetadataCallsStaySynchronous) {
   EXPECT_EQ(t.completions().in_flight(), 0u);
 }
 
+// --- adaptive depth ---------------------------------------------------------
+
+TEST(AdaptiveDepth, GrowsWhileDevicesAreStarved) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  AsyncConfig cfg;
+  cfg.depth = 2;
+  cfg.depth_max = 16;
+  AsyncTransport t(inner, cfg);
+  // Empty device queues at every probe: the spindles are starved for
+  // overlap, so the controller doubles the window each adaptation period.
+  t.set_queue_probe([](u32) { return 0.0; });
+  for (u64 i = 0; i < 24; ++i)
+    (void)t.call_async(osd_at(i % 2), write_req(1 + i % 2, i * 8, 8));
+  ASSERT_TRUE(t.completions().wait_all().ok());
+  const AsyncReport rep = t.report();
+  EXPECT_TRUE(rep.adaptive);
+  EXPECT_EQ(rep.depth, 16u);  // 2 -> 4 -> 8 -> 16 over three periods
+  EXPECT_EQ(rep.depth_changes, 3u);
+  EXPECT_EQ(rep.depth_min_seen, 2u);
+  EXPECT_EQ(rep.depth_max_seen, 16u);
+}
+
+TEST(AdaptiveDepth, ShrinksToTheFloorWhenQueueWaitDominates) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  AsyncConfig cfg;
+  cfg.depth = 8;
+  cfg.depth_max = 16;
+  AsyncTransport t(inner, cfg);
+  // Device queues far deeper than the window: deeper issue only lengthens
+  // the line — the controller halves down to the floor and stays there.
+  t.set_queue_probe([](u32) { return 1e6; });
+  for (u64 i = 0; i < 24; ++i)
+    (void)t.call_async(osd_at(i % 2), write_req(1 + i % 2, i * 8, 8));
+  ASSERT_TRUE(t.completions().wait_all().ok());
+  const AsyncReport rep = t.report();
+  EXPECT_EQ(rep.depth, 2u);  // 8 -> 4 -> 2, then pinned at the floor
+  EXPECT_EQ(rep.depth_changes, 2u);
+  EXPECT_EQ(rep.depth_min_seen, 2u);
+  EXPECT_EQ(rep.depth_max_seen, 8u);  // never grew past the start
+}
+
+TEST(AdaptiveDepth, StaticWindowIgnoresTheProbe) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  AsyncConfig cfg;
+  cfg.depth = 4;  // depth_max 0: static
+  AsyncTransport t(inner, cfg);
+  t.set_queue_probe([](u32) { return 0.0; });
+  for (u64 i = 0; i < 16; ++i)
+    (void)t.call_async(osd_at(i % 2), write_req(1 + i % 2, i * 8, 8));
+  ASSERT_TRUE(t.completions().wait_all().ok());
+  const AsyncReport rep = t.report();
+  EXPECT_FALSE(rep.adaptive);
+  EXPECT_EQ(rep.depth, 4u);
+  EXPECT_EQ(rep.depth_changes, 0u);
+}
+
+TEST(AdaptiveDepth, DormantWithoutAProbe) {
+  OsdPair osds;
+  InprocTransport inner(osds.eps());
+  AsyncConfig cfg;
+  cfg.depth = 2;
+  cfg.depth_max = 16;
+  AsyncTransport t(inner, cfg);  // armed, but no gauge wired
+  for (u64 i = 0; i < 16; ++i)
+    (void)t.call_async(osd_at(i % 2), write_req(1 + i % 2, i * 8, 8));
+  ASSERT_TRUE(t.completions().wait_all().ok());
+  const AsyncReport rep = t.report();
+  EXPECT_TRUE(rep.adaptive);
+  EXPECT_EQ(rep.depth, 2u);
+  EXPECT_EQ(rep.depth_changes, 0u);
+}
+
 // --- error tickets ----------------------------------------------------------
 
 TEST(FaultTransport, DropSurfacesAsIoOnTheRightTicket) {
@@ -307,6 +382,46 @@ TEST(AsyncStack, DepthDoesNotChangePlacementOrDiskFigures) {
   EXPECT_EQ(sync.disk.positionings, deep.disk.positionings);
   EXPECT_EQ(sync.disk.blocks_written, deep.disk.blocks_written);
   EXPECT_DOUBLE_EQ(sync.disk.transfer_ms, deep.disk.transfer_ms);
+}
+
+TEST(AsyncStack, AdaptiveMountKeepsPlacementAndDiskFiguresStatic) {
+  auto run = [](u32 adaptive_max) {
+    core::ClusterConfig cfg = small_cluster(adaptive_max >= 2 ? 1 : 8);
+    cfg.rpc.adaptive_depth_max = adaptive_max;
+    core::ParallelFileSystem fs(cfg);
+    auto c = fs.connect(ClientId{1});
+    auto fh = c.create("adaptive.odb");
+    EXPECT_TRUE(fh.ok());
+    // Drain after every write so the device queues stay at one entry: the
+    // controller (whose probe sees the queue including the write it just
+    // dispatched) must find starved spindles to deepen the window.
+    for (u64 i = 0; i < 64; ++i) {
+      EXPECT_TRUE(c.write(*fh, 0, i << 14, u64{1} << 14).ok());
+      fs.drain_data();
+    }
+    EXPECT_TRUE(c.close(*fh).ok());
+    struct Out {
+      u64 extents;
+      sim::DiskStats disk;
+      AsyncReport rep;
+    };
+    InodeNo ino = fh ? fh->ino : InodeNo{};
+    return Out{fs.file_extents(ino), fs.data_stats(),
+               fs.transport().async()->report()};
+  };
+  const auto fixed = run(0);
+  const auto adaptive = run(8);
+  // The controller is live (wired to the real target queue gauges) and the
+  // window actually moved off its floor...
+  EXPECT_FALSE(fixed.rep.adaptive);
+  EXPECT_TRUE(adaptive.rep.adaptive);
+  EXPECT_GT(adaptive.rep.depth_max_seen, adaptive.rep.depth_min_seen);
+  // ...while placement and disk service stay identical: adapting the window
+  // changes only the modeled completion timeline, never server-side effects.
+  EXPECT_EQ(fixed.extents, adaptive.extents);
+  EXPECT_EQ(fixed.disk.requests, adaptive.disk.requests);
+  EXPECT_EQ(fixed.disk.blocks_written, adaptive.disk.blocks_written);
+  EXPECT_DOUBLE_EQ(fixed.disk.transfer_ms, adaptive.disk.transfer_ms);
 }
 
 TEST(AsyncStack, DepthOneBuildsNoAsyncDecorator) {

@@ -22,9 +22,11 @@
 namespace mif {
 namespace {
 
-/// (list_io_max_runs, pipeline_depth): the per-block sync mount, list I/O
-/// over the sync chain, and list I/O over a depth-4 async pipeline.
-using IoMode = std::pair<u64, u32>;
+/// (list_io_max_runs, pipeline_depth, qos): the per-block sync mount, list
+/// I/O over the sync chain, list I/O over a depth-4 async pipeline, and the
+/// pipelined mount with per-client token-bucket QoS enforcing a rate low
+/// enough to actually park envelopes mid-workload.
+using IoMode = std::tuple<u64, u32, bool>;
 
 using Config =
     std::tuple<alloc::AllocatorMode, mfs::DirectoryMode, u32, IoMode>;
@@ -36,7 +38,8 @@ std::string config_name(const ::testing::TestParamInfo<Config>& info) {
   const IoMode io = std::get<3>(info.param);
   return s + "_" + std::string(to_string(std::get<1>(info.param))) + "_s" +
          std::to_string(std::get<2>(info.param)) + "_l" +
-         std::to_string(io.first) + "d" + std::to_string(io.second);
+         std::to_string(std::get<0>(io)) + "d" +
+         std::to_string(std::get<1>(io)) + (std::get<2>(io) ? "_qos" : "");
 }
 
 class SystemMatrix : public ::testing::TestWithParam<Config> {
@@ -49,8 +52,15 @@ class SystemMatrix : public ::testing::TestWithParam<Config> {
     cfg.mds.mfs.cache_blocks = 1024;
     cfg.mds.shards = std::get<2>(GetParam());
     const IoMode io = std::get<3>(GetParam());
-    cfg.list_io_max_runs = io.first;
-    if (io.second >= 2) cfg.rpc.pipeline_depth = io.second;
+    cfg.list_io_max_runs = std::get<0>(io);
+    if (std::get<1>(io) >= 2) cfg.rpc.pipeline_depth = std::get<1>(io);
+    if (std::get<2>(io)) {
+      // A rate small against the workloads' bursts, so the scheduler
+      // genuinely parks and releases envelopes inside every cell.
+      cfg.rpc.qos.enabled = true;
+      cfg.rpc.qos.rate_bytes_per_ms = 32.0 * 1024.0;
+      cfg.rpc.qos.burst_bytes = 64 * 1024;
+    }
     return cfg;
   }
 
@@ -203,8 +213,10 @@ INSTANTIATE_TEST_SUITE_P(
         // routed through shard::ShardedTransport.
         ::testing::Values(1u, 3u),
         // I/O mode: per-block sync (the paper's default), list I/O on the
-        // sync chain, and list I/O through a depth-4 async pipeline.
-        ::testing::Values(IoMode{0, 1}, IoMode{64, 1}, IoMode{64, 4})),
+        // sync chain, list I/O through a depth-4 async pipeline, and the
+        // pipelined chain under token-bucket QoS admission control.
+        ::testing::Values(IoMode{0, 1, false}, IoMode{64, 1, false},
+                          IoMode{64, 4, false}, IoMode{64, 4, true})),
     config_name);
 
 }  // namespace

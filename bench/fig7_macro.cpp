@@ -4,7 +4,9 @@
 // (bigger, contiguous-per-process requests); collective I/O beats
 // non-collective outright (~40 MB aggregated requests) and shrinks the
 // allocator's influence.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +16,9 @@
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
+#include "redundancy/redundancy.hpp"
+#include "redundancy/repair.hpp"
+#include "rpc/fault.hpp"
 #include "shard/transport.hpp"
 #include "util/table.hpp"
 #include "workload/btio.hpp"
@@ -154,6 +159,158 @@ void run_list_io_strided(mif::obs::BenchReport& report,
   results["envelope_ratio"] = ratio;
   report.add_run("strided list-io", std::move(config), std::move(results),
                  mif::obs::Json{}, mif::obs::Json{}, std::move(attribution));
+}
+
+/// One measured point of the redundancy sweep: a replicated 8-target mount
+/// running an interleaved multi-file macro workload (write phase with
+/// tick_timeline safe points, a mid-run degraded read sweep, drain — which
+/// completes any queued rebuild — then a full verification read phase).
+struct RedundancyRun {
+  mif::u64 read_errors{0};
+  mif::u64 degraded_reads{0};
+  mif::u64 replica_writes{0};
+  mif::u64 extents{0};  // post-repair primary-subfile extent total
+  double read_ms{0.0};  // sim time of the final read phase
+  mif::u64 repair_bytes{0};
+  mif::u64 repair_completed{0};
+  double repair_completed_ms{-1.0};
+  mif::u64 dead_targets{0};
+};
+
+RedundancyRun run_redundancy_point(const mif::obs::BenchReport& report,
+                                   mif::obs::SpanCollector* spans,
+                                   bool kill) {
+  constexpr mif::u32 kTargets = 8;
+  mif::core::ClusterConfig cfg;
+  cfg.num_targets = kTargets;
+  cfg.target.allocator = mif::alloc::AllocatorMode::kOnDemand;
+  cfg.redundancy.replicas = report.replicas();
+  if (report.pipeline_depth() >= 2)
+    cfg.rpc.pipeline_depth = report.pipeline_depth();
+  cfg.list_io_max_runs = report.list_io_runs();
+  if (kill) cfg.rpc.inject_faults = true;  // mounts the (disarmed) fault layer
+  mif::core::ParallelFileSystem fs(cfg);
+  fs.set_spans(spans);
+  if (kill) {
+    fs.transport().fault()->kill_osd(report.kill_target(),
+                                     report.kill_at_ms());
+  }
+  auto client = fs.connect(mif::ClientId{1});
+
+  const mif::u32 files = report.quick() ? 12 : 48;
+  const mif::u64 file_blocks = report.quick() ? 192 : 512;
+  const mif::u64 chunk_blocks = 16;
+  std::vector<mif::client::FileHandle> fhs;
+  for (mif::u32 f = 0; f < files; ++f) {
+    auto fh = client.create("red" + std::to_string(f) + ".dat");
+    if (!fh) return {};
+    fhs.push_back(*fh);
+  }
+  // Interleaved write rounds (each file advances one chunk per round — the
+  // fragmentation-inducing shape of the macro benches); every round is a
+  // safe point, so a scheduled kill fires mid-run and the online repair
+  // pumps while writes keep flowing.
+  RedundancyRun out;
+  for (mif::u64 round = 0; round * chunk_blocks < file_blocks; ++round) {
+    for (mif::u32 f = 0; f < files; ++f) {
+      if (!client.write(fhs[f], f, round * chunk_blocks * mif::kBlockSize,
+                        chunk_blocks * mif::kBlockSize)) {
+        ++out.read_errors;  // write errors are client-visible too
+      }
+    }
+    fs.tick_timeline();
+  }
+  for (mif::u32 f = 0; f < files; ++f) (void)client.close(fhs[f]);
+
+  // Degraded sweep: while the killed target is still dead (repair has only
+  // been pumped, not drained), reads must re-route and succeed.
+  for (mif::u32 f = 0; f < std::min<mif::u32>(files, 4); ++f) {
+    if (!client.read(fhs[f], 0, file_blocks * mif::kBlockSize)) {
+      ++out.read_errors;
+    }
+  }
+
+  fs.drain_data();  // completes any queued rebuild on the sim timeline
+  const double read_t0 = fs.data_elapsed_ms();
+  for (mif::u32 f = 0; f < files; ++f) {
+    if (!client.read(fhs[f], 0, file_blocks * mif::kBlockSize)) {
+      ++out.read_errors;
+    }
+  }
+  fs.drain_data();
+  out.read_ms = fs.data_elapsed_ms() - read_t0;
+  for (const auto& fh : fhs) out.extents += fs.file_extents(fh.ino);
+  out.degraded_reads = fs.redundancy_stats().degraded_reads.load();
+  out.replica_writes = fs.redundancy_stats().replica_writes.load();
+  out.dead_targets = fs.health().dead_count();
+  if (const mif::redundancy::RepairService* rep = fs.repair()) {
+    out.repair_bytes = rep->stats().bytes_rebuilt;
+    out.repair_completed = rep->stats().completed;
+    out.repair_completed_ms = rep->stats().completed_at_ms;
+  }
+  return out;
+}
+
+/// With `--replicas N` (N >= 2): the striped-redundancy sweep — a baseline
+/// replicated run, and, with `--kill-osd id@ms`, a second run that loses a
+/// whole target mid-write and must finish with zero client-visible read
+/// errors and a completed online rebuild.  Absent the flag nothing runs and
+/// the report is byte-identical to the unreplicated output.
+void run_redundancy_sweep(mif::obs::BenchReport& report,
+                          mif::obs::SpanCollector* spans) {
+  const mif::u32 replicas = report.replicas();
+  if (replicas < 2) return;
+  constexpr mif::u32 kTargets = 8;
+  mif::redundancy::Policy policy;
+  policy.replicas = replicas;
+  if (const std::string err = mif::redundancy::validate(policy, kTargets);
+      !err.empty()) {
+    std::fprintf(stderr, "fig7_macro: bad --replicas %u: %s\n", replicas,
+                 err.c_str());
+    std::exit(2);
+  }
+  if (report.kill_armed() && report.kill_target() >= kTargets) {
+    std::fprintf(stderr,
+                 "fig7_macro: bad --kill-osd target %u: the redundancy sweep "
+                 "mounts %u targets\n",
+                 report.kill_target(), kTargets);
+    std::exit(2);
+  }
+  std::printf("\nreplicas=%u redundancy sweep (8 targets%s)\n", replicas,
+              report.kill_armed() ? ", kill-osd armed" : "");
+  for (int kill = 0; kill <= (report.kill_armed() ? 1 : 0); ++kill) {
+    const RedundancyRun r = run_redundancy_point(report, spans, kill != 0);
+    std::printf(
+        "  %-10s read_errors=%llu degraded_reads=%llu extents=%llu "
+        "read_ms=%.2f repair_bytes=%llu\n",
+        kill ? "killed" : "replicated",
+        static_cast<unsigned long long>(r.read_errors),
+        static_cast<unsigned long long>(r.degraded_reads),
+        static_cast<unsigned long long>(r.extents), r.read_ms,
+        static_cast<unsigned long long>(r.repair_bytes));
+    if (!report.json_enabled()) continue;
+    mif::obs::Json config;
+    config["benchmark"] = "redundancy";
+    config["replicas"] = replicas;
+    config["killed"] = kill != 0;
+    if (kill) {
+      config["kill_target"] = report.kill_target();
+      config["kill_at_ms"] = report.kill_at_ms();
+    }
+    mif::obs::Json results;
+    results["read_errors"] = r.read_errors;
+    results["degraded_reads"] = r.degraded_reads;
+    results["replica_writes"] = r.replica_writes;
+    results["extents"] = r.extents;
+    results["read_ms"] = r.read_ms;
+    results["repair_bytes_rebuilt"] = r.repair_bytes;
+    results["repair_completed"] = r.repair_completed;
+    results["repair_completed_ms"] = r.repair_completed_ms;
+    results["dead_targets"] = r.dead_targets;
+    report.add_run(std::string("redundancy ") +
+                       (kill ? "killed" : "replicated"),
+                   std::move(config), std::move(results));
+  }
 }
 
 /// Pipelined transport timings for one mounted fs; empty JSON (no keys) when
@@ -310,6 +467,7 @@ int main(int argc, char** argv) {
   t.print();
   run_shard_namespace(report, sp);
   run_list_io_strided(report, sp, new_ledger());
+  run_redundancy_sweep(report, sp);
   // Whole-sweep critical path: top slowest traced requests across every
   // mount, decomposed into the ledger's resource segments.
   if (report.attribution_enabled() && report.json_enabled()) {

@@ -34,6 +34,17 @@
 # fairness in (0,1] that DEGRADES as the antagonist's intensity grows, and
 # reproduce byte-identically across two runs.
 #
+# Then the redundancy gate: zero/negative/garbage `--replicas` and a
+# malformed `--kill-osd` spec fail fast with status 2, as does `--kill-osd`
+# without `--replicas >= 2` (killing an unreplicated mount is data loss, not
+# a scenario); `--replicas 1` must be byte-identical to the default report
+# for every bench (and byte-identical on stdout for the figure benches); a
+# fig7_macro `--replicas 2 --kill-osd 1@2` run must complete with ZERO
+# client-visible read errors, rebuild a positive number of bytes, finish the
+# repair on the simulated timeline with no target left dead, and land its
+# post-repair extent count and read time within tolerance of the
+# never-killed replicated baseline in the same report.
+#
 # Then the list-I/O gate: `--collective-aggregators 4` (the built-in default)
 # must be byte-identical to the default fig7 report; a fig7_macro
 # `--list-io 64 --attribution` run must carry the strided sweep with >= 5x
@@ -69,6 +80,9 @@ mif_tmpfile ATTR2 bench_json_attr2
 mif_tmpfile LIST bench_json_list
 mif_tmpfile ADAPT bench_json_adapt
 mif_tmpfile QOS bench_json_qos
+mif_tmpfile RED bench_json_red
+mif_tmpfile BOUT bench_stdout_base
+mif_tmpfile ROUT bench_stdout_red
 
 "$BENCH" --quick --json "$OUT" > /dev/null
 
@@ -336,7 +350,7 @@ echo "check_bench_json: OK (no attribution section without --attribution)"
 # Invalid transport knobs must fail fast with status 2 — not mount a broken
 # stack and emit a report that silently ignored the flag.
 for flag in --pipeline-depth --mds-shards --collective-aggregators --list-io \
-            --qos --adaptive-depth; do
+            --qos --adaptive-depth --replicas; do
   for bad in 0 -3 many; do
     if "$BENCH" --quick --json "$OUT" "$flag" "$bad" > /dev/null 2>&1; then
       echo "check_bench_json: FAIL: $flag $bad did not fail"
@@ -486,6 +500,117 @@ require(top[1] < base[1],
 print("check_bench_json: OK (micro_antagonist: deterministic, conserved, "
       f"fairness {base[1]:.3f} -> {top[1]:.3f} as intensity "
       f"{base[0]} -> {top[0]})")
+EOF
+done
+
+# ---- redundancy gate -------------------------------------------------------
+# A malformed kill spec must fail fast in both spellings, and killing a
+# target without a replicated mount is harness misuse, not a scenario.
+for bad in 0 -3 many 1@ @2 1@-2 x@y; do
+  if "$BENCH" --quick --json "$OUT" --kill-osd "$bad" > /dev/null 2>&1; then
+    echo "check_bench_json: FAIL: --kill-osd $bad did not fail"
+    exit 1
+  fi
+  rc=0
+  "$BENCH" --quick --json "$OUT" "--kill-osd=$bad" > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "check_bench_json: FAIL: --kill-osd=$bad exited $rc, want 2"
+    exit 1
+  fi
+done
+rc=0
+"$BENCH" --quick --json "$OUT" --kill-osd 1@2 > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "check_bench_json: FAIL: --kill-osd without --replicas exited $rc, want 2"
+  exit 1
+fi
+echo "check_bench_json: OK (bad/unreplicated --kill-osd specs exit 2)"
+
+# Replication off is the mount everything else in CI measures: `--replicas 1`
+# must not change a byte — of the JSON report for every bench, nor of the
+# printed tables for the figure benches (their stdout is sim-deterministic).
+for bench in "$@"; do
+  name="$(basename "$bench")"
+  "$bench" --quick --json "$OUT" > "$BOUT" 2>/dev/null
+  "$bench" --quick --json "$RED" --replicas 1 > "$ROUT" 2>/dev/null
+  if ! cmp -s "$OUT" "$RED"; then
+    echo "check_bench_json: FAIL: $name --replicas 1 is not byte-identical" \
+         "to the default (unreplicated) report"
+    diff "$OUT" "$RED" | head -20 || true
+    exit 1
+  fi
+  case "$name" in
+    fig*)
+      if ! cmp -s "$BOUT" "$ROUT"; then
+        echo "check_bench_json: FAIL: $name --replicas 1 stdout differs" \
+             "from the default run"
+        diff "$BOUT" "$ROUT" | head -20 || true
+        exit 1
+      fi
+      ;;
+  esac
+  echo "check_bench_json: OK ($name replicas-1 report byte-identical to default)"
+done
+
+# The survivable-kill scenario: a 2-way replicated fig7 mount loses target 1
+# two simulated milliseconds in, serves every read degraded with zero
+# client-visible errors, and the online rebuild finishes on the sim timeline
+# leaving figures within tolerance of the never-killed replicated baseline.
+for bench in "$@"; do
+  [ "$(basename "$bench")" = "fig7_macro" ] || continue
+  "$bench" --quick --json "$RED" --replicas 2 --kill-osd 1@2 > /dev/null 2>&1
+  python3 - "$RED" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def require(cond, msg):
+    if not cond:
+        sys.exit(f"check_bench_json: FAIL: {msg}")
+
+red = {r["name"]: r for r in doc.get("runs", [])
+       if r["config"].get("benchmark") == "redundancy"}
+for name in ("redundancy replicated", "redundancy killed"):
+    require(name in red, f"--replicas 2 --kill-osd report lacks '{name}' run")
+base, killed = red["redundancy replicated"], red["redundancy killed"]
+require(base["config"].get("replicas") == 2
+        and killed["config"].get("replicas") == 2,
+        "redundancy runs lack replicas=2 in config")
+require(killed["config"].get("killed") is True
+        and killed["config"].get("kill_target") == 1,
+        "killed run config lacks the kill spec")
+
+kr, br = killed["results"], base["results"]
+require(kr["read_errors"] == 0,
+        f"killed run saw {kr['read_errors']} client-visible read errors")
+require(kr["degraded_reads"] > 0,
+        "killed run re-routed no reads — the kill never bit")
+require(kr["repair_bytes_rebuilt"] > 0, "repair rebuilt zero bytes")
+require(kr["repair_completed"] >= 1, "repair never completed")
+require(kr["repair_completed_ms"] >= 0.0,
+        f"repair completion stamp {kr['repair_completed_ms']} not on the "
+        "sim timeline")
+require(kr["dead_targets"] == 0,
+        f"{kr['dead_targets']} target(s) still dead after the drain barrier")
+
+# Post-repair figures: the rebuild writes merged, sorted runs, so the extent
+# count must not balloon past the never-killed baseline, and the degraded +
+# repaired read phase stays within 30% of it.
+require(br["extents"] > 0, "baseline replicated run mapped no extents")
+require(kr["extents"] <= 1.5 * br["extents"],
+        f"killed run fragmented: {kr['extents']} extents vs baseline "
+        f"{br['extents']}")
+require(kr["read_ms"] <= 1.3 * br["read_ms"],
+        f"killed run read phase {kr['read_ms']:.1f} ms vs baseline "
+        f"{br['read_ms']:.1f} ms (> 1.3x)")
+
+print(f"check_bench_json: OK (kill-osd recovery: 0 read errors, "
+      f"{kr['degraded_reads']} degraded reads, "
+      f"{kr['repair_bytes_rebuilt']} bytes rebuilt by "
+      f"{kr['repair_completed_ms']:.1f} ms sim, extents "
+      f"{br['extents']}->{kr['extents']}, read "
+      f"{br['read_ms']:.1f}->{kr['read_ms']:.1f} ms)")
 EOF
 done
 

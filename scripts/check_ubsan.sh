@@ -25,4 +25,5 @@ mif_require_sanitizer check_ubsan "$SANITIZERS"
 export UBSAN_OPTIONS=halt_on_error=1
 mif_sanitized_ctest check_ubsan "$SRC" "$SRC/build-ubsan" "$SANITIZERS" \
     sim_disk_test sim_scheduler_test block_extent_map_test \
-    alloc_property_test rpc_test qos_test attrib_test span_test
+    alloc_property_test rpc_test qos_test attrib_test span_test \
+    redundancy_test

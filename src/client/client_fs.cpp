@@ -74,9 +74,9 @@ void ClientFs::gather_runs(
   }
 }
 
-Status ClientFs::issue_write_runs(const FileHandle& fh, StreamId stream,
-                                  u32 target, std::vector<BlockRun> runs,
-                                  std::vector<rpc::Ticket>& out) {
+Status ClientFs::issue_write_runs_to(InodeNo ino, StreamId stream, u32 target,
+                                     const std::vector<BlockRun>& runs,
+                                     std::vector<rpc::Ticket>& out) {
   rpc::CompletionQueue& cq = fs_->rpc().completions();
   const u64 max_runs = std::max<u64>(list_io_runs(), 1);
   for (std::size_t at = 0; at < runs.size(); at += max_runs) {
@@ -88,14 +88,84 @@ Status ClientFs::issue_write_runs(const FileHandle& fh, StreamId stream,
     rpc::Ticket t;
     util::StridedRuns pat;
     if (chunk.size() == 1) {
-      t = fs_->rpc().block_write_async(target, fh.ino, stream, chunk[0].start,
+      t = fs_->rpc().block_write_async(target, ino, stream, chunk[0].start,
                                        chunk[0].count);
     } else if (util::as_strided(chunk, pat)) {
-      t = fs_->rpc().write_strided_async(target, fh.ino, stream, pat.start,
+      t = fs_->rpc().write_strided_async(target, ino, stream, pat.start,
                                          pat.count, pat.stride, pat.block_len);
     } else {
       t = fs_->rpc().write_list_async(
-          target, fh.ino, stream, {chunk.begin(), chunk.end()});
+          target, ino, stream, {chunk.begin(), chunk.end()});
+    }
+    if (auto r = cq.try_take(t)) {
+      if (!*r) return r->error();
+    } else {
+      out.push_back(t);
+    }
+  }
+  return {};
+}
+
+Status ClientFs::issue_write_runs(const FileHandle& fh, StreamId stream,
+                                  u32 target, std::vector<BlockRun> runs,
+                                  std::vector<rpc::Ticket>& out) {
+  if (!replicas_on())
+    return issue_write_runs_to(fh.ino, stream, target, runs, out);
+  // Replica fan: the same local runs go to the primary and to every copy's
+  // rotated target, under the tagged subfile ino (the copies keep the
+  // primary's local addresses — the invariant degraded reads rely on).
+  const redundancy::Policy& pol = fs_->redundancy_policy();
+  redundancy::HealthMap& health = fs_->health();
+  redundancy::Stats& red = fs_->redundancy_stats();
+  u32 issued = 0;
+  Status first{};
+  for (u32 c = 0; c <= pol.copies(); ++c) {
+    const u32 t =
+        c == 0 ? target : redundancy::copy_target(fs_->stripe(), target, c);
+    if (!health.alive(t)) {
+      // Skip the dead copy: surviving replicas carry the data and the
+      // repair service re-converges the replacement later.
+      if (c == 0) red.degraded_writes.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const InodeNo ino =
+        c == 0 ? fh.ino : redundancy::replica_ino(fh.ino, c);
+    if (c > 0) red.replica_writes.fetch_add(1, std::memory_order_relaxed);
+    if (Status st = issue_write_runs_to(ino, stream, t, runs, out);
+        !st && first.ok()) {
+      first = st;
+    }
+    ++issued;
+  }
+  if (issued == 0) {
+    red.lost_routes.fetch_add(1, std::memory_order_relaxed);
+    return Errc::kIo;
+  }
+  return first;
+}
+
+Status ClientFs::issue_read_runs_to(InodeNo ino, u32 target,
+                                    const std::vector<BlockRun>& runs,
+                                    std::vector<rpc::Ticket>& out) {
+  rpc::CompletionQueue& cq = fs_->rpc().completions();
+  const u64 max_runs = std::max<u64>(list_io_runs(), 1);
+  for (std::size_t at = 0; at < runs.size(); at += max_runs) {
+    const std::span<const BlockRun> chunk{
+        runs.data() + at, std::min<std::size_t>(max_runs, runs.size() - at)};
+    u64 blocks = 0;
+    for (const BlockRun& r : chunk) blocks += r.count;
+    obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", target, blocks);
+    rpc::Ticket t;
+    util::StridedRuns pat;
+    if (chunk.size() == 1) {
+      t = fs_->rpc().block_read_async(target, ino, chunk[0].start,
+                                      chunk[0].count);
+    } else if (util::as_strided(chunk, pat)) {
+      t = fs_->rpc().read_strided_async(target, ino, pat.start, pat.count,
+                                        pat.stride, pat.block_len);
+    } else {
+      t = fs_->rpc().read_list_async(target, ino,
+                                     {chunk.begin(), chunk.end()});
     }
     if (auto r = cq.try_take(t)) {
       if (!*r) return r->error();
@@ -109,33 +179,37 @@ Status ClientFs::issue_write_runs(const FileHandle& fh, StreamId stream,
 Status ClientFs::issue_read_runs(const FileHandle& fh, u32 target,
                                  std::vector<BlockRun> runs,
                                  std::vector<rpc::Ticket>& out) {
-  rpc::CompletionQueue& cq = fs_->rpc().completions();
-  const u64 max_runs = std::max<u64>(list_io_runs(), 1);
-  for (std::size_t at = 0; at < runs.size(); at += max_runs) {
-    const std::span<const BlockRun> chunk{
-        runs.data() + at, std::min<std::size_t>(max_runs, runs.size() - at)};
-    u64 blocks = 0;
-    for (const BlockRun& r : chunk) blocks += r.count;
-    obs::ScopedSpan unit(fs_->spans(), "osd.stripe_unit", target, blocks);
-    rpc::Ticket t;
-    util::StridedRuns pat;
-    if (chunk.size() == 1) {
-      t = fs_->rpc().block_read_async(target, fh.ino, chunk[0].start,
-                                      chunk[0].count);
-    } else if (util::as_strided(chunk, pat)) {
-      t = fs_->rpc().read_strided_async(target, fh.ino, pat.start, pat.count,
-                                        pat.stride, pat.block_len);
-    } else {
-      t = fs_->rpc().read_list_async(target, fh.ino,
-                                     {chunk.begin(), chunk.end()});
-    }
-    if (auto r = cq.try_take(t)) {
-      if (!*r) return r->error();
-    } else {
-      out.push_back(t);
+  u32 t = target;
+  InodeNo ino = fh.ino;
+  if (replicas_on()) {
+    auto routed = route_read(target, fh.ino);
+    if (!routed) return routed.error();
+    t = routed->first;
+    ino = routed->second;
+  }
+  return issue_read_runs_to(ino, t, runs, out);
+}
+
+bool ClientFs::replicas_on() const {
+  return fs_->redundancy_policy().enabled();
+}
+
+Result<std::pair<u32, InodeNo>> ClientFs::route_read(u32 target, InodeNo ino) {
+  redundancy::HealthMap& health = fs_->health();
+  if (health.alive(target)) return std::pair{target, ino};
+  // Degraded read: the copies hold the same local block addresses under the
+  // tagged subfile ino, so re-routing is a pure (target, ino) swap.
+  const redundancy::Policy& pol = fs_->redundancy_policy();
+  redundancy::Stats& red = fs_->redundancy_stats();
+  for (u32 c = 1; c <= pol.copies(); ++c) {
+    const u32 t = redundancy::copy_target(fs_->stripe(), target, c);
+    if (health.alive(t)) {
+      red.degraded_reads.fetch_add(1, std::memory_order_relaxed);
+      return std::pair{t, redundancy::replica_ino(ino, c)};
     }
   }
-  return {};
+  red.lost_routes.fetch_add(1, std::memory_order_relaxed);
+  return Errc::kIo;
 }
 
 Status ClientFs::write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
@@ -154,6 +228,17 @@ Status ClientFs::write_async(const FileHandle& fh, u32 pid, u64 offset_bytes,
     gather_runs(first, last, per_target);
     for (auto& [target, runs] : per_target) {
       if (Status st = issue_write_runs(fh, stream, target, std::move(runs), out);
+          !st)
+        return st;
+    }
+  } else if (replicas_on()) {
+    // Per-block mode with replication: each slice still becomes one
+    // block_write envelope for the primary, plus one per alive copy — the
+    // fan lives in issue_write_runs so both I/O modes share it.
+    for (const osd::StripeSlice& s :
+         osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+      if (Status st = issue_write_runs(
+              fh, stream, s.target, {BlockRun{s.local_start, s.count}}, out);
           !st)
         return st;
     }
@@ -216,6 +301,15 @@ Status ClientFs::read_blocks(const FileHandle& fh, u64 first, u64 last) {
     gather_runs(first, last, per_target);
     for (auto& [target, runs] : per_target) {
       issued = issue_read_runs(fh, target, std::move(runs), pending);
+      if (!issued) break;
+    }
+  } else if (replicas_on()) {
+    // Per-block mode with replication: route each slice around dead targets
+    // (the fan/route logic lives in issue_read_runs for both I/O modes).
+    for (const osd::StripeSlice& s :
+         osd::slices_for(fs_->stripe(), FileBlock{first}, last - first)) {
+      issued = issue_read_runs(fh, s.target,
+                               {BlockRun{s.local_start, s.count}}, pending);
       if (!issued) break;
     }
   } else {

@@ -12,6 +12,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "rpc/transport.hpp"
@@ -138,13 +139,31 @@ class ClientFs {
 
   /// Ship one target's run list as block/list/strided envelope(s) through
   /// the async path, chunked at list_io_max_runs; tickets that complete at
-  /// issue are claimed inline (sync-chain fast path).
+  /// issue are claimed inline (sync-chain fast path).  With replication
+  /// mounted, writes fan to the primary and every alive replica copy (a
+  /// dead primary degrades the write; repair re-converges it later) and
+  /// reads route to the first alive copy (redundancy.degraded_reads).
   Status issue_write_runs(const FileHandle& fh, StreamId stream, u32 target,
                           std::vector<BlockRun> runs,
                           std::vector<rpc::Ticket>& out);
   Status issue_read_runs(const FileHandle& fh, u32 target,
                          std::vector<BlockRun> runs,
                          std::vector<rpc::Ticket>& out);
+
+  /// The single-destination workers behind the fan/route wrappers above
+  /// (`ino` is the primary or a redundancy::replica_ino-tagged subfile).
+  Status issue_write_runs_to(InodeNo ino, StreamId stream, u32 target,
+                             const std::vector<BlockRun>& runs,
+                             std::vector<rpc::Ticket>& out);
+  Status issue_read_runs_to(InodeNo ino, u32 target,
+                            const std::vector<BlockRun>& runs,
+                            std::vector<rpc::Ticket>& out);
+
+  /// True when the mount replicates (cfg.redundancy.replicas >= 2).
+  bool replicas_on() const;
+  /// Health-aware read routing: a dead primary resolves to the first alive
+  /// copy's (target, tagged ino); kIo when every copy is gone.
+  Result<std::pair<u32, InodeNo>> route_read(u32 target, InodeNo ino);
 
   /// Sum the file's extent counts across all targets via get_extents
   /// envelopes (what a layout report ships to the MDS).

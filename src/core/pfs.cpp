@@ -36,6 +36,7 @@ ParallelFileSystem::ParallelFileSystem(ClusterConfig cfg) : cfg_(cfg) {
   // flags with exit 2 before getting here; this guards programmatic use).
   assert(rpc::validate(cfg_.rpc.formation).empty());
   assert(rpc::validate(cfg_.rpc.qos).empty());
+  assert(redundancy::validate(cfg_.redundancy, cfg_.stripe.width).empty());
   rpc_stack_ = rpc::TransportStack(std::move(eps), cfg_.rpc);
   rpc_client_ = std::make_unique<rpc::Client>(rpc_stack_.top());
   // Closures below capture raw pointers to the heap-pinned targets, NOT
@@ -65,6 +66,42 @@ ParallelFileSystem::ParallelFileSystem(ClusterConfig cfg) : cfg_(cfg) {
       return i < tgts.size() ? static_cast<double>(tgts[i]->queue_depth())
                              : 0.0;
     });
+  }
+
+  // Redundancy: target liveness + degraded counters exist on every mount
+  // (all-alive, all-zero by default); the rebuild service only when the
+  // policy replicates.
+  health_ = std::make_unique<redundancy::HealthMap>();
+  health_->resize(static_cast<u32>(cfg_.num_targets));
+  red_stats_ = std::make_unique<redundancy::Stats>();
+  std::vector<mds::Mds*> servers;
+  for (auto& m : mds_) servers.push_back(m.get());
+  auto cluster_now = [tgts, servers] {
+    double now = 0.0;
+    for (osd::StorageTarget* t : tgts) now = std::max(now, t->sim_now_ms());
+    for (mds::Mds* m : servers) now = std::max(now, m->fs().elapsed_ms());
+    return now;
+  };
+  if (cfg_.redundancy.enabled()) {
+    redundancy::RepairConfig rcfg;
+    if (cfg_.list_io_max_runs > 0) rcfg.max_runs_per_envelope = cfg_.list_io_max_runs;
+    repair_ = std::make_unique<redundancy::RepairService>(
+        cfg_.stripe, cfg_.redundancy, *health_, tgts, *rpc_client_, rcfg);
+    repair_->set_clock(cluster_now);
+  }
+  if (rpc::FaultTransport* fault = rpc_stack_.fault()) {
+    fault->set_kill_clock(cluster_now);
+    redundancy::HealthMap* health = health_.get();
+    redundancy::RepairService* rep = repair_.get();
+    fault->set_kill_sink([tgts, health, rep](u32 t) {
+      if (t >= tgts.size()) return;
+      health->mark_dead(t);
+      // The kill IS the disk replacement: the target forgets every block it
+      // held and comes back formatted, so the rebuild starts from zero.
+      tgts[t]->reset_contents();
+      if (rep) rep->request(t);
+    });
+    fault->set_dead_probe([health](u32 t) { return !health->alive(t); });
   }
 }
 
@@ -110,16 +147,27 @@ Status ParallelFileSystem::preallocate(InodeNo ino, u64 total_blocks) {
 void ParallelFileSystem::close_file(InodeNo ino) {
   std::vector<rpc::Ticket> tickets;
   tickets.reserve(targets_.size());
-  for (u32 t = 0; t < targets_.size(); ++t)
+  for (u32 t = 0; t < targets_.size(); ++t) {
     tickets.push_back(rpc_client_->close_file_async(t, ino));
+    // Replica subfiles hold their own allocator reservations.
+    for (u32 c = 1; c <= cfg_.redundancy.copies(); ++c) {
+      tickets.push_back(
+          rpc_client_->close_file_async(t, redundancy::replica_ino(ino, c)));
+    }
+  }
   for (const rpc::Ticket& tk : tickets) (void)rpc_client_->wait(tk);
 }
 
 void ParallelFileSystem::delete_file(InodeNo ino) {
   std::vector<rpc::Ticket> tickets;
   tickets.reserve(targets_.size());
-  for (u32 t = 0; t < targets_.size(); ++t)
+  for (u32 t = 0; t < targets_.size(); ++t) {
     tickets.push_back(rpc_client_->delete_file_async(t, ino));
+    for (u32 c = 1; c <= cfg_.redundancy.copies(); ++c) {
+      tickets.push_back(
+          rpc_client_->delete_file_async(t, redundancy::replica_ino(ino, c)));
+    }
+  }
   for (const rpc::Ticket& tk : tickets) (void)rpc_client_->wait(tk);
 }
 
@@ -137,6 +185,16 @@ void ParallelFileSystem::drain_data() {
   (void)rpc_client_->flush();
   (void)rpc_stack_.top().completions().wait_all();
   for (auto& t : targets_) t->drain();
+  // Phase/unmount barrier: any queued rebuild runs to completion here (the
+  // throttle is bypassed — there is no foreground left to protect).  The
+  // repair traffic itself flows through the transport, so flush and drain
+  // once more behind it.
+  if (repair_ && repair_->pending()) {
+    repair_->drain();
+    (void)rpc_client_->flush();
+    (void)rpc_stack_.top().completions().wait_all();
+    for (auto& t : targets_) t->drain();
+  }
   // Phase boundary in every workload — a natural safe point to sample.
   tick_timeline();
 }
@@ -179,6 +237,9 @@ void ParallelFileSystem::reset_data_stats() {
 }
 
 void ParallelFileSystem::tick_timeline() {
+  // Safe point: one bounded repair pump before sampling, so the timeline
+  // gauges see the rebuild ramp (files_per_pump keeps foreground flowing).
+  if (repair_ && repair_->pending()) (void)repair_->pump();
   // Gauges for principals that appeared since the last safe point must be
   // registered BEFORE the tick — add_gauge and tick share the timeline's
   // mutex, so a gauge callback can never register another gauge.
@@ -313,6 +374,26 @@ void ParallelFileSystem::set_timeline(obs::Timeline* tl) {
     });
   }
 
+  if (cfg_.redundancy.enabled()) {
+    redundancy::HealthMap* health = health_.get();
+    redundancy::Stats* red = red_stats_.get();
+    tl->add_gauge("redundancy.dead_targets", [health] {
+      return static_cast<double>(health->dead_count());
+    });
+    tl->add_gauge("redundancy.degraded_reads", [red] {
+      return static_cast<double>(
+          red->degraded_reads.load(std::memory_order_relaxed));
+    });
+    if (redundancy::RepairService* rep = repair_.get()) {
+      tl->add_gauge("repair.backlog", [rep] {
+        return static_cast<double>(rep->backlog());
+      });
+      tl->add_gauge("repair.blocks_rebuilt", [rep] {
+        return static_cast<double>(rep->stats().blocks_rebuilt);
+      });
+    }
+  }
+
   if (shard::ShardedTransport* sharded = rpc_stack_.sharded()) {
     for (std::size_t i = 0; i < servers.size(); ++i) {
       tl->add_gauge("shard." + std::to_string(i) + ".ops", [sharded, i] {
@@ -379,6 +460,7 @@ void ParallelFileSystem::set_spans(obs::SpanCollector* spans) {
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     targets_[i]->set_spans(spans, obs::make_track(inst, static_cast<u32>(i)));
   }
+  if (repair_) repair_->set_spans(spans);
 }
 
 void ParallelFileSystem::export_metrics(obs::MetricsRegistry& reg) const {
@@ -421,6 +503,35 @@ void ParallelFileSystem::export_metrics(obs::MetricsRegistry& reg) const {
   for (const auto& t : targets_) {
     t->add_extent_counts(extents);
     position.merge_from(t->disk().position_times_ms());
+  }
+
+  // Redundancy & repair counters — only on replicated mounts, so default
+  // reports stay byte-identical.
+  if (cfg_.redundancy.enabled()) {
+    reg.counter("redundancy.replicas").inc(cfg_.redundancy.replicas);
+    reg.counter("redundancy.degraded_reads")
+        .inc(red_stats_->degraded_reads.load(std::memory_order_relaxed));
+    reg.counter("redundancy.replica_writes")
+        .inc(red_stats_->replica_writes.load(std::memory_order_relaxed));
+    reg.counter("redundancy.degraded_writes")
+        .inc(red_stats_->degraded_writes.load(std::memory_order_relaxed));
+    reg.counter("redundancy.lost_routes")
+        .inc(red_stats_->lost_routes.load(std::memory_order_relaxed));
+    reg.counter("redundancy.deaths").inc(health_->deaths());
+    reg.counter("redundancy.dead_targets").inc(health_->dead_count());
+    if (repair_) {
+      const redundancy::RepairStats& rs = repair_->stats();
+      reg.counter("repair.requested").inc(rs.requested);
+      reg.counter("repair.completed").inc(rs.completed);
+      reg.counter("repair.files_rebuilt").inc(rs.files_rebuilt);
+      reg.counter("repair.extents_rebuilt").inc(rs.extents_rebuilt);
+      reg.counter("repair.blocks_rebuilt").inc(rs.blocks_rebuilt);
+      reg.counter("repair.bytes_rebuilt").inc(rs.bytes_rebuilt);
+      reg.counter("repair.rounds").inc(rs.rounds);
+      reg.counter("repair.rollbacks").inc(rs.rollbacks);
+      reg.counter("repair.unrecoverable").inc(rs.unrecoverable);
+      reg.stat("repair.completed_at_ms").add(rs.completed_at_ms);
+    }
   }
 
   // Per-phase request-span latency distributions (span.<phase>), when a

@@ -24,6 +24,8 @@
 #include "obs/trace.hpp"
 #include "osd/storage_target.hpp"
 #include "osd/striping.hpp"
+#include "redundancy/redundancy.hpp"
+#include "redundancy/repair.hpp"
 #include "rpc/client.hpp"
 #include "rpc/stack.hpp"
 
@@ -57,6 +59,14 @@ struct ClusterConfig {
   /// 0 (default) keeps the per-block data path byte-identical to the paper
   /// figures.
   u64 list_io_max_runs{0};
+  /// Striped redundancy: redundancy.replicas >= 2 mounts N-way replication
+  /// per stripe unit (copy c of a unit with primary target p lives on
+  /// (p + c) % width, in the tagged subfile redundancy::replica_ino).
+  /// Clients fan replica writes through the async path, re-route reads
+  /// around dead targets, and the online RepairService rebuilds a killed
+  /// target from survivors at tick_timeline()/drain_data() safe points.
+  /// The default (replicas = 1) mounts none of it — byte-identical figures.
+  redundancy::Policy redundancy{};
 };
 
 /// The mount-time knobs a deployment tunes (allocator mode, directory mode,
@@ -108,6 +118,21 @@ class ParallelFileSystem {
   /// Total extents mapping this file across all targets — the Table I
   /// "Seg Counts" metric.
   u64 file_extents(InodeNo ino) const;
+
+  // --- redundancy & repair ---------------------------------------------------
+  /// The mounted replication policy (cfg.redundancy).
+  const redundancy::Policy& redundancy_policy() const {
+    return cfg_.redundancy;
+  }
+  /// Per-target liveness (kill-OSD faults flip entries dead; repair revives
+  /// them).  Always present — all-alive on an unreplicated mount.
+  redundancy::HealthMap& health() { return *health_; }
+  const redundancy::HealthMap& health() const { return *health_; }
+  /// Degraded-path counters (clients bump these when re-routing).
+  redundancy::Stats& redundancy_stats() { return *red_stats_; }
+  /// The online rebuild service (nullptr unless redundancy.replicas >= 2).
+  redundancy::RepairService* repair() { return repair_.get(); }
+  const redundancy::RepairService* repair() const { return repair_.get(); }
 
   /// Flush every target queue.
   void drain_data();
@@ -202,6 +227,12 @@ class ParallelFileSystem {
   /// lifetime-cumulative, so the conservation comparand adds this back.
   double reset_disk_ms_{0.0};
   std::unique_ptr<obs::FragLens> frag_lens_;
+  /// Heap-pinned (closures capture raw pointers, never `this`): target
+  /// liveness + degraded counters exist on every mount; the repair service
+  /// only when replication is on.
+  std::unique_ptr<redundancy::HealthMap> health_;
+  std::unique_ptr<redundancy::Stats> red_stats_;
+  std::unique_ptr<redundancy::RepairService> repair_;
 };
 
 }  // namespace mif::core

@@ -28,6 +28,34 @@ u32 parse_count_flag(std::string_view bench_name, std::string_view flag,
   return static_cast<u32>(n);
 }
 
+/// Parse a `--kill-osd` spec: `<target>@<at_ms>` with a non-negative
+/// simulated millisecond timestamp.  Anything else fails fast with status 2.
+void parse_kill_spec(std::string_view bench_name, std::string_view value,
+                     u32* target, double* at_ms) {
+  const std::string v(value);
+  const std::size_t at = v.find('@');
+  bool ok = at != std::string::npos && at > 0 && at + 1 < v.size();
+  if (ok) {
+    char* end = nullptr;
+    const std::string id = v.substr(0, at);
+    const long t = std::strtol(id.c_str(), &end, 10);
+    ok = end != id.c_str() && *end == '\0' && t >= 0;
+    if (ok) *target = static_cast<u32>(t);
+    const std::string ms = v.substr(at + 1);
+    end = nullptr;
+    const double m = std::strtod(ms.c_str(), &end);
+    ok = ok && end != ms.c_str() && *end == '\0' && m >= 0.0;
+    if (ok) *at_ms = m;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "%s: bad --kill-osd '%s': expected <target>@<at_ms> (e.g. "
+                 "1@2.5)\n",
+                 std::string(bench_name).c_str(), v.c_str());
+    std::exit(2);
+  }
+}
+
 }  // namespace
 
 BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
@@ -89,9 +117,28 @@ BenchReport::BenchReport(std::string_view bench_name, int argc, char** argv) {
     } else if (arg.rfind("--adaptive-depth=", 0) == 0) {
       adaptive_depth_ =
           parse_count_flag(bench_name, "--adaptive-depth", arg.substr(17));
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      replicas_ = parse_count_flag(bench_name, "--replicas", argv[++i]);
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      replicas_ = parse_count_flag(bench_name, "--replicas", arg.substr(11));
+    } else if (arg == "--kill-osd" && i + 1 < argc) {
+      kill_armed_ = true;
+      parse_kill_spec(bench_name, argv[++i], &kill_target_, &kill_at_ms_);
+    } else if (arg.rfind("--kill-osd=", 0) == 0) {
+      kill_armed_ = true;
+      parse_kill_spec(bench_name, arg.substr(11), &kill_target_, &kill_at_ms_);
     } else if (arg == "--attribution") {
       attribution_ = true;
     }
+  }
+  if (kill_armed_ && replicas_ < 2) {
+    // Killing a target on an unreplicated mount can only lose data: the
+    // combination is a harness misuse, not a scenario.
+    std::fprintf(stderr,
+                 "%s: --kill-osd requires --replicas >= 2 (an unreplicated "
+                 "mount cannot survive a target loss)\n",
+                 std::string(bench_name).c_str());
+    std::exit(2);
   }
   if (adaptive_depth_ == 1) {
     // The adaptive window floor is 2: a ceiling of 1 can never arm the

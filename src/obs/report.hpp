@@ -34,8 +34,9 @@ class BenchReport {
   /// Parses `--json <path>`, `--trace <path>`, `--quick`,
   /// `--timeseries[=<interval_ms>]`, `--attribution`,
   /// `--pipeline-depth <N>`, `--mds-shards <N>`,
-  /// `--collective-aggregators <N>`, `--list-io <N>`, `--qos <N>` and
-  /// `--adaptive-depth <N>` out of argv.
+  /// `--collective-aggregators <N>`, `--list-io <N>`, `--qos <N>`,
+  /// `--adaptive-depth <N>`, `--replicas <N>` and `--kill-osd <id>@<ms>`
+  /// out of argv.
   /// Unknown arguments are ignored (google-benchmark style flags pass
   /// through).  An invalid `--timeseries` interval, and a
   /// zero/negative/non-numeric count flag, fail fast: the message goes to
@@ -85,6 +86,22 @@ class BenchReport {
   /// is rejected (the window floor is 2).  Same fail-fast validation as
   /// --pipeline-depth.
   u32 adaptive_depth() const { return adaptive_depth_; }
+
+  /// `--replicas <N>` / `--replicas=<N>`: mount N-way stripe-unit
+  /// replication (ClusterConfig::redundancy.replicas) and enable the
+  /// benches' redundancy sections.  0 when absent; benches treat 0/1 as the
+  /// unreplicated mount (output stays byte-identical).  Same fail-fast
+  /// validation as --pipeline-depth.
+  u32 replicas() const { return replicas_; }
+
+  /// `--kill-osd <id>@<ms>` / `--kill-osd=<id>@<ms>`: schedule a
+  /// deterministic whole-target failure at simulated time `ms`
+  /// (rpc::FaultTransport::kill_osd).  Requires --replicas >= 2 — killing
+  /// an unreplicated mount's target can only lose data, so the combination
+  /// fails fast with status 2, as does a malformed spec.
+  bool kill_armed() const { return kill_armed_; }
+  u32 kill_target() const { return kill_target_; }
+  double kill_at_ms() const { return kill_at_ms_; }
 
   /// `--attribution`: attach a cost-attribution ledger (obs/attrib.hpp) and
   /// embed each run's per-principal accounts + critical-path report.  Off
@@ -137,6 +154,10 @@ class BenchReport {
   u64 list_io_runs_{0};
   u32 qos_mbps_{0};
   u32 adaptive_depth_{0};
+  u32 replicas_{0};
+  bool kill_armed_{false};
+  u32 kill_target_{0};
+  double kill_at_ms_{0.0};
   Json doc_;
 };
 

@@ -212,4 +212,35 @@ std::vector<block::Extent> StorageTarget::extents(InodeNo inode) const {
   return it->second->map.extents();
 }
 
+void StorageTarget::for_each_file(
+    const std::function<void(InodeNo)>& fn) const {
+  std::vector<u64> inos;
+  {
+    std::lock_guard lock(files_mu_);
+    inos.reserve(files_.size());
+    for (const auto& [ino, state] : files_) inos.push_back(ino);
+  }
+  std::sort(inos.begin(), inos.end());
+  for (u64 ino : inos) fn(InodeNo{ino});
+}
+
+void StorageTarget::reset_contents() {
+  {
+    std::lock_guard lock(io_mu_);
+    io_.drain();
+  }
+  std::lock_guard lock(files_mu_);
+  for (auto& [ino, state] : files_) {
+    std::lock_guard flock(state->mu);
+    state->map = block::ExtentMap{};
+  }
+  // The allocator must die before the free space it references: its
+  // destructor releases outstanding reservations back into that space.
+  alloc_.reset();
+  space_ = std::make_unique<block::FreeSpace>(
+      DiskBlock{0}, cfg_.geometry.capacity_blocks, cfg_.alloc_groups);
+  alloc_ = alloc::make_allocator(cfg_.allocator, *space_, cfg_.tuning);
+  alloc_->set_trace(trace_);
+}
+
 }  // namespace mif::osd

@@ -71,6 +71,22 @@ class StorageTarget {
   /// All extents (diagnostics / layout shipping).
   std::vector<block::Extent> extents(InodeNo inode) const;
 
+  /// Visit every local subfile inode (sorted — callers that rebuild from
+  /// this enumeration must be deterministic).  The repair service's source
+  /// of truth for what survives on this target.
+  void for_each_file(const std::function<void(InodeNo)>& fn) const;
+
+  /// Disk replacement after a kill-OSD fault: every subfile mapping and the
+  /// whole free-space/allocator state are discarded (the new spindle is
+  /// freshly formatted), while the disk's simulated clock and stats stay
+  /// monotone — the replacement arrives at the time the cluster has
+  /// reached, it does not rewind history.  Subfile entries survive as
+  /// zero-extent shells rather than being erased, so a FileState reference
+  /// held across the swap stays valid.  Must run at a safe point with no
+  /// writer concurrently inside the allocator (the kill path fires it from
+  /// the transport caller's thread).
+  void reset_contents();
+
   // --- fault injection ------------------------------------------------------
   /// After `after_ops` further data operations, the next `count` operations
   /// fail with kIo before touching allocator or disk.  Models a transient
@@ -97,7 +113,10 @@ class StorageTarget {
 
   // --- observability -------------------------------------------------------
   /// Attach a trace sink to the allocator state machine (nullptr detaches).
-  void set_trace(obs::TraceBuffer* trace) { alloc_->set_trace(trace); }
+  void set_trace(obs::TraceBuffer* trace) {
+    trace_ = trace;
+    alloc_->set_trace(trace);
+  }
 
   /// Attach a span collector: allocator decisions record `alloc.decide` and
   /// the data disk records `disk.*` on span track `track` (nullptr
@@ -163,6 +182,7 @@ class StorageTarget {
 
   TargetConfig cfg_;
   obs::SpanCollector* spans_{nullptr};
+  obs::TraceBuffer* trace_{nullptr};
   sim::Disk disk_;
   /// The scheduler (and the disk behind it) is single-threaded state; all
   /// submissions and drains serialise here.

@@ -35,4 +35,13 @@ FileBlock to_local(const StripeLayout& layout, FileBlock global);
 /// Owning target of a file-global block.
 u32 target_of(const StripeLayout& layout, FileBlock global);
 
+/// Owning target of redundancy copy `copy` (1-based: copy 0 is the primary
+/// itself) of a stripe unit whose primary lives on `primary_target`:
+/// copies rotate right, so each target backs its left neighbours and a
+/// single-target loss always leaves `copy` surviving replicas elsewhere.
+/// The copies keep the primary's local block addresses — see
+/// redundancy/redundancy.hpp for why that makes degraded routing a pure
+/// (target, ino) swap.
+u32 replica_target(const StripeLayout& layout, u32 primary_target, u32 copy);
+
 }  // namespace mif::osd

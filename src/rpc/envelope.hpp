@@ -19,6 +19,15 @@
 //   3. add it to the Request variant (same position as the enum value),
 //   4. extend encode/decode in envelope.cpp and the dispatch visitor in
 //      inproc.cpp, plus a stub method on rpc::Client.
+//
+// Replica-target annotation (src/redundancy/redundancy.hpp): an envelope
+// addressed to a replica subfile carries the copy tag INSIDE its InodeNo
+// (bits 48..55, redundancy::replica_ino) rather than as a new field.  The
+// codec, the op taxonomy and the wire-size model above are untouched by
+// replication; Formation coalescing keys and QoS classification see a
+// distinct (ino, stream) per copy for free; and a storage target serves a
+// replica subfile exactly like any other file.  Only the redundancy layer
+// ever folds the tag back out (redundancy::primary_ino).
 #pragma once
 
 #include <string>

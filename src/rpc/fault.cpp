@@ -45,16 +45,79 @@ bool FaultTransport::fires() {
   return false;
 }
 
+void FaultTransport::kill_osd(u32 target, double at_ms) {
+  std::lock_guard lock(mu_);
+  kills_.push_back(KillEvent{target, at_ms, false});
+}
+
+void FaultTransport::set_kill_clock(std::function<double()> clock) {
+  std::lock_guard lock(mu_);
+  kill_clock_ = std::move(clock);
+}
+
+void FaultTransport::set_kill_sink(std::function<void(u32)> sink) {
+  std::lock_guard lock(mu_);
+  kill_sink_ = std::move(sink);
+}
+
+void FaultTransport::set_dead_probe(std::function<bool(u32)> dead) {
+  std::lock_guard lock(mu_);
+  dead_probe_ = std::move(dead);
+}
+
+void FaultTransport::poll_kills() {
+  // Collect due events under the lock, run the sink outside it: the sink
+  // wipes target state and enqueues repair, which must not nest under mu_.
+  std::vector<u32> due;
+  std::function<void(u32)> sink;
+  {
+    std::lock_guard lock(mu_);
+    if (kills_.empty()) return;
+    const double now = kill_clock_ ? kill_clock_() : 0.0;
+    for (KillEvent& k : kills_) {
+      if (!k.fired && now >= k.at_ms) {
+        k.fired = true;
+        ++stats_.kills;
+        due.push_back(k.target);
+      }
+    }
+    if (due.empty()) return;
+    sink = kill_sink_;
+  }
+  if (sink)
+    for (u32 t : due) sink(t);
+}
+
+bool FaultTransport::refuses(const Address& to, const Request& req) {
+  if (to.kind != Address::Kind::kOsd) return false;
+  // The probe is the HealthMap's lock-free dead mask — safe to call under
+  // mu_ (it takes no locks of its own).
+  std::lock_guard lock(mu_);
+  if (!dead_probe_ || !dead_probe_(to.index)) return false;
+  // A dead OSD has nothing to serve reads from; writes pass — they land on
+  // the freshly formatted replacement (that is the repair write path).
+  const Op op = op_of(req);
+  const bool is_read = op == Op::kBlockRead || op == Op::kReadList ||
+                       op == Op::kReadStrided || op == Op::kGetExtents;
+  if (!is_read) return false;
+  ++stats_.dead_reads;
+  return true;
+}
+
 void FaultTransport::export_metrics(obs::MetricsRegistry& reg,
                                     std::string_view prefix) const {
   inner_.export_metrics(reg, prefix);
   const FaultStats s = stats();
-  if (s.dropped == 0 && s.delayed == 0) return;
+  if (s.dropped == 0 && s.delayed == 0 && s.kills == 0) return;
   const std::string base = obs::join_key(prefix, "fault");
   reg.counter(obs::join_key(base, "calls")).inc(s.calls);
   reg.counter(obs::join_key(base, "dropped")).inc(s.dropped);
   reg.counter(obs::join_key(base, "delayed")).inc(s.delayed);
   reg.stat(obs::join_key(base, "delay_total_ms")).add(s.delay_total_ms);
+  if (s.kills > 0) {
+    reg.counter(obs::join_key(base, "kills")).inc(s.kills);
+    reg.counter(obs::join_key(base, "dead_reads")).inc(s.dead_reads);
+  }
 }
 
 }  // namespace mif::rpc

@@ -7,12 +7,26 @@
 //     `drop_count` calls fail with Errc::kIo without reaching the inner
 //     transport (the servers never see them — retries must be idempotent);
 //   * delay envelopes: every call is slowed by `delay_ms`; a delay at or
-//     beyond `timeout_ms` is a timeout and also surfaces as Errc::kIo.
+//     beyond `timeout_ms` is a timeout and also surfaces as Errc::kIo;
+//   * kill an OSD: `kill_osd(target, at_ms)` schedules a whole-target
+//     failure on the simulated clock.  The first envelope issued at or
+//     after `at_ms` trips the kill: the sink callback (wired by
+//     core::ParallelFileSystem) marks the target dead in the
+//     redundancy::HealthMap, wipes its contents (disk replacement) and
+//     queues repair.  While a target is dead, READ-class envelopes
+//     addressed to it fail with kIo here — defense in depth under the
+//     client's own health-aware routing; write-class envelopes pass (they
+//     land on the freshly formatted replacement, which is how the repair
+//     service rebuilds it).
 //
-// Disarmed (the default) it forwards everything untouched.
+// Disarmed (the default) it forwards everything untouched; kill scheduling
+// is independent of arm()/disarm() (a kill is a scenario event, not a
+// drop/delay profile).
 #pragma once
 
+#include <functional>
 #include <mutex>
+#include <vector>
 
 #include "rpc/transport.hpp"
 
@@ -30,6 +44,8 @@ struct FaultStats {
   u64 dropped{0};  // drops + timeouts (the caller sees kIo either way)
   u64 delayed{0};
   double delay_total_ms{0.0};
+  u64 kills{0};       // kill-OSD events fired
+  u64 dead_reads{0};  // read envelopes refused because the OSD is dead
 };
 
 class FaultTransport final : public Transport {
@@ -50,23 +66,49 @@ class FaultTransport final : public Transport {
     return stats_;
   }
 
+  // --- kill-OSD fault mode ---------------------------------------------------
+  /// Schedule a deterministic whole-target failure: the first envelope
+  /// issued once the simulated clock (set_kill_clock) reaches `at_ms` fires
+  /// the kill sink for `target`.  Multiple kills may be scheduled.
+  void kill_osd(u32 target, double at_ms);
+  /// The simulated clock kills are scheduled against (the cluster-max
+  /// timeline, wired at mount).  Without one, kills fire on the first call.
+  void set_kill_clock(std::function<double()> clock);
+  /// Invoked exactly once per fired kill, outside the fault lock (it wipes
+  /// the target and queues repair).
+  void set_kill_sink(std::function<void(u32)> sink);
+  /// Per-OSD death probe (the redundancy::HealthMap); when set, read-class
+  /// envelopes to a dead OSD fail with kIo.
+  void set_dead_probe(std::function<bool(u32)> dead);
+
   Result<Response> call(const Address& to, const Request& req) override {
+    poll_kills();
     if (fires()) return Errc::kIo;
+    if (refuses(to, req)) return Errc::kIo;
     return inner_.call(to, req);
   }
   Ticket call_async(const Address& to, const Request& req) override {
     // A dropped issue still yields a ticket: the loss surfaces as kIo when
     // the caller drains, on exactly the envelope that was lost.
+    poll_kills();
     if (fires()) return completions().admit(to, op_of(req), Errc::kIo);
+    if (refuses(to, req)) return completions().admit(to, op_of(req), Errc::kIo);
     return inner_.call_async(to, req);
   }
   CompletionQueue& completions() override { return inner_.completions(); }
   Status call_batch(const Address& to, std::vector<Request> reqs) override {
+    poll_kills();
     if (fires()) return Errc::kIo;  // the whole frame is lost as a unit
     return inner_.call_batch(to, std::move(reqs));
   }
-  Status flush() override { return inner_.flush(); }
-  void pump() override { inner_.pump(); }
+  Status flush() override {
+    poll_kills();
+    return inner_.flush();
+  }
+  void pump() override {
+    poll_kills();
+    inner_.pump();
+  }
   void set_spans(obs::SpanCollector* spans) override {
     spans_ = spans;
     inner_.set_spans(spans);
@@ -81,12 +123,26 @@ class FaultTransport final : public Transport {
  private:
   /// True when this call must fail with kIo (drop or timeout).
   bool fires();
+  /// Fire any scheduled kill whose time has come (sink runs unlocked).
+  void poll_kills();
+  /// True when `req` is a read-class envelope addressed to a dead OSD.
+  bool refuses(const Address& to, const Request& req);
+
+  struct KillEvent {
+    u32 target{0};
+    double at_ms{0.0};
+    bool fired{false};
+  };
 
   Transport& inner_;
   mutable std::mutex mu_;
   FaultConfig cfg_{};
   bool armed_{false};
   FaultStats stats_;
+  std::vector<KillEvent> kills_;
+  std::function<double()> kill_clock_;
+  std::function<void(u32)> kill_sink_;
+  std::function<bool(u32)> dead_probe_;
   obs::SpanCollector* spans_{nullptr};
   obs::Attribution* attrib_{nullptr};
   /// Lazily-reserved namespace for `fault.delay` sim spans (cumulative

@@ -94,6 +94,63 @@ TEST(FaultInjection, TransportDropSurfacesAsIoError) {
   }
 }
 
+// Killing a target on an UNREPLICATED mount is permanent data loss: the
+// sticky dead-read guard fails every read addressed to the wiped target
+// with kIo (no silent zero-reads from the replacement disk), while writes
+// still pass — that is the path a rebuild would use.
+TEST(FaultInjection, KillOsdUnreplicatedReadsFailSticky) {
+  core::ClusterConfig cfg;
+  cfg.num_targets = 3;
+  cfg.rpc.inject_faults = true;
+  core::ParallelFileSystem fs(cfg);
+  auto client = fs.connect(ClientId{1});
+  auto fh = client.create("/f");
+  ASSERT_TRUE(fh);
+  ASSERT_TRUE(client.write(*fh, 0, 0, 6 * 16 * kBlockSize).ok());
+
+  rpc::FaultTransport* fault = fs.transport().fault();
+  ASSERT_NE(fault, nullptr);
+  fault->kill_osd(/*target=*/0, /*at_ms=*/0.0);  // due: fires on next call
+  // The striped read hits the dead member and fails; it keeps failing —
+  // unlike the transient fault window, a kill never heals by itself.
+  EXPECT_EQ(client.read(*fh, 0, 6 * 16 * kBlockSize).error(), Errc::kIo);
+  EXPECT_EQ(client.read(*fh, 0, 6 * 16 * kBlockSize).error(), Errc::kIo);
+  EXPECT_EQ(fault->stats().kills, 1u);
+  EXPECT_GT(fault->stats().dead_reads, 0u);
+  EXPECT_FALSE(fs.health().alive(0));
+  // Writes still flow to the replacement disk, and the survivors verify.
+  EXPECT_TRUE(client.write(*fh, 0, 6 * 16 * kBlockSize, 16 * kBlockSize).ok());
+  fs.drain_data();
+  for (std::size_t t = 0; t < fs.num_targets(); ++t) {
+    EXPECT_TRUE(fs.target(t).verify().ok()) << "target " << t;
+  }
+}
+
+// The same kill against a replicated mount is survivable: reads re-route to
+// the surviving copies with zero client-visible errors and the drain
+// barrier rebuilds and revives the target.
+TEST(FaultInjection, KillOsdReplicatedMountRecovers) {
+  core::ClusterConfig cfg;
+  cfg.num_targets = 3;
+  cfg.rpc.inject_faults = true;
+  cfg.redundancy.replicas = 2;
+  core::ParallelFileSystem fs(cfg);
+  fs.transport().fault()->kill_osd(/*target=*/0, /*at_ms=*/0.0);
+  auto client = fs.connect(ClientId{1});
+  auto fh = client.create("/f");
+  ASSERT_TRUE(fh);
+  ASSERT_TRUE(client.write(*fh, 0, 0, 6 * 16 * kBlockSize).ok());
+  EXPECT_TRUE(client.read(*fh, 0, 6 * 16 * kBlockSize).ok());
+  EXPECT_GT(fs.redundancy_stats().degraded_reads.load(), 0u);
+  fs.drain_data();
+  EXPECT_TRUE(fs.health().alive(0));
+  EXPECT_EQ(fs.repair()->stats().completed, 1u);
+  EXPECT_TRUE(client.read(*fh, 0, 6 * 16 * kBlockSize).ok());
+  for (std::size_t t = 0; t < fs.num_targets(); ++t) {
+    EXPECT_TRUE(fs.target(t).verify().ok()) << "target " << t;
+  }
+}
+
 // Injected latency must be accounted as its own `fault_delay` category: the
 // attributed total matches the transport's own delay counter exactly, and
 // the disk-side categories stay identical to an undelayed baseline — a

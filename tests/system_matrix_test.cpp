@@ -22,11 +22,12 @@
 namespace mif {
 namespace {
 
-/// (list_io_max_runs, pipeline_depth, qos): the per-block sync mount, list
-/// I/O over the sync chain, list I/O over a depth-4 async pipeline, and the
-/// pipelined mount with per-client token-bucket QoS enforcing a rate low
-/// enough to actually park envelopes mid-workload.
-using IoMode = std::tuple<u64, u32, bool>;
+/// (list_io_max_runs, pipeline_depth, qos, replicas): the per-block sync
+/// mount, list I/O over the sync chain, list I/O over a depth-4 async
+/// pipeline, the pipelined mount with per-client token-bucket QoS enforcing
+/// a rate low enough to actually park envelopes mid-workload, and a 2-way
+/// replicated mount fanning every stripe unit to its copy target.
+using IoMode = std::tuple<u64, u32, bool, u32>;
 
 using Config =
     std::tuple<alloc::AllocatorMode, mfs::DirectoryMode, u32, IoMode>;
@@ -39,7 +40,10 @@ std::string config_name(const ::testing::TestParamInfo<Config>& info) {
   return s + "_" + std::string(to_string(std::get<1>(info.param))) + "_s" +
          std::to_string(std::get<2>(info.param)) + "_l" +
          std::to_string(std::get<0>(io)) + "d" +
-         std::to_string(std::get<1>(io)) + (std::get<2>(io) ? "_qos" : "");
+         std::to_string(std::get<1>(io)) + (std::get<2>(io) ? "_qos" : "") +
+         (std::get<3>(io) >= 2
+              ? "_r" + std::to_string(std::get<3>(io))
+              : "");
 }
 
 class SystemMatrix : public ::testing::TestWithParam<Config> {
@@ -61,6 +65,7 @@ class SystemMatrix : public ::testing::TestWithParam<Config> {
       cfg.rpc.qos.rate_bytes_per_ms = 32.0 * 1024.0;
       cfg.rpc.qos.burst_bytes = 64 * 1024;
     }
+    if (std::get<3>(io) >= 2) cfg.redundancy.replicas = std::get<3>(io);
     return cfg;
   }
 
@@ -213,10 +218,13 @@ INSTANTIATE_TEST_SUITE_P(
         // routed through shard::ShardedTransport.
         ::testing::Values(1u, 3u),
         // I/O mode: per-block sync (the paper's default), list I/O on the
-        // sync chain, list I/O through a depth-4 async pipeline, and the
-        // pipelined chain under token-bucket QoS admission control.
-        ::testing::Values(IoMode{0, 1, false}, IoMode{64, 1, false},
-                          IoMode{64, 4, false}, IoMode{64, 4, true})),
+        // sync chain, list I/O through a depth-4 async pipeline, the
+        // pipelined chain under token-bucket QoS admission control, and a
+        // 2-way replicated pipelined mount (every workload doubles its
+        // stripe-unit writes through the redundancy fan).
+        ::testing::Values(IoMode{0, 1, false, 1}, IoMode{64, 1, false, 1},
+                          IoMode{64, 4, false, 1}, IoMode{64, 4, true, 1},
+                          IoMode{64, 4, false, 2})),
     config_name);
 
 }  // namespace
